@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test race bench repro verify-envelope clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper.
+repro:
+	$(GO) run ./cmd/table1
+	$(GO) run ./cmd/scenarios -fig all -trace=false
+	$(GO) run ./cmd/overhead
+	$(GO) run ./cmd/tolerance
+	$(GO) run ./cmd/mcsim -policy can -frames 2500 -berstar 0.02 -seed 7
+	$(GO) run ./cmd/mcsim -policy majorcan_5 -frames 2500 -berstar 0.02 -seed 7
+
+# Exhaustive verification of MajorCAN_5 over its complete design envelope
+# (all <=5-flip patterns; ~25.7M simulations, ~27 min single-threaded).
+verify-envelope:
+	$(GO) run ./cmd/verify -policy majorcan_5 -k 5 -parallel 8
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,76 @@
+// Command drift explores the CAN bit-timing layer: the oscillator
+// tolerance bought by the synchronisation segments, and the sampling
+// integrity of realistic frame traffic at fractions and multiples of that
+// tolerance. It substantiates the slot-synchronous abstraction of the main
+// simulator (valid while every oscillator stays inside the tolerance) and
+// the paper's clock-failure fault class (what happens beyond it).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/bitstream"
+	"repro/internal/bittiming"
+	"repro/internal/frame"
+)
+
+func main() {
+	frames := flag.Int("frames", 20, "frames in the sampled stream")
+	seed := flag.Int64("seed", 1, "random seed for the frame contents")
+	flag.Parse()
+
+	configs := []struct {
+		name string
+		seg  bittiming.Segments
+	}{
+		{"classic 16tq (SJW 2)", bittiming.Classic()},
+		{"16tq wide SJW", bittiming.Segments{Prop: 7, PS1: 4, PS2: 4, SJW: 4}},
+		{"8tq minimal", bittiming.Segments{Prop: 3, PS1: 2, PS2: 2, SJW: 1}},
+		{"25tq slow bus", bittiming.Segments{Prop: 12, PS1: 8, PS2: 4, SJW: 4}},
+	}
+
+	r := rand.New(rand.NewSource(*seed))
+	var stream bitstream.Sequence
+	for i := 0; i < *frames; i++ {
+		f := &frame.Frame{ID: uint32(r.Intn(frame.MaxStandardID + 1)), Data: make([]byte, 8)}
+		if i%2 == 0 {
+			r.Read(f.Data) // random payload
+		} // else all-zero: maximum stuffing, longest edge-free runs
+		enc, err := frame.Encode(f, frame.StandardEOFBits)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drift: %v\n", err)
+			os.Exit(1)
+		}
+		stream = append(stream, enc.Bits...)
+		stream = append(stream, bitstream.Repeat(bitstream.Recessive, 3)...)
+	}
+
+	fmt.Printf("sampling %d bits of frame traffic through a drifting receiver clock\n\n", len(stream))
+	fmt.Printf("%-22s  %-6s  %-12s  %s\n", "configuration", "NBT", "tolerance", "mismatches at 0.5x / 0.9x / 2x / 4x tolerance")
+	for _, cfg := range configs {
+		if err := cfg.seg.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "drift: %s: %v\n", cfg.name, err)
+			os.Exit(1)
+		}
+		tol := cfg.seg.MaxTolerance()
+		var cells []string
+		for _, frac := range []float64{0.5, 0.9, 2, 4} {
+			df := tol * frac
+			sp, err := bittiming.NewSampler(cfg.seg, df, -df)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "drift: %v\n", err)
+				os.Exit(1)
+			}
+			cells = append(cells, fmt.Sprintf("%d", sp.MismatchCount(stream)))
+		}
+		fmt.Printf("%-22s  %-6d  %-12s  %s\n",
+			cfg.name, cfg.seg.NBT(), fmt.Sprintf("±%.3f%%", 100*tol),
+			cells[0]+" / "+cells[1]+" / "+cells[2]+" / "+cells[3])
+	}
+	fmt.Println("\nwithin tolerance the resynchronisation absorbs all drift (0 mismatches);")
+	fmt.Println("beyond it sampling breaks — the paper's clock-failure fault class, which the")
+	fmt.Println("fault confinement then converts into stuff/CRC/form errors at the drifted node")
+}

@@ -1,0 +1,137 @@
+// Command mcsim runs Monte Carlo consistency experiments on the bit-level
+// simulator: a stream of frames is broadcast under the spatial random
+// error model (ber* = ber/N) and every frame's fate at every receiver is
+// classified (delivered, duplicated, omitted).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+func parsePolicy(s string) (node.EOFPolicy, error) {
+	switch {
+	case strings.EqualFold(s, "can"):
+		return core.NewStandard(), nil
+	case strings.EqualFold(s, "minorcan"):
+		return core.NewMinorCAN(), nil
+	case strings.HasPrefix(strings.ToLower(s), "majorcan"):
+		m := core.DefaultM
+		if i := strings.IndexByte(s, '_'); i >= 0 {
+			v, err := strconv.Atoi(s[i+1:])
+			if err != nil {
+				return nil, fmt.Errorf("invalid m in %q: %v", s, err)
+			}
+			m = v
+		}
+		return core.NewMajorCAN(m)
+	default:
+		return nil, fmt.Errorf("unknown policy %q (use can, minorcan, majorcan_<m>)", s)
+	}
+}
+
+func main() {
+	policyName := flag.String("policy", "can", "protocol: can, minorcan or majorcan_<m>")
+	nodes := flag.Int("nodes", 5, "number of stations")
+	frames := flag.Int("frames", 1000, "frames to broadcast")
+	berStar := flag.Float64("berstar", 0.01, "per-node per-bit view flip probability (ber* = ber/N)")
+	seed := flag.Int64("seed", 1, "random seed")
+	eofOnly := flag.Bool("eofonly", true, "restrict errors to the end-of-frame region (importance sampling)")
+	rotate := flag.Bool("rotate", false, "rotate the transmitting station")
+	reset := flag.Bool("reset", true, "reset error counters between frames (keep all nodes error-active)")
+	sweep := flag.Int("sweep", 0, "run this many seeds (seed, seed+1, ...) in parallel and aggregate")
+	parallel := flag.Int("parallel", 4, "concurrent simulations during a sweep")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	flag.Parse()
+
+	policy, err := parsePolicy(*policyName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcsim: %v\n", err)
+		os.Exit(1)
+	}
+	cfg := sim.MCConfig{
+		Policy:        policy,
+		Nodes:         *nodes,
+		Frames:        *frames,
+		BerStar:       *berStar,
+		Seed:          *seed,
+		EOFOnly:       *eofOnly,
+		RotateOrigins: *rotate,
+		ResetCounters: *reset,
+	}
+
+	if *sweep > 0 {
+		seeds := make([]int64, *sweep)
+		for i := range seeds {
+			seeds[i] = *seed + int64(i)
+		}
+		points := sim.SweepSeeds(cfg, seeds, *parallel)
+		for _, p := range points {
+			if p.Err != nil {
+				fmt.Fprintf(os.Stderr, "mcsim: seed %d: %v\n", p.Seed, p.Err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("policy=%s nodes=%d frames/seed=%d ber*=%g eofOnly=%v seeds=%d..%d\n",
+			policy.Name(), *nodes, *frames, *berStar, *eofOnly, *seed, *seed+int64(*sweep)-1)
+		fmt.Println(sim.Summarize(points))
+		return
+	}
+
+	res, err := sim.MonteCarlo(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		type out struct {
+			Policy          string  `json:"policy"`
+			Nodes           int     `json:"nodes"`
+			Frames          int     `json:"frames"`
+			BerStar         float64 `json:"berStar"`
+			EOFOnly         bool    `json:"eofOnly"`
+			Seed            int64   `json:"seed"`
+			Slots           uint64  `json:"slots"`
+			BitFlips        uint64  `json:"bitFlips"`
+			IMOs            int     `json:"inconsistentOmissions"`
+			Duplicates      int     `json:"doubleReceptions"`
+			LostEverywhere  int     `json:"lostEverywhere"`
+			Incomplete      int     `json:"incomplete"`
+			AtomicBroadcast bool    `json:"atomicBroadcast"`
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out{
+			Policy: policy.Name(), Nodes: *nodes, Frames: res.FramesSent,
+			BerStar: *berStar, EOFOnly: *eofOnly, Seed: *seed,
+			Slots: res.Slots, BitFlips: res.BitFlips,
+			IMOs: res.IMOs, Duplicates: res.Duplicates,
+			LostEverywhere: res.LostEverywhere, Incomplete: res.Incomplete,
+			AtomicBroadcast: res.Report.AtomicBroadcast(),
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "mcsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("policy=%s nodes=%d frames=%d ber*=%g eofOnly=%v seed=%d\n",
+		policy.Name(), *nodes, res.FramesSent, *berStar, *eofOnly, *seed)
+	fmt.Printf("slots simulated:        %d\n", res.Slots)
+	fmt.Printf("bit flips injected:     %d\n", res.BitFlips)
+	fmt.Printf("inconsistent omissions: %d (%.3e per frame)\n", res.IMOs, res.IMORate())
+	fmt.Printf("double receptions:      %d (%.3e per frame)\n", res.Duplicates, res.DuplicateRate())
+	fmt.Printf("lost everywhere:        %d\n", res.LostEverywhere)
+	fmt.Printf("incomplete frames:      %d\n", res.Incomplete)
+	fmt.Println()
+	fmt.Println(res.Report.Summary())
+}

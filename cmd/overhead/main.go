@@ -1,0 +1,59 @@
+// Command overhead measures the per-frame bus occupancy of MajorCAN_m
+// against standard CAN (the paper's Sections 5-6 overhead discussion) and
+// compares the controller-level cost with the frame counts of the FTCS'98
+// higher-level protocols.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+func main() {
+	msFlag := flag.String("m", "3,4,5,6,7,8", "comma-separated MajorCAN m values")
+	flag.Parse()
+
+	var ms []int
+	for _, s := range strings.Split(*msFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "overhead: invalid m %q: %v\n", s, err)
+			os.Exit(1)
+		}
+		ms = append(ms, v)
+	}
+
+	rows, canBest, canWorst, err := sim.MeasureOverhead(
+		func(m int) node.EOFPolicy { return core.MustMajorCAN(m) },
+		core.NewStandard(), ms)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "overhead: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("Per-frame bus occupancy (8-byte payload), measured on the bit-level simulator")
+	fmt.Printf("standard CAN: best case %d slots, worst case (error at last EOF bit) %d slots\n\n", canBest, canWorst)
+	fmt.Printf("%-4s  %-10s  %-10s  %-22s  %-22s\n", "m", "best", "worst", "best overhead vs CAN", "worst vs CAN best")
+	fmt.Printf("%-4s  %-10s  %-10s  %-22s  %-22s\n", "", "(slots)", "(slots)", "measured (paper 2m-7)", "measured (paper 4m-9)")
+	for _, r := range rows {
+		fmt.Printf("%-4d  %-10d  %-10d  %4d (%d)%13s  %4d (%d)\n",
+			r.M, r.BestSlots, r.WorstSlots,
+			r.BestOverhead, r.PaperBest, "",
+			r.WorstSlots-canBest, r.PaperWorst)
+	}
+
+	fmt.Println("\nHigher-level protocol cost per application message (frames on the bus, error-free case):")
+	fmt.Println("  raw CAN / MinorCAN / MajorCAN_m: 1 frame (the overhead above is bits, not frames)")
+	fmt.Println("  EDCAN:  1 + (N-1) replica frames (every receiver retransmits once)")
+	fmt.Println("  RELCAN: 2 frames (data + CONFIRM)")
+	fmt.Println("  TOTCAN: 2 frames (data + ACCEPT)")
+	fmt.Println("\nThe paper's conclusion: even MajorCAN's worst-case cost of a few bits is negligible")
+	fmt.Println("compared with any protocol that needs at least one extra frame per message.")
+}

@@ -1,0 +1,104 @@
+// Command scenarios replays the error scenarios of the MajorCAN paper's
+// figures on the bit-level simulator and prints per-node timelines in the
+// style of the paper, together with the consistency verdicts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/scenario"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to replay: 1a, 1b, 1c, 2, 3a, 3b, 4, 5, can5 or all")
+	m := flag.Int("m", core.DefaultM, "MajorCAN error tolerance parameter m")
+	showTrace := flag.Bool("trace", true, "print per-node bit timelines")
+	flag.Parse()
+
+	run := func(name string, f func() (*scenario.Outcome, error)) {
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenarios: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println("==", out.Name, "==")
+		fmt.Println(out.Summary())
+		if *showTrace {
+			if first, last, ok := out.Recorder.EOFWindow(0, 1); ok {
+				from := uint64(0)
+				if first > 8 {
+					from = first - 8
+				}
+				fmt.Println()
+				fmt.Print(out.Recorder.Render(from, last+40))
+				fmt.Println("legend: d/r sampled level, D driving dominant, R driving recessive in-frame, ! disturbed sample, . idle")
+			}
+		}
+		fmt.Println()
+	}
+
+	std := core.NewStandard()
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+
+	if want("1a") {
+		run("Fig. 1a", func() (*scenario.Outcome, error) { return scenario.Fig1a(std) })
+	}
+	if want("1b") {
+		run("Fig. 1b", func() (*scenario.Outcome, error) { return scenario.Fig1b(std) })
+	}
+	if want("1c") {
+		run("Fig. 1c", func() (*scenario.Outcome, error) { return scenario.Fig1c(std) })
+	}
+	if want("2") {
+		a, b, c, err := scenario.Fig2()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenarios: fig 2: %v\n", err)
+			os.Exit(1)
+		}
+		for _, out := range []*scenario.Outcome{a, b, c} {
+			fmt.Println("==", out.Name, "==")
+			fmt.Println(out.Summary())
+			fmt.Println()
+		}
+	}
+	if want("3a") {
+		run("Fig. 3a", scenario.Fig3a)
+	}
+	if want("3b") {
+		run("Fig. 3b", scenario.Fig3b)
+	}
+	if want("4") {
+		rows, err := scenario.Fig4(*m)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenarios: fig 4: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("== Fig. 4: behaviour of a MajorCAN_%d node ==\n", *m)
+		fmt.Print(scenario.RenderFig4(rows))
+		fmt.Println()
+	}
+	if want("5") {
+		run("Fig. 5", func() (*scenario.Outcome, error) { return scenario.Fig5(*m) })
+	}
+	if want("major-new") || *fig == "all" {
+		run("new scenario under MajorCAN", func() (*scenario.Outcome, error) {
+			return scenario.NewScenario(core.MustMajorCAN(*m))
+		})
+	}
+	if want("can5") {
+		fmt.Println("== CAN5 total-order example (Section 2.2) ==")
+		for _, policy := range []node.EOFPolicy{std, core.NewMinorCAN(), core.MustMajorCAN(*m)} {
+			out, err := scenario.CAN5(policy)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "scenarios: can5: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-12s %s\n", policy.Name()+":", out.Summary())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,66 @@
+// Command table1 regenerates Table 1 of the MajorCAN paper: the per-hour
+// rates of the new inconsistency scenario (expression 4) and of the old
+// Fig. 1c scenario (expression 5) under the ber* spatial error model, for
+// the paper's reference network (32 nodes, 1 Mbps, 90% load, 110-bit
+// frames).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/analytic"
+)
+
+func main() {
+	bers := flag.String("ber", "1e-4,1e-5,1e-6", "comma-separated bit error rates")
+	nodes := flag.Int("nodes", 32, "number of nodes N")
+	tau := flag.Int("tau", 110, "frame length in bits")
+	load := flag.Float64("load", 0.9, "bus load")
+	rate := flag.Float64("bitrate", 1e6, "bus speed in bit/s")
+	flag.Parse()
+
+	var rows []analytic.Table1Row
+	for _, s := range strings.Split(*bers, ",") {
+		ber, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "table1: invalid ber %q: %v\n", s, err)
+			os.Exit(1)
+		}
+		p := analytic.Reference(ber)
+		p.Nodes, p.FrameBits, p.Load, p.BitRate = *nodes, *tau, *load, *rate
+		if err := p.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "table1: %v\n", err)
+			os.Exit(1)
+		}
+		row := analytic.Table1Row{
+			Ber:        ber,
+			NewPerHour: p.NewScenarioPerHour(),
+			OldPerHour: p.OldScenarioPerHour(),
+		}
+		// Attach the published reference values when running the paper's
+		// exact configuration.
+		if *nodes == 32 && *tau == 110 && *load == 0.9 && *rate == 1e6 {
+			for _, pr := range analytic.PaperTable1 {
+				if pr.Ber == ber {
+					row.RufinoPerHour = pr.RufinoPerHour
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+
+	fmt.Printf("Table 1 — probabilities of the inconsistency scenarios (N=%d, tau=%d bits, %.0f%% load, %.0f bit/s)\n\n",
+		*nodes, *tau, 100**load, *rate)
+	fmt.Print(analytic.RenderTable1(rows))
+	fmt.Printf("\nsafety reference: %.0e incidents/hour (aerospace)\n", analytic.SafetyReference)
+	for _, r := range rows {
+		if r.NewPerHour > analytic.SafetyReference {
+			fmt.Printf("  ber=%.0e: IMOnew/hour exceeds the safety reference by %.0fx\n",
+				r.Ber, r.NewPerHour/analytic.SafetyReference)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Command tolerance quantifies the paper's remark that "if ber is larger
+// then larger values of m should be considered": for each bit error rate
+// it reports the smallest MajorCAN_m tolerance whose residual rate of
+// beyond-tolerance frames (more than m view-bit errors in the decision
+// region) stays below a target, plus the residual rate of the paper's
+// m = 5 proposal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/analytic"
+)
+
+func main() {
+	bers := flag.String("ber", "1e-6,1e-5,1e-4,1e-3,1e-2", "comma-separated bit error rates")
+	target := flag.Float64("target", analytic.SafetyReference, "target rate in incidents/hour")
+	flag.Parse()
+
+	var list []float64
+	for _, s := range strings.Split(*bers, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tolerance: invalid ber %q: %v\n", s, err)
+			os.Exit(1)
+		}
+		list = append(list, v)
+	}
+	rows, err := analytic.ToleranceTable(list, *target)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tolerance: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("MajorCAN m selection for a %g/hour target (N=32, 1 Mbps, 90%% load, 110-bit frames)\n\n", *target)
+	fmt.Printf("%-8s  %-10s  %-20s  %-24s\n", "ber", "required m", "residual at that m", "residual of paper's m=5")
+	for _, r := range rows {
+		fmt.Printf("%-8.0e  %-10d  %-20.3e  %-24.3e\n", r.Ber, r.RequiredM, r.ResidualPerHour, r.MajorCAN5PerHour)
+	}
+	fmt.Println("\nresidual = expected frames/hour suffering more errors in the end-of-frame")
+	fmt.Println("decision region than the protocol tolerates (spatial model, ber* = ber/N)")
+}

@@ -1,0 +1,78 @@
+// Command verify exhaustively enumerates every disturbance pattern with up
+// to k view flips in the end-of-frame decision region and checks the
+// protocol's consistency — the bounded model-checking pass the paper left
+// as future work.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/verify"
+)
+
+func parsePolicy(s string) (node.EOFPolicy, error) {
+	switch {
+	case strings.EqualFold(s, "can"):
+		return core.NewStandard(), nil
+	case strings.EqualFold(s, "minorcan"):
+		return core.NewMinorCAN(), nil
+	case strings.HasPrefix(strings.ToLower(s), "majorcan"):
+		m := core.DefaultM
+		if i := strings.IndexByte(s, '_'); i >= 0 {
+			v, err := strconv.Atoi(s[i+1:])
+			if err != nil {
+				return nil, fmt.Errorf("invalid m in %q: %v", s, err)
+			}
+			m = v
+		}
+		return core.NewMajorCAN(m)
+	default:
+		return nil, fmt.Errorf("unknown policy %q", s)
+	}
+}
+
+func main() {
+	policyName := flag.String("policy", "majorcan_5", "protocol: can, minorcan or majorcan_<m>")
+	stations := flag.Int("stations", 4, "number of stations (station 0 transmits)")
+	k := flag.Int("k", 2, "maximum number of simultaneous view flips")
+	positions := flag.Int("positions", 0, "EOF-relative positions to disturb (0 = the policy's full decision region)")
+	parallel := flag.Int("parallel", 4, "concurrent simulations")
+	crash := flag.Bool("crash", false, "also crash each station at its first flag, per pattern")
+	flag.Parse()
+
+	policy, err := parsePolicy(*policyName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+		os.Exit(1)
+	}
+	start := time.Now()
+	rep, err := verify.Exhaustive(verify.Config{
+		Policy:      policy,
+		Stations:    *stations,
+		MaxFlips:    *k,
+		Positions:   *positions,
+		Parallelism: *parallel,
+		CrashSweep:  *crash,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(rep.Summary())
+	fmt.Printf("elapsed: %s\n", time.Since(start).Round(time.Millisecond))
+	if !rep.Consistent() {
+		byOutcome := map[verify.Outcome]int{}
+		for _, v := range rep.Violations {
+			byOutcome[v.Outcome]++
+		}
+		fmt.Printf("violations by outcome: %v\n", byOutcome)
+		os.Exit(2)
+	}
+}

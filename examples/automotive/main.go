@@ -1,0 +1,63 @@
+// Automotive: a distributed control workload in the paper's reference
+// style — many nodes periodically broadcasting sensor frames at high bus
+// load under the spatial random error model — compared across standard
+// CAN, MinorCAN and MajorCAN_5. Errors are injected only into the
+// end-of-frame region (where all the paper's inconsistencies live) at an
+// exaggerated rate so the rare events become visible in a short run.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+func main() {
+	fmt.Println("automotive workload: 5 ECUs, Monte Carlo over 1500 frames, EOF-region ber* = 0.02")
+	fmt.Println()
+	fmt.Printf("%-12s  %-8s  %-12s  %-12s  %-10s\n", "protocol", "frames", "IMOs", "duplicates", "verdict")
+	for _, policy := range []node.EOFPolicy{
+		core.NewStandard(),
+		core.NewMinorCAN(),
+		core.MustMajorCAN(5),
+	} {
+		res, err := sim.MonteCarlo(sim.MCConfig{
+			Policy:        policy,
+			Nodes:         5,
+			Frames:        1500,
+			BerStar:       0.02,
+			Seed:          2026,
+			EOFOnly:       true,
+			ResetCounters: true,
+			RotateOrigins: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "ATOMIC BROADCAST"
+		if !res.Report.AtomicBroadcast() {
+			verdict = "violated"
+		}
+		fmt.Printf("%-12s  %-8d  %-12d  %-12d  %-10s\n",
+			policy.Name(), res.FramesSent, res.IMOs, res.Duplicates, verdict)
+	}
+
+	fmt.Println()
+	fmt.Println("periodic 90%-load run (8 ECUs, error-free) under MajorCAN_5:")
+	res, err := sim.RunWorkload(sim.WorkloadConfig{
+		Policy: core.MustMajorCAN(5),
+		Nodes:  8,
+		Slots:  50000,
+		Load:   0.9,
+		Seed:   7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  offered %d frames, %d transmitted, %d deliveries, bus utilisation %.0f%%\n",
+		res.Offered, res.TxSuccess, res.Delivered, 100*res.Utilisation)
+	fmt.Printf("  IMOs=%d duplicates=%d\n", res.IMOs, res.Duplicates)
+}

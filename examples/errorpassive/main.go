@@ -1,0 +1,78 @@
+// Errorpassive: the paper's Section 1 impairment. An error-passive
+// receiver signals errors with recessive flags nobody can see: when it is
+// the only node to detect an error, the transmitter never retransmits and
+// the passive node silently omits the message — Agreement violated before
+// any of the subtler scenarios even enter the picture. The paper's fix is
+// to switch nodes off at the warning limit (96) so they never become
+// error-passive; the second run shows that policy in action.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/errmodel"
+	"repro/internal/frame"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// victimDisturbance flips one data-field bit in the victim's view so that
+// only the victim detects an error in the frame.
+func victimDisturbance(victim int) *errmodel.Script {
+	fired := false
+	return errmodel.NewScript(&errmodel.Rule{
+		Stations: []int{victim},
+		When: func(_ uint64, _ int, v bus.ViewContext) bool {
+			if fired || v.Phase != bus.PhaseFrame || v.Field != frame.FieldData {
+				return false
+			}
+			fired = true
+			return true
+		},
+	})
+}
+
+func main() {
+	const victim = 3
+
+	fmt.Println("run 1: the victim is error-passive (REC = 128), no switch-off policy")
+	c := sim.MustCluster(sim.ClusterOptions{Nodes: 4, Policy: core.NewStandard()})
+	c.Nodes[victim].SetErrorCounters(0, node.PassiveLimit)
+	c.Net.AddDisturber(victimDisturbance(victim))
+	f := &frame.Frame{ID: 0x21, Data: []byte{0x00, 0x00}}
+	if err := c.Nodes[0].Enqueue(f); err != nil {
+		log.Fatal(err)
+	}
+	if !c.RunUntilQuiet(4000) {
+		log.Fatal("no quiescence")
+	}
+	fmt.Printf("  transmitter believes: %d success(es), no retransmission\n", c.Nodes[0].TxSuccesses())
+	for i := 1; i < 4; i++ {
+		fmt.Printf("  station %d (%s): delivered %d cop(ies)\n",
+			i, c.Nodes[i].Mode(), c.DeliveryCount(i, f))
+	}
+	fmt.Println("  => the passive victim omitted the message: Agreement violated")
+
+	fmt.Println()
+	fmt.Println("run 2: the paper's policy — switch off at the warning limit (96)")
+	c2 := sim.MustCluster(sim.ClusterOptions{
+		Nodes: 4, Policy: core.NewStandard(), WarningSwitchOff: true,
+	})
+	c2.Nodes[victim].SetErrorCounters(0, node.WarningLimit-1)
+	c2.Net.AddDisturber(victimDisturbance(victim))
+	if err := c2.Nodes[0].Enqueue(f); err != nil {
+		log.Fatal(err)
+	}
+	if !c2.RunUntilQuiet(4000) {
+		log.Fatal("no quiescence")
+	}
+	for i := 1; i < 4; i++ {
+		fmt.Printf("  station %d (%s): delivered %d cop(ies)\n",
+			i, c2.Nodes[i].Mode(), c2.DeliveryCount(i, f))
+	}
+	fmt.Println("  => the failing node disconnected itself instead of lying:")
+	fmt.Println("     every node still on the bus is error-active and consistency is preserved")
+}

@@ -1,0 +1,47 @@
+// Quickstart: build a small MajorCAN bus through the public API, broadcast
+// a frame and observe that every node delivers it exactly once.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/majorcan"
+)
+
+func main() {
+	// A 4-station bus running MajorCAN with the paper's proposed m = 5.
+	bus, err := majorcan.NewBus(majorcan.BusConfig{
+		Nodes:    4,
+		Protocol: majorcan.MajorCAN(5),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Station 0 broadcasts a data frame.
+	msg := majorcan.Message{ID: 0x123, Data: []byte("hello")}
+	if err := bus.Send(0, msg); err != nil {
+		log.Fatal(err)
+	}
+
+	// Run the bit-level simulation until the bus is idle again.
+	if !bus.Run(majorcan.DefaultSlotBudget) {
+		log.Fatal("bus did not become quiet")
+	}
+
+	fmt.Printf("transmitter: %d successful transmission(s)\n", bus.TxSuccesses(0))
+	for i := 1; i < bus.Nodes(); i++ {
+		for _, d := range bus.DeliveredAt(i) {
+			fmt.Printf("station %d delivered %v at bit slot %d\n", i, d.Message, d.Slot)
+		}
+	}
+
+	// The same two disturbances that defeat standard CAN (the paper's
+	// Fig. 3a) are harmless here.
+	res, err := majorcan.ReplayNewScenario(majorcan.MajorCAN(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Summary)
+}

@@ -1,0 +1,348 @@
+// Package abcheck verifies the Atomic Broadcast properties AB1-AB5 (and
+// the CAN-level properties of the paper's Section 2) over recorded
+// broadcast/delivery traces.
+//
+// The property definitions follow the paper's adaptation of Hadzilacos &
+// Toueg: nodes only fail benignly, a "message" is identified by its origin
+// and sequence number, and correctness is judged at the end of the trace.
+package abcheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MsgKey identifies a broadcast message: the broadcasting node and its
+// per-origin sequence number.
+type MsgKey struct {
+	Origin int
+	Seq    uint32
+}
+
+func (k MsgKey) String() string { return fmt.Sprintf("m(%d,%d)", k.Origin, k.Seq) }
+
+// Broadcast records that a node invoked broadcast for a message.
+type Broadcast struct {
+	Key  MsgKey
+	Slot uint64
+}
+
+// Delivery records that a node delivered a message to its upper layer.
+type Delivery struct {
+	Node int
+	Key  MsgKey
+	Slot uint64
+}
+
+// Trace is the observable history of one experiment.
+type Trace struct {
+	// Nodes is the number of stations.
+	Nodes int
+	// Broadcasts are the messages handed to the broadcast service, in
+	// invocation order.
+	Broadcasts []Broadcast
+	// Deliveries are all delivery events. Order within one node must match
+	// that node's delivery order.
+	Deliveries []Delivery
+	// Faulty marks nodes that failed during the run (crashed, switched
+	// off, bus-off). Properties quantify over the remaining correct nodes.
+	Faulty map[int]bool
+}
+
+// Correct reports whether node i stayed correct for the whole trace.
+func (t *Trace) Correct(i int) bool { return !t.Faulty[i] }
+
+// Property names the Atomic Broadcast properties of the paper.
+type Property uint8
+
+const (
+	// Validity (AB1): if a correct node broadcasts a message, the message
+	// is eventually delivered to a correct node.
+	Validity Property = iota + 1
+	// Agreement (AB2): if a message is delivered to a correct node, it is
+	// eventually delivered to all correct nodes.
+	Agreement
+	// AtMostOnce (AB3): any message delivered to a correct node is
+	// delivered at most once there.
+	AtMostOnce
+	// NonTriviality (AB4): any message delivered to a correct node was
+	// broadcast by a node.
+	NonTriviality
+	// TotalOrder (AB5): any two messages delivered to any two correct
+	// nodes are delivered in the same order to both.
+	TotalOrder
+)
+
+func (p Property) String() string {
+	switch p {
+	case Validity:
+		return "AB1-Validity"
+	case Agreement:
+		return "AB2-Agreement"
+	case AtMostOnce:
+		return "AB3-At-most-once"
+	case NonTriviality:
+		return "AB4-Non-triviality"
+	case TotalOrder:
+		return "AB5-Total-order"
+	default:
+		return fmt.Sprintf("Property(%d)", uint8(p))
+	}
+}
+
+// Violation is one detected property violation.
+type Violation struct {
+	Property Property
+	Detail   string
+}
+
+func (v Violation) String() string { return fmt.Sprintf("%s: %s", v.Property, v.Detail) }
+
+// Report is the outcome of checking a trace.
+type Report struct {
+	Violations []Violation
+	// InconsistentOmissions counts the messages for which some correct
+	// node delivered and another correct node never did (the paper's IMO
+	// count behind property CAN6/CAN6').
+	InconsistentOmissions int
+	// DuplicateDeliveries counts (node, message) pairs delivered more than
+	// once (the double receptions).
+	DuplicateDeliveries int
+	// OrderInversions counts pairs of messages delivered in opposite
+	// orders at two nodes.
+	OrderInversions int
+}
+
+// Satisfies reports whether no violation of p was found.
+func (r *Report) Satisfies(p Property) bool {
+	for _, v := range r.Violations {
+		if v.Property == p {
+			return false
+		}
+	}
+	return true
+}
+
+// AtomicBroadcast reports whether all five properties hold.
+func (r *Report) AtomicBroadcast() bool { return len(r.Violations) == 0 }
+
+// Summary renders the report.
+func (r *Report) Summary() string {
+	if r.AtomicBroadcast() {
+		return "Atomic Broadcast: all properties satisfied"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Atomic Broadcast violated (%d violations, %d IMOs, %d duplicates, %d order inversions):\n",
+		len(r.Violations), r.InconsistentOmissions, r.DuplicateDeliveries, r.OrderInversions)
+	max := len(r.Violations)
+	if max > 20 {
+		max = 20
+	}
+	for _, v := range r.Violations[:max] {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	if len(r.Violations) > max {
+		fmt.Fprintf(&b, "  ... and %d more\n", len(r.Violations)-max)
+	}
+	return b.String()
+}
+
+// OmissionDegree computes the paper's CAN6/CAN6' measure over a trace:
+// the maximum number of inconsistent message omissions whose broadcasts
+// fall within any sliding interval of trd slots. CAN6 states that within a
+// known interval of reference such failures occur in at most j
+// transmissions; this returns the trace's empirical j.
+func OmissionDegree(tr Trace, trd uint64) int {
+	// Collect the broadcast slots of messages that ended as IMOs.
+	deliveredBy := make(map[MsgKey]map[int]bool)
+	for _, d := range tr.Deliveries {
+		if deliveredBy[d.Key] == nil {
+			deliveredBy[d.Key] = make(map[int]bool)
+		}
+		deliveredBy[d.Key][d.Node] = true
+	}
+	var imoSlots []uint64
+	for _, b := range tr.Broadcasts {
+		nodes := deliveredBy[b.Key]
+		got, missing := 0, 0
+		for n := 0; n < tr.Nodes; n++ {
+			if !tr.Correct(n) || n == b.Key.Origin {
+				continue
+			}
+			if nodes[n] {
+				got++
+			} else {
+				missing++
+			}
+		}
+		if got > 0 && missing > 0 {
+			imoSlots = append(imoSlots, b.Slot)
+		}
+	}
+	sort.Slice(imoSlots, func(i, j int) bool { return imoSlots[i] < imoSlots[j] })
+	// Maximum count within any window of trd slots (two-pointer sweep).
+	best, lo := 0, 0
+	for hi := range imoSlots {
+		for imoSlots[hi]-imoSlots[lo] >= trd {
+			lo++
+		}
+		if n := hi - lo + 1; n > best {
+			best = n
+		}
+	}
+	return best
+}
+
+// Check verifies all properties over the trace.
+func Check(tr Trace) *Report {
+	r := &Report{}
+	broadcastSet := make(map[MsgKey]bool, len(tr.Broadcasts))
+	for _, b := range tr.Broadcasts {
+		broadcastSet[b.Key] = true
+	}
+
+	// Per-node delivery sequences (correct nodes only are judged, but we
+	// build all for diagnostics).
+	perNode := make([][]Delivery, tr.Nodes)
+	for _, d := range tr.Deliveries {
+		if d.Node < 0 || d.Node >= tr.Nodes {
+			r.Violations = append(r.Violations, Violation{
+				Property: NonTriviality,
+				Detail:   fmt.Sprintf("delivery at unknown node %d", d.Node),
+			})
+			continue
+		}
+		perNode[d.Node] = append(perNode[d.Node], d)
+	}
+
+	deliveredBy := make(map[MsgKey]map[int]int) // key -> node -> count
+	for node, ds := range perNode {
+		for _, d := range ds {
+			if deliveredBy[d.Key] == nil {
+				deliveredBy[d.Key] = make(map[int]int)
+			}
+			deliveredBy[d.Key][node]++
+		}
+	}
+
+	// AB4 Non-triviality.
+	for key := range deliveredBy {
+		if !broadcastSet[key] {
+			r.Violations = append(r.Violations, Violation{
+				Property: NonTriviality,
+				Detail:   fmt.Sprintf("%s delivered but never broadcast", key),
+			})
+		}
+	}
+
+	// AB3 At-most-once.
+	for key, nodes := range deliveredBy {
+		for node, count := range nodes {
+			if count > 1 && tr.Correct(node) {
+				r.DuplicateDeliveries++
+				r.Violations = append(r.Violations, Violation{
+					Property: AtMostOnce,
+					Detail:   fmt.Sprintf("%s delivered %d times at node %d", key, count, node),
+				})
+			}
+		}
+	}
+
+	// AB1 Validity and AB2 Agreement.
+	for _, b := range tr.Broadcasts {
+		if !tr.Correct(b.Key.Origin) {
+			continue // AB1 only quantifies over correct broadcasters
+		}
+		anyCorrect := false
+		for node := range deliveredBy[b.Key] {
+			if tr.Correct(node) {
+				anyCorrect = true
+				break
+			}
+		}
+		if !anyCorrect {
+			r.Violations = append(r.Violations, Violation{
+				Property: Validity,
+				Detail:   fmt.Sprintf("%s broadcast by correct node %d but never delivered to a correct node", b.Key, b.Key.Origin),
+			})
+		}
+	}
+	for key, nodes := range deliveredBy {
+		deliveredToCorrect := false
+		for node := range nodes {
+			if tr.Correct(node) {
+				deliveredToCorrect = true
+				break
+			}
+		}
+		if !deliveredToCorrect {
+			continue
+		}
+		missing := []int{}
+		for node := 0; node < tr.Nodes; node++ {
+			if !tr.Correct(node) {
+				continue
+			}
+			if node == key.Origin {
+				// Delivery at the origin is implicit in the broadcast
+				// itself; traces may or may not record a local delivery.
+				continue
+			}
+			if nodes[node] == 0 {
+				missing = append(missing, node)
+			}
+		}
+		if len(missing) > 0 {
+			r.InconsistentOmissions++
+			r.Violations = append(r.Violations, Violation{
+				Property: Agreement,
+				Detail:   fmt.Sprintf("%s delivered to some correct nodes but not to %v", key, missing),
+			})
+		}
+	}
+
+	// AB5 Total order: for every pair of correct nodes, the common
+	// messages must appear in the same relative order (first deliveries
+	// are compared; duplicates are an AB3 matter).
+	firstIndex := make([]map[MsgKey]int, tr.Nodes)
+	for node, ds := range perNode {
+		firstIndex[node] = make(map[MsgKey]int, len(ds))
+		for idx, d := range ds {
+			if _, seen := firstIndex[node][d.Key]; !seen {
+				firstIndex[node][d.Key] = idx
+			}
+		}
+	}
+	for a := 0; a < tr.Nodes; a++ {
+		if !tr.Correct(a) {
+			continue
+		}
+		for b := a + 1; b < tr.Nodes; b++ {
+			if !tr.Correct(b) {
+				continue
+			}
+			common := make([]MsgKey, 0)
+			for key := range firstIndex[a] {
+				if _, ok := firstIndex[b][key]; ok {
+					common = append(common, key)
+				}
+			}
+			sort.Slice(common, func(i, j int) bool {
+				return firstIndex[a][common[i]] < firstIndex[a][common[j]]
+			})
+			for i := 1; i < len(common); i++ {
+				// common is sorted by a's order; b's order must agree.
+				if firstIndex[b][common[i-1]] > firstIndex[b][common[i]] {
+					r.OrderInversions++
+					r.Violations = append(r.Violations, Violation{
+						Property: TotalOrder,
+						Detail: fmt.Sprintf("nodes %d and %d deliver %s and %s in opposite orders",
+							a, b, common[i-1], common[i]),
+					})
+				}
+			}
+		}
+	}
+	return r
+}

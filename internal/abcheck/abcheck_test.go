@@ -1,0 +1,249 @@
+package abcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+func key(origin int, seq uint32) MsgKey { return MsgKey{Origin: origin, Seq: seq} }
+
+func TestCleanTraceSatisfiesAll(t *testing.T) {
+	tr := Trace{
+		Nodes: 3,
+		Broadcasts: []Broadcast{
+			{Key: key(0, 1), Slot: 0},
+			{Key: key(1, 1), Slot: 200},
+		},
+		Deliveries: []Delivery{
+			{Node: 0, Key: key(0, 1), Slot: 100},
+			{Node: 1, Key: key(0, 1), Slot: 100},
+			{Node: 2, Key: key(0, 1), Slot: 100},
+			{Node: 0, Key: key(1, 1), Slot: 300},
+			{Node: 1, Key: key(1, 1), Slot: 300},
+			{Node: 2, Key: key(1, 1), Slot: 300},
+		},
+	}
+	r := Check(tr)
+	if !r.AtomicBroadcast() {
+		t.Errorf("clean trace must satisfy Atomic Broadcast: %s", r.Summary())
+	}
+}
+
+func TestAgreementViolation(t *testing.T) {
+	tr := Trace{
+		Nodes:      3,
+		Broadcasts: []Broadcast{{Key: key(0, 1)}},
+		Deliveries: []Delivery{
+			{Node: 1, Key: key(0, 1)},
+			// node 2 never delivers
+		},
+	}
+	r := Check(tr)
+	if r.Satisfies(Agreement) {
+		t.Error("missing delivery at node 2 must violate Agreement")
+	}
+	if r.InconsistentOmissions != 1 {
+		t.Errorf("IMO count = %d, want 1", r.InconsistentOmissions)
+	}
+}
+
+func TestAgreementToleratesFaultyNode(t *testing.T) {
+	tr := Trace{
+		Nodes:      3,
+		Broadcasts: []Broadcast{{Key: key(0, 1)}},
+		Deliveries: []Delivery{{Node: 1, Key: key(0, 1)}},
+		Faulty:     map[int]bool{2: true},
+	}
+	r := Check(tr)
+	if !r.Satisfies(Agreement) {
+		t.Error("a faulty node missing a delivery must not violate Agreement")
+	}
+}
+
+func TestValidityViolation(t *testing.T) {
+	tr := Trace{
+		Nodes:      3,
+		Broadcasts: []Broadcast{{Key: key(0, 1)}},
+	}
+	r := Check(tr)
+	if r.Satisfies(Validity) {
+		t.Error("undelivered broadcast from a correct node must violate Validity")
+	}
+}
+
+func TestValidityExemptsFaultyBroadcaster(t *testing.T) {
+	tr := Trace{
+		Nodes:      3,
+		Broadcasts: []Broadcast{{Key: key(0, 1)}},
+		Faulty:     map[int]bool{0: true},
+	}
+	r := Check(tr)
+	if !r.Satisfies(Validity) {
+		t.Error("an undelivered broadcast from a crashed node must not violate Validity")
+	}
+	// But if it reaches one correct node and not another, Agreement fires.
+	tr.Deliveries = []Delivery{{Node: 1, Key: key(0, 1)}}
+	r = Check(tr)
+	if r.Satisfies(Agreement) {
+		t.Error("partial delivery must violate Agreement even with a crashed origin")
+	}
+}
+
+func TestAtMostOnceViolation(t *testing.T) {
+	tr := Trace{
+		Nodes:      3,
+		Broadcasts: []Broadcast{{Key: key(0, 1)}},
+		Deliveries: []Delivery{
+			{Node: 1, Key: key(0, 1), Slot: 10},
+			{Node: 1, Key: key(0, 1), Slot: 20}, // double reception
+			{Node: 2, Key: key(0, 1), Slot: 10},
+		},
+	}
+	r := Check(tr)
+	if r.Satisfies(AtMostOnce) {
+		t.Error("double reception must violate At-most-once")
+	}
+	if r.DuplicateDeliveries != 1 {
+		t.Errorf("duplicate count = %d, want 1", r.DuplicateDeliveries)
+	}
+	if !r.Satisfies(Agreement) {
+		t.Error("double reception alone must not violate Agreement")
+	}
+}
+
+func TestNonTrivialityViolation(t *testing.T) {
+	tr := Trace{
+		Nodes:      2,
+		Deliveries: []Delivery{{Node: 1, Key: key(0, 9)}},
+	}
+	r := Check(tr)
+	if r.Satisfies(NonTriviality) {
+		t.Error("delivery of a never-broadcast message must violate Non-triviality")
+	}
+}
+
+func TestTotalOrderViolation(t *testing.T) {
+	// The paper's CAN5 example: nodes having received A before its
+	// retransmission see A, B, A while others see B, A.
+	tr := Trace{
+		Nodes: 3,
+		Broadcasts: []Broadcast{
+			{Key: key(0, 1)}, // A
+			{Key: key(1, 1)}, // B
+		},
+		Deliveries: []Delivery{
+			{Node: 1, Key: key(0, 1), Slot: 10}, // A first at node 1
+			{Node: 1, Key: key(1, 1), Slot: 20},
+			{Node: 2, Key: key(1, 1), Slot: 20}, // B first at node 2
+			{Node: 2, Key: key(0, 1), Slot: 30},
+		},
+	}
+	r := Check(tr)
+	if r.Satisfies(TotalOrder) {
+		t.Error("opposite delivery orders must violate Total Order")
+	}
+	if r.OrderInversions == 0 {
+		t.Error("order inversion count must be positive")
+	}
+}
+
+func TestTotalOrderIgnoresUncommonMessages(t *testing.T) {
+	tr := Trace{
+		Nodes: 3,
+		Broadcasts: []Broadcast{
+			{Key: key(0, 1)}, {Key: key(1, 1)},
+		},
+		Deliveries: []Delivery{
+			{Node: 1, Key: key(0, 1)},
+			{Node: 2, Key: key(1, 1)},
+		},
+		Faulty: map[int]bool{}, // both partial deliveries: Agreement fires, order cannot
+	}
+	r := Check(tr)
+	if !r.Satisfies(TotalOrder) {
+		t.Error("nodes with no common messages cannot violate Total Order")
+	}
+}
+
+func TestTotalOrderUsesFirstDeliveries(t *testing.T) {
+	// A duplicate later must not create a phantom inversion.
+	tr := Trace{
+		Nodes: 3,
+		Broadcasts: []Broadcast{
+			{Key: key(0, 1)}, {Key: key(1, 1)},
+		},
+		Deliveries: []Delivery{
+			{Node: 1, Key: key(0, 1), Slot: 10},
+			{Node: 1, Key: key(1, 1), Slot: 20},
+			{Node: 2, Key: key(0, 1), Slot: 10},
+			{Node: 2, Key: key(1, 1), Slot: 20},
+			{Node: 2, Key: key(0, 1), Slot: 30}, // duplicate of A after B
+		},
+	}
+	r := Check(tr)
+	if !r.Satisfies(TotalOrder) {
+		t.Errorf("duplicates must not break total order checking: %s", r.Summary())
+	}
+	if r.Satisfies(AtMostOnce) {
+		t.Error("the duplicate must still violate At-most-once")
+	}
+}
+
+func TestSummaryMentionsViolations(t *testing.T) {
+	tr := Trace{
+		Nodes:      2,
+		Deliveries: []Delivery{{Node: 1, Key: key(0, 9)}},
+	}
+	s := Check(tr).Summary()
+	if !strings.Contains(s, "AB4") {
+		t.Errorf("summary %q must mention AB4", s)
+	}
+	clean := (&Report{}).Summary()
+	if !strings.Contains(clean, "satisfied") {
+		t.Errorf("clean summary %q must say satisfied", clean)
+	}
+}
+
+// The empirical CAN6 j-degree: maximum IMOs within a sliding window.
+func TestOmissionDegree(t *testing.T) {
+	tr := Trace{
+		Nodes: 3,
+		Broadcasts: []Broadcast{
+			{Key: key(0, 1), Slot: 0},    // IMO
+			{Key: key(0, 2), Slot: 100},  // IMO
+			{Key: key(0, 3), Slot: 5000}, // IMO, far away
+			{Key: key(0, 4), Slot: 5100}, // consistent
+		},
+		Deliveries: []Delivery{
+			{Node: 1, Key: key(0, 1)}, // node 2 misses 1
+			{Node: 1, Key: key(0, 2)}, // node 2 misses 2
+			{Node: 2, Key: key(0, 3)}, // node 1 misses 3
+			{Node: 1, Key: key(0, 4)},
+			{Node: 2, Key: key(0, 4)},
+		},
+	}
+	if got := OmissionDegree(tr, 1000); got != 2 {
+		t.Errorf("j over 1000 slots = %d, want 2", got)
+	}
+	if got := OmissionDegree(tr, 10000); got != 3 {
+		t.Errorf("j over 10000 slots = %d, want 3", got)
+	}
+	if got := OmissionDegree(tr, 50); got != 1 {
+		t.Errorf("j over 50 slots = %d, want 1", got)
+	}
+	clean := Trace{Nodes: 3, Broadcasts: []Broadcast{{Key: key(0, 1)}}}
+	if got := OmissionDegree(clean, 1000); got != 0 {
+		t.Errorf("j of a clean trace = %d, want 0", got)
+	}
+}
+
+func TestUnknownNodeDelivery(t *testing.T) {
+	tr := Trace{
+		Nodes:      2,
+		Deliveries: []Delivery{{Node: 5, Key: key(0, 1)}},
+	}
+	r := Check(tr)
+	if r.AtomicBroadcast() {
+		t.Error("delivery at an out-of-range node must be flagged")
+	}
+}

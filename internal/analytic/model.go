@@ -1,0 +1,181 @@
+// Package analytic implements the MajorCAN paper's probabilistic model of
+// inconsistent message omissions (Section 4): the spatial error model
+// ber* = ber/N (expression 3, after Charzinski), the probability of the
+// paper's new inconsistency scenario per frame (expression 4), the
+// probability of the Fig. 1c scenario per frame (expression 5), and the
+// per-hour rates of Table 1.
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params are the network parameters of the model. The paper's reference
+// configuration (Section 4) is the same as in Rufino et al.: a 1 Mbps bus
+// with 32 nodes, 90% load and 110-bit frames.
+type Params struct {
+	// Ber is the bit error rate: the probability that a bit is erroneous
+	// somewhere in the network.
+	Ber float64
+	// Nodes is the number of stations N.
+	Nodes int
+	// FrameBits is the frame length tau_data in bits.
+	FrameBits int
+	// BitRate is the bus speed in bit/s.
+	BitRate float64
+	// Load is the bus utilisation (0..1].
+	Load float64
+	// Lambda is the node crash rate in failures/hour (used by the old
+	// scenario's transmitter-crash term).
+	Lambda float64
+	// DeltaT is the recovery interval in seconds during which a transmitter
+	// crash prevents the retransmission (5 ms in the paper).
+	DeltaT float64
+}
+
+// Reference returns the paper's Table 1 configuration with the given bit
+// error rate.
+func Reference(ber float64) Params {
+	return Params{
+		Ber:       ber,
+		Nodes:     32,
+		FrameBits: 110,
+		BitRate:   1e6,
+		Load:      0.9,
+		Lambda:    1e-3,
+		DeltaT:    5e-3,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.Ber < 0 || p.Ber > 1:
+		return fmt.Errorf("analytic: ber %g out of [0,1]", p.Ber)
+	case p.Nodes < 3:
+		return fmt.Errorf("analytic: the scenarios need N >= 3 nodes, got %d", p.Nodes)
+	case p.FrameBits < 3:
+		return fmt.Errorf("analytic: frame length %d too short", p.FrameBits)
+	case p.BitRate <= 0:
+		return fmt.Errorf("analytic: bit rate %g must be positive", p.BitRate)
+	case p.Load <= 0 || p.Load > 1:
+		return fmt.Errorf("analytic: load %g out of (0,1]", p.Load)
+	case p.Lambda < 0:
+		return fmt.Errorf("analytic: lambda %g must be non-negative", p.Lambda)
+	case p.DeltaT < 0:
+		return fmt.Errorf("analytic: delta-t %g must be non-negative", p.DeltaT)
+	}
+	return nil
+}
+
+// BerStar returns the per-node bit error probability ber* = ber/N
+// (expression 3): with the error effectivity randomly distributed over the
+// nodes, p_eff = 1/N.
+func (p Params) BerStar() float64 {
+	return p.Ber / float64(p.Nodes)
+}
+
+// FramesPerHour returns the number of frames transmitted per hour at the
+// configured bit rate, load and frame length.
+func (p Params) FramesPerHour() float64 {
+	return p.Load * p.BitRate * 3600 / float64(p.FrameBits)
+}
+
+// binom returns the binomial coefficient C(n, k) as a float64.
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 1; i <= k; i++ {
+		r *= float64(n - k + i)
+		r /= float64(i)
+	}
+	return r
+}
+
+// PNewScenario returns the probability of the paper's new inconsistency
+// scenario (Fig. 3a) per frame — expression (4):
+//
+//	P = sum_{i=1}^{N-2} C(N-1, i) ((1-b)^{tau-2} b)^i ((1-b)^{tau-1})^{N-1-i}
+//	    * (1-b)^{tau-1} b
+//
+// with b = ber*: at least one receiver (and not all of them) is hit at the
+// last but one bit of its EOF while clean elsewhere, the remaining
+// receivers are clean for the whole frame, and the transmitter is clean
+// except for an error in its last bit that hides the error flag.
+func (p Params) PNewScenario() float64 {
+	b := p.BerStar()
+	tau := float64(p.FrameBits)
+	n := p.Nodes
+	hit := math.Pow(1-b, tau-2) * b    // a receiver disturbed exactly at the last-but-one bit
+	clean := math.Pow(1-b, tau-1)      // a receiver entirely clean
+	txTerm := math.Pow(1-b, tau-1) * b // transmitter clean until its last bit, then hit
+	sum := 0.0
+	for i := 1; i <= n-2; i++ {
+		sum += binom(n-1, i) * math.Pow(hit, float64(i)) * math.Pow(clean, float64(n-1-i))
+	}
+	return sum * txTerm
+}
+
+// POldScenario returns the probability of the previously reported scenario
+// (Fig. 1c) per frame under the paper's ber* model — expression (5): same
+// receiver split as the new scenario, the transmitter clean during the
+// frame but crashing (rate lambda) within the recovery interval delta-t so
+// the retransmission never happens.
+func (p Params) POldScenario() float64 {
+	b := p.BerStar()
+	tau := float64(p.FrameBits)
+	n := p.Nodes
+	hit := math.Pow(1-b, tau-2) * b
+	clean := math.Pow(1-b, tau-1)
+	deltaHours := p.DeltaT / 3600
+	crash := 1 - math.Exp(-p.Lambda*deltaHours)
+	txTerm := math.Pow(1-b, tau-2) * crash
+	sum := 0.0
+	for i := 1; i <= n-2; i++ {
+		sum += binom(n-1, i) * math.Pow(hit, float64(i)) * math.Pow(clean, float64(n-1-i))
+	}
+	return sum * txTerm
+}
+
+// NewScenarioPerHour returns the expected number of new-scenario
+// inconsistencies per hour (Table 1, column IMOnew/hour).
+func (p Params) NewScenarioPerHour() float64 {
+	return p.PNewScenario() * p.FramesPerHour()
+}
+
+// OldScenarioPerHour returns the expected number of Fig. 1c scenario
+// inconsistencies per hour under the ber* model (Table 1, column
+// IMO*/hour).
+func (p Params) OldScenarioPerHour() float64 {
+	return p.POldScenario() * p.FramesPerHour()
+}
+
+// OmissionDegree quantifies the paper's property CAN6/CAN6': the expected
+// number of transmissions suffering inconsistent omission failures within
+// an interval of reference T_rd (in seconds). The paper's j counts only
+// the previously reported scenarios (Fig. 1c); j' adds the new scenarios
+// and is therefore strictly larger.
+type OmissionDegree struct {
+	// J is the expected count under the old model (CAN6).
+	J float64
+	// JPrime is the expected count when the new scenarios are included
+	// (CAN6').
+	JPrime float64
+}
+
+// InconsistentOmissionDegree computes j and j' for an interval of
+// reference of trdSeconds.
+func (p Params) InconsistentOmissionDegree(trdSeconds float64) OmissionDegree {
+	hours := trdSeconds / 3600
+	old := p.OldScenarioPerHour() * hours
+	return OmissionDegree{
+		J:      old,
+		JPrime: old + p.NewScenarioPerHour()*hours,
+	}
+}

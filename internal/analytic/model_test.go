@@ -1,0 +1,240 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// The computed Table 1 must match the paper's published values. The paper
+// prints three significant digits, so we allow 1% relative error.
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1()
+	if len(rows) != len(PaperTable1) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(PaperTable1))
+	}
+	for i, row := range rows {
+		want := PaperTable1[i]
+		if row.Ber != want.Ber {
+			t.Fatalf("row %d ber = %g, want %g", i, row.Ber, want.Ber)
+		}
+		if e := relErr(row.NewPerHour, want.NewPerHour); e > 0.01 {
+			t.Errorf("ber=%.0e IMOnew/hour = %.4e, paper %.4e (rel err %.2f%%)",
+				row.Ber, row.NewPerHour, want.NewPerHour, 100*e)
+		}
+		if e := relErr(row.OldPerHour, want.OldPerHour); e > 0.01 {
+			t.Errorf("ber=%.0e IMO*/hour = %.4e, paper %.4e (rel err %.2f%%)",
+				row.Ber, row.OldPerHour, want.OldPerHour, 100*e)
+		}
+	}
+}
+
+// The paper's headline comparison: the new scenarios are orders of
+// magnitude more probable than the old ones and all rates at these ber
+// values exceed the aerospace safety reference of 1e-9/hour.
+func TestNewScenarioDominatesOld(t *testing.T) {
+	for _, row := range Table1() {
+		if row.NewPerHour <= row.OldPerHour {
+			t.Errorf("ber=%.0e: IMOnew/hour %.2e must exceed IMO*/hour %.2e",
+				row.Ber, row.NewPerHour, row.OldPerHour)
+		}
+		// Per the paper's own numbers the ratio is ~2245x at ber=1e-4,
+		// ~225x at 1e-5 and ~22.5x at 1e-6 (new ~ ber^2, old ~ ber).
+		ratio := row.NewPerHour / row.OldPerHour
+		paperRatio := 0.0
+		for _, pr := range PaperTable1 {
+			if pr.Ber == row.Ber {
+				paperRatio = pr.NewPerHour / pr.OldPerHour
+			}
+		}
+		if relErr(ratio, paperRatio) > 0.05 {
+			t.Errorf("ber=%.0e: dominance ratio %.1f, paper implies %.1f", row.Ber, ratio, paperRatio)
+		}
+		if row.NewPerHour < SafetyReference {
+			t.Errorf("ber=%.0e: IMOnew/hour %.2e below the 1e-9 safety reference, contradicting the paper",
+				row.Ber, row.NewPerHour)
+		}
+	}
+}
+
+// The ber* model reproduces Rufino's IMO/hour within the ~1% the paper
+// demonstrates ("the model we have introduced based in ber* permits to
+// reproduce the results obtained [by Rufino et al.]").
+func TestOldScenarioReproducesRufino(t *testing.T) {
+	for _, row := range Table1() {
+		if e := relErr(row.OldPerHour, row.RufinoPerHour); e > 0.02 {
+			t.Errorf("ber=%.0e: IMO*/hour %.3e vs Rufino %.3e (rel err %.2f%%)",
+				row.Ber, row.OldPerHour, row.RufinoPerHour, 100*e)
+		}
+	}
+}
+
+func TestBerStar(t *testing.T) {
+	p := Reference(3.2e-4)
+	if got, want := p.BerStar(), 1e-5; relErr(got, want) > 1e-12 {
+		t.Errorf("BerStar = %g, want %g", got, want)
+	}
+}
+
+func TestFramesPerHour(t *testing.T) {
+	p := Reference(1e-5)
+	// 0.9 * 1e6 bit/s * 3600 s / 110 bits = 29_454_545.45... frames/hour
+	want := 0.9 * 1e6 * 3600 / 110
+	if got := p.FramesPerHour(); relErr(got, want) > 1e-12 {
+		t.Errorf("FramesPerHour = %g, want %g", got, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Params)
+		wantErr bool
+	}{
+		{"reference ok", func(*Params) {}, false},
+		{"negative ber", func(p *Params) { p.Ber = -1 }, true},
+		{"ber above one", func(p *Params) { p.Ber = 1.5 }, true},
+		{"too few nodes", func(p *Params) { p.Nodes = 2 }, true},
+		{"short frame", func(p *Params) { p.FrameBits = 2 }, true},
+		{"zero bitrate", func(p *Params) { p.BitRate = 0 }, true},
+		{"zero load", func(p *Params) { p.Load = 0 }, true},
+		{"overload", func(p *Params) { p.Load = 1.1 }, true},
+		{"negative lambda", func(p *Params) { p.Lambda = -1 }, true},
+		{"negative deltaT", func(p *Params) { p.DeltaT = -1 }, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := Reference(1e-5)
+			tt.mutate(&p)
+			if err := p.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestBinom(t *testing.T) {
+	tests := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {31, 1, 31},
+		{31, 2, 465}, {10, 3, 120}, {5, 6, 0}, {5, -1, 0},
+	}
+	for _, tt := range tests {
+		if got := binom(tt.n, tt.k); got != tt.want {
+			t.Errorf("binom(%d,%d) = %g, want %g", tt.n, tt.k, got, tt.want)
+		}
+	}
+}
+
+// Property: both scenario probabilities are valid probabilities and
+// monotonically increasing in ber over the operational range.
+func TestProbabilityProperties(t *testing.T) {
+	f := func(seed uint32) bool {
+		// ber in [1e-8, 1e-3]
+		exp := -8 + 5*float64(seed%1000)/1000
+		ber := math.Pow(10, exp)
+		p := Reference(ber)
+		pn, po := p.PNewScenario(), p.POldScenario()
+		if pn < 0 || pn > 1 || po < 0 || po > 1 {
+			return false
+		}
+		p2 := Reference(ber * 2)
+		return p2.PNewScenario() >= pn && p2.POldScenario() >= po
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The new scenario needs two coincident errors, so its probability scales
+// roughly with ber^2, while the old one scales with ber (times the crash
+// probability). Check the scaling exponents.
+func TestScalingExponents(t *testing.T) {
+	p1, p2 := Reference(1e-5), Reference(1e-6)
+	newRatio := p1.PNewScenario() / p2.PNewScenario()
+	if newRatio < 90 || newRatio > 110 {
+		t.Errorf("new scenario ber-scaling ratio = %.1f, want ~100 (quadratic)", newRatio)
+	}
+	oldRatio := p1.POldScenario() / p2.POldScenario()
+	if oldRatio < 9 || oldRatio > 11 {
+		t.Errorf("old scenario ber-scaling ratio = %.1f, want ~10 (linear)", oldRatio)
+	}
+}
+
+// More nodes spread the same ber thinner (ber* = ber/N): with everything
+// else fixed, increasing N must not increase the per-frame probability
+// dramatically; in fact the transmitter term shrinks with 1/N.
+func TestNodeCountEffect(t *testing.T) {
+	small, large := Reference(1e-5), Reference(1e-5)
+	small.Nodes, large.Nodes = 8, 128
+	if small.PNewScenario() <= large.PNewScenario() {
+		t.Errorf("P(new) with N=8 (%.3e) must exceed N=128 (%.3e) at fixed ber",
+			small.PNewScenario(), large.PNewScenario())
+	}
+}
+
+// The paper's CAN6': j' is strictly larger than j because the new
+// scenarios add to the inconsistent omission degree.
+func TestInconsistentOmissionDegree(t *testing.T) {
+	p := Reference(1e-5)
+	const trd = 3600.0 // one hour of reference
+	d := p.InconsistentOmissionDegree(trd)
+	if d.JPrime <= d.J {
+		t.Errorf("j' = %g must exceed j = %g (property CAN6')", d.JPrime, d.J)
+	}
+	if relErr(d.J, p.OldScenarioPerHour()) > 1e-12 {
+		t.Errorf("j over one hour = %g, want the hourly rate %g", d.J, p.OldScenarioPerHour())
+	}
+	if relErr(d.JPrime-d.J, p.NewScenarioPerHour()) > 1e-12 {
+		t.Errorf("j'-j = %g, want the new-scenario rate %g", d.JPrime-d.J, p.NewScenarioPerHour())
+	}
+	// Scaling with the interval length.
+	d2 := p.InconsistentOmissionDegree(2 * trd)
+	if relErr(d2.JPrime, 2*d.JPrime) > 1e-12 {
+		t.Errorf("degree must scale linearly with T_rd")
+	}
+}
+
+func TestRenderTable1(t *testing.T) {
+	out := RenderTable1(Table1())
+	for _, want := range []string{"IMOnew/hour", "IMO*/hour", "1e-04", "8.8"} {
+		if !containsFold(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func containsFold(s, sub string) bool {
+	return len(s) >= len(sub) && (stringIndexFold(s, sub) >= 0)
+}
+
+func stringIndexFold(s, sub string) int {
+	lower := func(b byte) byte {
+		if 'A' <= b && b <= 'Z' {
+			return b + 'a' - 'A'
+		}
+		return b
+	}
+	for i := 0; i+len(sub) <= len(s); i++ {
+		ok := true
+		for j := 0; j < len(sub); j++ {
+			if lower(s[i+j]) != lower(sub[j]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,77 @@
+package analytic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table1Row is one row of the paper's Table 1.
+type Table1Row struct {
+	// Ber is the bit error rate of the row.
+	Ber float64
+	// NewPerHour is the computed IMOnew/hour (Fig. 3a scenario, expr. 4).
+	NewPerHour float64
+	// RufinoPerHour is the reference IMO/hour value obtained by Rufino et
+	// al. with their own model, as quoted in the paper's Table 1.
+	RufinoPerHour float64
+	// OldPerHour is the computed IMO*/hour (Fig. 1c scenario, expr. 5).
+	OldPerHour float64
+}
+
+// rufinoReference are the IMO/hour maxima from Rufino et al. (FTCS'98) as
+// quoted in the paper's Table 1. They are external reference data: the
+// paper's own model reproduces them in the IMO*/hour column.
+var rufinoReference = map[float64]float64{
+	1e-4: 3.94e-6,
+	1e-5: 3.98e-7,
+	1e-6: 3.98e-8,
+}
+
+// PaperTable1 is the paper's published Table 1, used by tests and the
+// EXPERIMENTS record to compare computed against published values.
+var PaperTable1 = []Table1Row{
+	{Ber: 1e-4, NewPerHour: 8.80e-3, RufinoPerHour: 3.94e-6, OldPerHour: 3.92e-6},
+	{Ber: 1e-5, NewPerHour: 8.91e-5, RufinoPerHour: 3.98e-7, OldPerHour: 3.96e-7},
+	{Ber: 1e-6, NewPerHour: 8.92e-7, RufinoPerHour: 3.98e-8, OldPerHour: 3.96e-8},
+}
+
+// Table1 computes the paper's Table 1 for the reference configuration
+// (N=32, 1 Mbps, 90% load, 110-bit frames, lambda=1e-3/h, delta-t=5 ms)
+// and the paper's three bit error rates.
+func Table1() []Table1Row {
+	return Table1For([]float64{1e-4, 1e-5, 1e-6})
+}
+
+// Table1For computes Table 1 rows for arbitrary bit error rates.
+func Table1For(bers []float64) []Table1Row {
+	rows := make([]Table1Row, 0, len(bers))
+	for _, ber := range bers {
+		p := Reference(ber)
+		rows = append(rows, Table1Row{
+			Ber:           ber,
+			NewPerHour:    p.NewScenarioPerHour(),
+			RufinoPerHour: rufinoReference[ber],
+			OldPerHour:    p.OldScenarioPerHour(),
+		})
+	}
+	return rows
+}
+
+// RenderTable1 formats rows in the paper's layout.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s  %-14s  %-14s  %-14s\n", "ber", "IMOnew/hour", "IMO/hour", "IMO*/hour")
+	fmt.Fprintf(&b, "%-8s  %-14s  %-14s  %-14s\n", "", "(Fig. 3a)", "(Fig. 1c)", "(Fig. 1c)")
+	for _, r := range rows {
+		ruf := "-"
+		if r.RufinoPerHour != 0 {
+			ruf = fmt.Sprintf("%.2e", r.RufinoPerHour)
+		}
+		fmt.Fprintf(&b, "%-8.0e  %-14.2e  %-14s  %-14.2e\n", r.Ber, r.NewPerHour, ruf, r.OldPerHour)
+	}
+	return b.String()
+}
+
+// SafetyReference is the aerospace safety number the paper compares
+// against: 1e-9 incidents per hour.
+const SafetyReference = 1e-9

@@ -1,0 +1,127 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// The paper proposes m = 5 because the CAN CRC detects up to five randomly
+// distributed errors, and remarks that larger ber values call for larger
+// m. This file quantifies that remark: the residual probability that a
+// frame suffers MORE than m errors inside MajorCAN_m's end-of-frame
+// decision region, and the smallest m that pushes the per-hour rate of
+// such frames below a target.
+
+// DecisionRegionBits returns the number of view-bits of MajorCAN_m's
+// end-of-frame decision region for an N-node bus: every node's view of
+// positions 1..3m+5.
+func DecisionRegionBits(m, nodes int) int {
+	return nodes * (3*m + 5)
+}
+
+// binomTail returns P(X > k) for X ~ Binomial(n, p). The upper tail is
+// summed directly (in log space for the leading term) so that extremely
+// small tails — far below the float64 epsilon of a 1-CDF computation —
+// remain accurate: the m-selection analysis routinely deals with
+// probabilities around 1e-20.
+func binomTail(n int, p float64, k int) float64 {
+	if p <= 0 || k >= n {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	if k < 0 {
+		return 1
+	}
+	// Leading term at i = k+1, in log space:
+	// log C(n,i) + i log p + (n-i) log(1-p).
+	i := k + 1
+	logTerm := logBinom(n, i) + float64(i)*math.Log(p) + float64(n-i)*math.Log1p(-p)
+	term := math.Exp(logTerm)
+	sum := term
+	ratio := p / (1 - p)
+	for ; i < n; i++ {
+		term *= float64(n-i) / float64(i+1) * ratio
+		sum += term
+		if term < sum*1e-18 {
+			break
+		}
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// logBinom returns log C(n, k) via the log-gamma function.
+func logBinom(n, k int) float64 {
+	lg, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return lg - lk - lnk
+}
+
+// PExceedsTolerance returns the probability that one frame suffers more
+// than m view-bit errors inside MajorCAN_m's decision region, under the
+// spatial model with per-view-bit probability ber* = ber/N.
+func (p Params) PExceedsTolerance(m int) float64 {
+	n := DecisionRegionBits(m, p.Nodes)
+	return binomTail(n, p.BerStar(), m)
+}
+
+// ExceedsTolerancePerHour converts PExceedsTolerance to an hourly rate at
+// the configured traffic.
+func (p Params) ExceedsTolerancePerHour(m int) float64 {
+	return p.PExceedsTolerance(m) * p.FramesPerHour()
+}
+
+// RequiredM returns the smallest m >= 3 for which the hourly rate of
+// beyond-tolerance frames falls below target (e.g. the 1e-9/hour safety
+// reference). The search accounts for the decision region growing with m.
+// It returns an error if no m up to maxM suffices.
+func (p Params) RequiredM(target float64, maxM int) (int, error) {
+	if target <= 0 {
+		return 0, fmt.Errorf("analytic: target %g must be positive", target)
+	}
+	if maxM < 3 {
+		maxM = 64
+	}
+	for m := 3; m <= maxM; m++ {
+		if p.ExceedsTolerancePerHour(m) < target {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("analytic: no m <= %d reaches %g/hour at ber %g", maxM, target, p.Ber)
+}
+
+// ToleranceRow is one row of the m-selection table.
+type ToleranceRow struct {
+	Ber       float64
+	RequiredM int
+	// ResidualPerHour is the beyond-tolerance rate at RequiredM.
+	ResidualPerHour float64
+	// MajorCAN5PerHour is the beyond-tolerance rate of the paper's m = 5
+	// proposal at this ber.
+	MajorCAN5PerHour float64
+}
+
+// ToleranceTable computes, for each ber, the smallest m meeting the target
+// and the residual rate of the paper's m = 5 proposal.
+func ToleranceTable(bers []float64, target float64) ([]ToleranceRow, error) {
+	rows := make([]ToleranceRow, 0, len(bers))
+	for _, ber := range bers {
+		p := Reference(ber)
+		m, err := p.RequiredM(target, 64)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ToleranceRow{
+			Ber:              ber,
+			RequiredM:        m,
+			ResidualPerHour:  p.ExceedsTolerancePerHour(m),
+			MajorCAN5PerHour: p.ExceedsTolerancePerHour(5),
+		})
+	}
+	return rows, nil
+}

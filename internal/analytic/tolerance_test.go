@@ -1,0 +1,124 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBinomTailAgainstDirectSum(t *testing.T) {
+	// Direct computation for small n.
+	direct := func(n int, p float64, k int) float64 {
+		sum := 0.0
+		for i := k + 1; i <= n; i++ {
+			sum += binom(n, i) * math.Pow(p, float64(i)) * math.Pow(1-p, float64(n-i))
+		}
+		return sum
+	}
+	cases := []struct {
+		n int
+		p float64
+		k int
+	}{
+		{10, 0.1, 0}, {10, 0.1, 2}, {10, 0.1, 9}, {10, 0.1, 10},
+		{50, 0.01, 1}, {50, 0.3, 5}, {200, 0.001, 2},
+	}
+	for _, c := range cases {
+		got := binomTail(c.n, c.p, c.k)
+		want := direct(c.n, c.p, c.k)
+		if math.Abs(got-want) > 1e-12*(1+want) {
+			t.Errorf("binomTail(%d,%g,%d) = %g, want %g", c.n, c.p, c.k, got, want)
+		}
+	}
+}
+
+func TestBinomTailEdgeCases(t *testing.T) {
+	if got := binomTail(10, 0, 3); got != 0 {
+		t.Errorf("p=0 tail = %g, want 0", got)
+	}
+	if got := binomTail(10, 1, 3); got != 1 {
+		t.Errorf("p=1, k<n tail = %g, want 1", got)
+	}
+	if got := binomTail(10, 1, 10); got != 0 {
+		t.Errorf("p=1, k=n tail = %g, want 0", got)
+	}
+}
+
+func TestDecisionRegionBits(t *testing.T) {
+	// m=5, 32 nodes: 32 * (3*5+5) = 640 view-bits.
+	if got := DecisionRegionBits(5, 32); got != 640 {
+		t.Errorf("DecisionRegionBits(5,32) = %d, want 640", got)
+	}
+}
+
+// At the paper's reference ber values, the proposed m = 5 keeps the
+// beyond-tolerance rate below the 1e-9/hour safety reference with huge
+// margin — the quantitative backing for the paper's choice.
+func TestMajorCAN5MeetsSafetyReferenceAtPaperBers(t *testing.T) {
+	for _, ber := range []float64{1e-4, 1e-5, 1e-6} {
+		p := Reference(ber)
+		rate := p.ExceedsTolerancePerHour(5)
+		if rate >= SafetyReference {
+			t.Errorf("ber=%.0e: beyond-tolerance rate %.3e >= 1e-9/hour", ber, rate)
+		}
+		m, err := p.RequiredM(SafetyReference, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m > 5 {
+			t.Errorf("ber=%.0e: required m = %d, paper's m=5 would not suffice", ber, m)
+		}
+	}
+}
+
+// The paper's remark: larger ber values require larger m. Find the ber
+// where m = 5 stops being enough; RequiredM must be monotone in ber.
+func TestRequiredMGrowsWithBer(t *testing.T) {
+	prev := 0
+	for _, ber := range []float64{1e-6, 1e-4, 1e-2, 5e-2} {
+		p := Reference(ber)
+		m, err := p.RequiredM(SafetyReference, 64)
+		if err != nil {
+			t.Fatalf("ber=%g: %v", ber, err)
+		}
+		if m < prev {
+			t.Errorf("RequiredM not monotone: ber=%g gives m=%d after m=%d", ber, m, prev)
+		}
+		prev = m
+	}
+	// At some aggressive ber the requirement must exceed the paper's 5.
+	p := Reference(5e-2)
+	m, err := p.RequiredM(SafetyReference, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m <= 5 {
+		t.Errorf("at ber=5e-2 required m = %d, expected > 5", m)
+	}
+}
+
+func TestToleranceTable(t *testing.T) {
+	rows, err := ToleranceTable([]float64{1e-5, 1e-3}, SafetyReference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.ResidualPerHour >= SafetyReference {
+			t.Errorf("ber=%g: residual %.3e at m=%d not below target", r.Ber, r.ResidualPerHour, r.RequiredM)
+		}
+	}
+}
+
+func TestRequiredMValidation(t *testing.T) {
+	p := Reference(1e-5)
+	if _, err := p.RequiredM(0, 10); err == nil {
+		t.Error("non-positive target must be rejected")
+	}
+	// An impossible target within a tiny maxM bound must error.
+	hot := Reference(0.2)
+	if _, err := hot.RequiredM(1e-30, 3); err == nil {
+		t.Error("unreachable target must be reported")
+	}
+}

@@ -1,0 +1,203 @@
+// Package bitstream provides the bit-level primitives of the CAN physical
+// and transfer layers: bus levels, bit stuffing/destuffing and the CAN
+// CRC-15 sequence.
+//
+// The CAN bus is a wired-AND medium. A bit can take one of two values:
+// dominant (logical '0') or recessive (logical '1'). If any station drives
+// the bus dominant during a bit time, the whole bus reads dominant.
+package bitstream
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Level is the value of the CAN bus (or of a single transmitted bit) during
+// one bit time.
+type Level uint8
+
+const (
+	// Dominant is the logical '0' bus level. It wins over recessive on the
+	// wired-AND medium.
+	Dominant Level = iota + 1
+	// Recessive is the logical '1' bus level, the idle state of the bus.
+	Recessive
+)
+
+// Invert returns the opposite level.
+func (l Level) Invert() Level {
+	switch l {
+	case Dominant:
+		return Recessive
+	case Recessive:
+		return Dominant
+	default:
+		panic(fmt.Sprintf("bitstream: invalid level %d", l))
+	}
+}
+
+// Bit reports the logical value of the level: 0 for dominant, 1 for
+// recessive.
+func (l Level) Bit() uint8 {
+	switch l {
+	case Dominant:
+		return 0
+	case Recessive:
+		return 1
+	default:
+		panic(fmt.Sprintf("bitstream: invalid level %d", l))
+	}
+}
+
+// Valid reports whether l is one of the two defined bus levels.
+func (l Level) Valid() bool {
+	return l == Dominant || l == Recessive
+}
+
+// String returns "d" for dominant and "r" for recessive, the notation used
+// in the MajorCAN paper's figures.
+func (l Level) String() string {
+	switch l {
+	case Dominant:
+		return "d"
+	case Recessive:
+		return "r"
+	default:
+		return fmt.Sprintf("Level(%d)", uint8(l))
+	}
+}
+
+// FromBit converts a logical bit value (0 or 1) to a bus level.
+func FromBit(b uint8) Level {
+	if b == 0 {
+		return Dominant
+	}
+	return Recessive
+}
+
+// And returns the wired-AND combination of two levels: dominant if either
+// operand is dominant.
+func And(a, b Level) Level {
+	if a == Dominant || b == Dominant {
+		return Dominant
+	}
+	return Recessive
+}
+
+// Wire returns the wired-AND combination of any number of levels. With no
+// operands the bus floats recessive.
+func Wire(levels ...Level) Level {
+	for _, l := range levels {
+		if l == Dominant {
+			return Dominant
+		}
+	}
+	return Recessive
+}
+
+// Sequence is an ordered series of bus levels.
+type Sequence []Level
+
+// String renders the sequence using the paper's "d"/"r" notation separated
+// by spaces.
+func (s Sequence) String() string {
+	parts := make([]string, len(s))
+	for i, l := range s {
+		parts[i] = l.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Compact renders the sequence without separators, e.g. "rrdrr".
+func (s Sequence) Compact() string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, l := range s {
+		b.WriteString(l.String())
+	}
+	return b.String()
+}
+
+// Clone returns an independent copy of the sequence.
+func (s Sequence) Clone() Sequence {
+	out := make(Sequence, len(s))
+	copy(out, s)
+	return out
+}
+
+// Repeat returns a sequence of n copies of level l.
+func Repeat(l Level, n int) Sequence {
+	out := make(Sequence, n)
+	for i := range out {
+		out[i] = l
+	}
+	return out
+}
+
+// ParseSequence parses a string in the "d"/"r" notation (spaces and commas
+// ignored) into a Sequence.
+func ParseSequence(s string) (Sequence, error) {
+	var out Sequence
+	for i, r := range s {
+		switch r {
+		case 'd', 'D', '0':
+			out = append(out, Dominant)
+		case 'r', 'R', '1':
+			out = append(out, Recessive)
+		case ' ', ',', '\t':
+			// separators
+		default:
+			return nil, fmt.Errorf("bitstream: invalid level character %q at position %d", r, i)
+		}
+	}
+	return out, nil
+}
+
+// FromBits converts a slice of logical bits (0/1) into a Sequence.
+func FromBits(bits []uint8) Sequence {
+	out := make(Sequence, len(bits))
+	for i, b := range bits {
+		out[i] = FromBit(b)
+	}
+	return out
+}
+
+// Bits converts the sequence into logical bits (0 for dominant, 1 for
+// recessive).
+func (s Sequence) Bits() []uint8 {
+	out := make([]uint8, len(s))
+	for i, l := range s {
+		out[i] = l.Bit()
+	}
+	return out
+}
+
+// CountDominant returns how many levels in the sequence are dominant.
+func (s Sequence) CountDominant() int {
+	n := 0
+	for _, l := range s {
+		if l == Dominant {
+			n++
+		}
+	}
+	return n
+}
+
+// AppendUint appends the width least-significant bits of v to the sequence,
+// most-significant bit first, and returns the extended sequence.
+func (s Sequence) AppendUint(v uint64, width int) Sequence {
+	for i := width - 1; i >= 0; i-- {
+		s = append(s, FromBit(uint8((v>>uint(i))&1)))
+	}
+	return s
+}
+
+// Uint interprets the sequence as an unsigned integer, most-significant bit
+// first (recessive = 1).
+func (s Sequence) Uint() uint64 {
+	var v uint64
+	for _, l := range s {
+		v = v<<1 | uint64(l.Bit())
+	}
+	return v
+}

@@ -1,0 +1,176 @@
+package bitstream
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevelInvert(t *testing.T) {
+	if Dominant.Invert() != Recessive {
+		t.Errorf("Dominant.Invert() = %v, want Recessive", Dominant.Invert())
+	}
+	if Recessive.Invert() != Dominant {
+		t.Errorf("Recessive.Invert() = %v, want Dominant", Recessive.Invert())
+	}
+}
+
+func TestLevelBit(t *testing.T) {
+	if got := Dominant.Bit(); got != 0 {
+		t.Errorf("Dominant.Bit() = %d, want 0", got)
+	}
+	if got := Recessive.Bit(); got != 1 {
+		t.Errorf("Recessive.Bit() = %d, want 1", got)
+	}
+}
+
+func TestLevelValid(t *testing.T) {
+	if !Dominant.Valid() || !Recessive.Valid() {
+		t.Error("defined levels must be valid")
+	}
+	if Level(0).Valid() || Level(3).Valid() {
+		t.Error("undefined levels must be invalid")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if Dominant.String() != "d" || Recessive.String() != "r" {
+		t.Errorf("String() = %q/%q, want d/r", Dominant, Recessive)
+	}
+}
+
+func TestFromBit(t *testing.T) {
+	if FromBit(0) != Dominant || FromBit(1) != Recessive {
+		t.Error("FromBit mapping wrong")
+	}
+}
+
+func TestWiredAnd(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []Level
+		want Level
+	}{
+		{"empty bus floats recessive", nil, Recessive},
+		{"single recessive", []Level{Recessive}, Recessive},
+		{"single dominant", []Level{Dominant}, Dominant},
+		{"dominant wins", []Level{Recessive, Dominant, Recessive}, Dominant},
+		{"all recessive", []Level{Recessive, Recessive}, Recessive},
+		{"all dominant", []Level{Dominant, Dominant}, Dominant},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Wire(tt.in...); got != tt.want {
+				t.Errorf("Wire(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+	if And(Recessive, Dominant) != Dominant {
+		t.Error("And(r,d) must be dominant")
+	}
+	if And(Recessive, Recessive) != Recessive {
+		t.Error("And(r,r) must be recessive")
+	}
+}
+
+func TestParseSequence(t *testing.T) {
+	tests := []struct {
+		name    string
+		in      string
+		want    string
+		wantErr bool
+	}{
+		{"paper notation", "r r d", "rrd", false},
+		{"compact", "rrdrr", "rrdrr", false},
+		{"binary digits", "1101", "rrdr", false},
+		{"commas", "d,r,d", "drd", false},
+		{"invalid char", "rxd", "", true},
+		{"empty", "", "", false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := ParseSequence(tt.in)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("ParseSequence(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			}
+			if err == nil && got.Compact() != tt.want {
+				t.Errorf("ParseSequence(%q) = %q, want %q", tt.in, got.Compact(), tt.want)
+			}
+		})
+	}
+}
+
+func TestSequenceString(t *testing.T) {
+	s := Sequence{Recessive, Dominant, Recessive}
+	if s.String() != "r d r" {
+		t.Errorf("String() = %q, want %q", s.String(), "r d r")
+	}
+	if s.Compact() != "rdr" {
+		t.Errorf("Compact() = %q, want %q", s.Compact(), "rdr")
+	}
+}
+
+func TestSequenceUintRoundTrip(t *testing.T) {
+	f := func(v uint16, width uint8) bool {
+		w := int(width%16) + 1
+		val := uint64(v) & (1<<uint(w) - 1)
+		s := Sequence{}.AppendUint(val, w)
+		return len(s) == w && s.Uint() == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	s := Repeat(Recessive, 7)
+	if len(s) != 7 {
+		t.Fatalf("len = %d, want 7", len(s))
+	}
+	for i, l := range s {
+		if l != Recessive {
+			t.Errorf("bit %d = %v, want recessive", i, l)
+		}
+	}
+}
+
+func TestCountDominant(t *testing.T) {
+	s, err := ParseSequence("rdrddr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CountDominant(); got != 3 {
+		t.Errorf("CountDominant = %d, want 3", got)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	s := Sequence{Dominant, Recessive}
+	c := s.Clone()
+	c[0] = Recessive
+	if s[0] != Dominant {
+		t.Error("Clone must not share backing storage")
+	}
+}
+
+func TestFromBitsBitsRoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		bits := make([]uint8, len(raw))
+		for i, b := range raw {
+			bits[i] = b & 1
+		}
+		seq := FromBits(bits)
+		back := seq.Bits()
+		if len(back) != len(bits) {
+			return false
+		}
+		for i := range bits {
+			if back[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,149 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// crcReference is an independent straightforward polynomial-division
+// implementation used to cross-check the register implementation.
+func crcReference(seq Sequence) uint16 {
+	// Treat the message as a polynomial, append 15 zero bits, divide by the
+	// generator (with implicit x^15 term), remainder is the CRC.
+	bits := make([]uint8, 0, len(seq)+CRCWidth)
+	for _, l := range seq {
+		bits = append(bits, l.Bit())
+	}
+	bits = append(bits, make([]uint8, CRCWidth)...)
+	const gen = 1<<CRCWidth | CRCPoly
+	var reg uint32
+	for _, b := range bits {
+		reg = reg<<1 | uint32(b)
+		if reg&(1<<CRCWidth) != 0 {
+			reg ^= gen
+		}
+	}
+	return uint16(reg & crcMask)
+}
+
+func TestCRCMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		seq := randomSequence(r, 1+r.Intn(120))
+		got := ComputeCRC(seq)
+		want := crcReference(seq)
+		if got != want {
+			t.Fatalf("trial %d: ComputeCRC = %#x, reference = %#x, seq = %s",
+				trial, got, want, seq.Compact())
+		}
+	}
+}
+
+func TestCRCEmptyIsZero(t *testing.T) {
+	if got := ComputeCRC(nil); got != 0 {
+		t.Errorf("CRC of empty sequence = %#x, want 0", got)
+	}
+}
+
+func TestCRCIncrementalMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	seq := randomSequence(r, 200)
+	var c CRC15
+	for _, l := range seq {
+		c.Push(l)
+	}
+	if c.Sum() != ComputeCRC(seq) {
+		t.Error("incremental CRC differs from batch CRC")
+	}
+	c.Reset()
+	if c.Sum() != 0 {
+		t.Error("Reset must clear the register")
+	}
+}
+
+func TestCRCSequenceWidth(t *testing.T) {
+	seq := CRCSequence(Sequence{Dominant, Recessive, Dominant})
+	if len(seq) != CRCWidth {
+		t.Fatalf("CRCSequence length = %d, want %d", len(seq), CRCWidth)
+	}
+}
+
+// The CAN CRC-15 must detect any single-bit error and any burst error of
+// length <= 15 in the covered sequence.
+func TestCRCDetectsSingleBitErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		seq := randomSequence(r, 83) // typical SOF..data length for 8 data bytes
+		crc := ComputeCRC(seq)
+		for pos := range seq {
+			corrupted := seq.Clone()
+			corrupted[pos] = corrupted[pos].Invert()
+			if ComputeCRC(corrupted) == crc {
+				t.Fatalf("single-bit flip at %d undetected", pos)
+			}
+		}
+	}
+}
+
+func TestCRCDetectsBurstErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 300; trial++ {
+		seq := randomSequence(r, 83)
+		crc := ComputeCRC(seq)
+		burstLen := 2 + r.Intn(CRCWidth-1) // 2..15
+		if burstLen > len(seq) {
+			burstLen = len(seq)
+		}
+		start := r.Intn(len(seq) - burstLen + 1)
+		corrupted := seq.Clone()
+		// A burst flips the first and last bits and randomises the middle;
+		// ensure it actually differs from the original.
+		corrupted[start] = corrupted[start].Invert()
+		corrupted[start+burstLen-1] = corrupted[start+burstLen-1].Invert()
+		for i := start + 1; i < start+burstLen-1; i++ {
+			if r.Intn(2) == 0 {
+				corrupted[i] = corrupted[i].Invert()
+			}
+		}
+		if ComputeCRC(corrupted) == crc {
+			t.Fatalf("burst error of length %d at %d undetected", burstLen, start)
+		}
+	}
+}
+
+// The CAN specification claims detection of up to 5 randomly distributed
+// bit errors. Verify empirically on random frames.
+func TestCRCDetectsFiveRandomErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 2000; trial++ {
+		seq := randomSequence(r, 83)
+		crc := ComputeCRC(seq)
+		nErr := 1 + r.Intn(5)
+		corrupted := seq.Clone()
+		positions := r.Perm(len(seq))[:nErr]
+		for _, p := range positions {
+			corrupted[p] = corrupted[p].Invert()
+		}
+		if ComputeCRC(corrupted) == crc {
+			t.Fatalf("%d random errors at %v undetected", nErr, positions)
+		}
+	}
+}
+
+func BenchmarkCRC15(b *testing.B) {
+	r := rand.New(rand.NewSource(12))
+	seq := randomSequence(r, 83)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ComputeCRC(seq)
+	}
+}
+
+func BenchmarkStuff(b *testing.B) {
+	r := rand.New(rand.NewSource(13))
+	seq := randomSequence(r, 110)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Stuff(seq)
+	}
+}

@@ -1,0 +1,205 @@
+// Package bittiming models the CAN bit timing layer: the division of a
+// bit time into time quanta (SYNC_SEG, PROP_SEG, PHASE_SEG1, PHASE_SEG2),
+// hard synchronisation and resynchronisation, and the oscillator tolerance
+// they buy.
+//
+// The paper's fault model includes clock failures ("its local clock drift
+// exceeds the specified bound"); the main simulator abstracts bit timing
+// away by running slot-synchronously, which is valid exactly while every
+// oscillator stays inside the CAN tolerance. This package substantiates
+// that assumption: a receiver-side sampling model driven by a drifting
+// oscillator shows that streams sample correctly within the analytic
+// tolerance bound and break beyond it.
+package bittiming
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitstream"
+)
+
+// Segments describes a CAN bit time in time quanta. SYNC_SEG is always
+// one quantum and is implicit.
+type Segments struct {
+	// Prop is the propagation segment (>= 1).
+	Prop int
+	// PS1 is phase segment 1 (>= 1); the sample point lies at its end.
+	PS1 int
+	// PS2 is phase segment 2 (>= 1).
+	PS2 int
+	// SJW is the (re)synchronisation jump width (>= 1, <= min(PS1, PS2) by
+	// the conformance rules enforced in Validate).
+	SJW int
+}
+
+// Classic configuration: 16 quanta per bit, sample point at 87.5%.
+func Classic() Segments {
+	return Segments{Prop: 7, PS1: 6, PS2: 2, SJW: 2}
+}
+
+// NBT returns the nominal bit time in quanta (1 + Prop + PS1 + PS2).
+func (s Segments) NBT() int { return 1 + s.Prop + s.PS1 + s.PS2 }
+
+// SamplePoint returns the quantum index (0-based from the start of the
+// bit) at which the bus is sampled: the end of PHASE_SEG1.
+func (s Segments) SamplePoint() int { return 1 + s.Prop + s.PS1 }
+
+// Validate checks the CAN conformance constraints.
+func (s Segments) Validate() error {
+	switch {
+	case s.Prop < 1:
+		return fmt.Errorf("bittiming: PROP_SEG %d must be >= 1", s.Prop)
+	case s.PS1 < 1:
+		return fmt.Errorf("bittiming: PHASE_SEG1 %d must be >= 1", s.PS1)
+	case s.PS2 < 1:
+		return fmt.Errorf("bittiming: PHASE_SEG2 %d must be >= 1", s.PS2)
+	case s.SJW < 1:
+		return fmt.Errorf("bittiming: SJW %d must be >= 1", s.SJW)
+	case s.SJW > s.PS1 || s.SJW > s.PS2:
+		return fmt.Errorf("bittiming: SJW %d must not exceed min(PS1, PS2) = %d",
+			s.SJW, min(s.PS1, s.PS2))
+	case s.NBT() < 8 || s.NBT() > 25:
+		return fmt.Errorf("bittiming: bit time of %d quanta outside the 8..25 range", s.NBT())
+	}
+	return nil
+}
+
+// MaxTolerance returns the maximum oscillator deviation df (as a fraction;
+// total mismatch between two nodes is 2*df) under the two classic CAN
+// conditions:
+//
+//  1. Resynchronisation must absorb the drift accumulated over the longest
+//     edge-free stretch, 10 bits (bit stuffing guarantees an edge at least
+//     every 10 bit times): df <= SJW / (2 * 10 * NBT).
+//  2. The sample point must stay valid across the 13-bit error-flag window
+//     without resynchronisation: df <= min(PS1, PS2) / (2 * (13*NBT - PS2)).
+func (s Segments) MaxTolerance() float64 {
+	nbt := float64(s.NBT())
+	cond1 := float64(s.SJW) / (2 * 10 * nbt)
+	cond2 := float64(min(s.PS1, s.PS2)) / (2 * (13*nbt - float64(s.PS2)))
+	return math.Min(cond1, cond2)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Sampler models a receiver's clock-domain sampling of a transmitted bit
+// stream. The transmitter emits the stream with its own oscillator
+// deviation; the receiver, running on a different oscillator, hard-syncs
+// on the first edge and resynchronises on every recessive-to-dominant
+// edge per the CAN rules, sampling each bit at the end of PHASE_SEG1.
+type Sampler struct {
+	seg Segments
+	// RxDrift and TxDrift are fractional oscillator deviations (e.g.
+	// +0.001 = 0.1% fast).
+	RxDrift, TxDrift float64
+}
+
+// NewSampler builds a sampler with validated segments.
+func NewSampler(seg Segments, rxDrift, txDrift float64) (*Sampler, error) {
+	if err := seg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Sampler{seg: seg, RxDrift: rxDrift, TxDrift: txDrift}, nil
+}
+
+// Sample re-samples the transmitted levels through the receiver's clock
+// domain and returns the receiver's view of the stream (same length; the
+// stream is assumed to start with the dominant edge of a SOF for the hard
+// synchronisation, which is how every CAN frame begins).
+func (sp *Sampler) Sample(levels bitstream.Sequence) bitstream.Sequence {
+	if len(levels) == 0 {
+		return nil
+	}
+	seg := sp.seg
+	nbt := float64(seg.NBT())
+	txBit := nbt * (1 + sp.TxDrift) // transmitter's bit duration in nominal quanta
+	rxTq := 1 + sp.RxDrift          // receiver's quantum duration in nominal quanta
+
+	// level at absolute (nominal-quanta) time t.
+	levelAt := func(t float64) bitstream.Level {
+		idx := int(math.Floor(t / txBit))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(levels) {
+			return bitstream.Recessive
+		}
+		return levels[idx]
+	}
+
+	out := make(bitstream.Sequence, 0, len(levels))
+	// Hard sync: the receiver aligns its bit start with the first edge
+	// (the SOF edge at t = 0).
+	t := 0.0
+	prev := bitstream.Recessive
+	// phase counts receiver quanta since the start of the current bit.
+	phase := 0
+	sampleAt := seg.SamplePoint()
+	bitLen := seg.NBT()
+	resyncDone := false
+	var sampled bitstream.Level = bitstream.Recessive
+
+	for len(out) < len(levels) {
+		cur := levelAt(t)
+		// Edge detection: recessive -> dominant between consecutive quanta.
+		if prev == bitstream.Recessive && cur == bitstream.Dominant && phase != 0 && !resyncDone {
+			// Resynchronise: the edge should have fallen in SYNC_SEG
+			// (phase 0). A late edge (phase error e > 0, before the sample
+			// point) lengthens PS1; an early edge (after the sample point,
+			// i.e. in PS2 of the previous bit) shortens PS2.
+			e := phase
+			if e <= bitLen/2 {
+				// Late edge: lengthen the current bit by min(e, SJW).
+				adj := e
+				if adj > seg.SJW {
+					adj = seg.SJW
+				}
+				phase -= adj
+			} else {
+				// Early edge (phase error negative): shorten by up to SJW.
+				adj := bitLen - e
+				if adj > seg.SJW {
+					adj = seg.SJW
+				}
+				phase += adj
+				if phase >= bitLen {
+					// The bit ends now; deliver the sample taken earlier.
+					out = append(out, sampled)
+					phase -= bitLen
+				}
+			}
+			resyncDone = true
+		}
+		if phase == sampleAt {
+			sampled = cur
+		}
+		prev = cur
+		t += rxTq
+		phase++
+		if phase >= bitLen {
+			out = append(out, sampled)
+			phase = 0
+			resyncDone = false
+		}
+	}
+	return out[:len(levels)]
+}
+
+// MismatchCount samples the stream and counts positions where the
+// receiver's view differs from the transmitted levels.
+func (sp *Sampler) MismatchCount(levels bitstream.Sequence) int {
+	got := sp.Sample(levels)
+	n := 0
+	for i := range levels {
+		if got[i] != levels[i] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,210 @@
+package bittiming
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/frame"
+)
+
+func TestSegmentsValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		seg     Segments
+		wantErr bool
+	}{
+		{"classic", Classic(), false},
+		{"zero prop", Segments{Prop: 0, PS1: 6, PS2: 2, SJW: 1}, true},
+		{"zero ps1", Segments{Prop: 7, PS1: 0, PS2: 2, SJW: 1}, true},
+		{"zero ps2", Segments{Prop: 7, PS1: 6, PS2: 0, SJW: 1}, true},
+		{"zero sjw", Segments{Prop: 7, PS1: 6, PS2: 2, SJW: 0}, true},
+		{"sjw exceeds ps2", Segments{Prop: 7, PS1: 6, PS2: 2, SJW: 3}, true},
+		{"too short", Segments{Prop: 1, PS1: 1, PS2: 1, SJW: 1}, true},
+		{"minimal legal", Segments{Prop: 3, PS1: 2, PS2: 2, SJW: 1}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.seg.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestClassicParameters(t *testing.T) {
+	s := Classic()
+	if s.NBT() != 16 {
+		t.Errorf("NBT = %d, want 16", s.NBT())
+	}
+	if s.SamplePoint() != 14 { // 87.5% of 16
+		t.Errorf("sample point = %d, want 14", s.SamplePoint())
+	}
+	tol := s.MaxTolerance()
+	// Classic 16tq/SJW=2 tolerance: min(2/(2*10*16), 2/(2*(13*16-2)))
+	// = min(0.625%, 0.485%) = ~0.485%... per mille region.
+	if tol < 0.002 || tol > 0.01 {
+		t.Errorf("tolerance = %v, expected a few per mille", tol)
+	}
+}
+
+// With both oscillators ideal the sampler reproduces the stream exactly.
+func TestSamplerIdealClocks(t *testing.T) {
+	sp, err := NewSampler(Classic(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &frame.Frame{ID: 0x2AA, Data: []byte{0x55, 0xAA, 0x00, 0xFF}}
+	enc, err := frame.Encode(f, frame.StandardEOFBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := sp.MismatchCount(enc.Bits); n != 0 {
+		t.Errorf("ideal clocks: %d mismatches, want 0", n)
+	}
+}
+
+// encodeRandomFrames builds a long stream of real stuffed frame images
+// separated by interframe gaps — the realistic on-the-wire bit pattern,
+// including worst-case stuffing runs.
+func encodeRandomFrames(t *testing.T, r *rand.Rand, frames int) bitstream.Sequence {
+	t.Helper()
+	var stream bitstream.Sequence
+	for i := 0; i < frames; i++ {
+		f := &frame.Frame{ID: uint32(r.Intn(frame.MaxStandardID + 1)), Data: make([]byte, 8)}
+		if r.Intn(2) == 0 {
+			// All-zero payloads maximise stuffing (the longest edge-free runs).
+			for j := range f.Data {
+				f.Data[j] = 0
+			}
+		} else {
+			r.Read(f.Data)
+		}
+		enc, err := frame.Encode(f, frame.StandardEOFBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream = append(stream, enc.Bits...)
+		stream = append(stream, bitstream.Repeat(bitstream.Recessive, 3)...)
+	}
+	return stream
+}
+
+// Within the analytic oscillator tolerance the receiver's resynchronised
+// sampling reproduces every bit of realistic frame traffic.
+func TestSamplerWithinTolerance(t *testing.T) {
+	seg := Classic()
+	tol := seg.MaxTolerance()
+	r := rand.New(rand.NewSource(17))
+	stream := encodeRandomFrames(t, r, 12)
+	for _, frac := range []float64{0.25, 0.5, 0.8} {
+		for _, sign := range []float64{+1, -1} {
+			df := sign * tol * frac
+			// Worst case: transmitter and receiver drift in opposite
+			// directions (total mismatch 2*df).
+			sp, err := NewSampler(seg, df, -df)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := sp.MismatchCount(stream); n != 0 {
+				t.Errorf("drift ±%.4f%% (%.0f%% of tolerance): %d mismatches over %d bits",
+					100*df, 100*frac, n, len(stream))
+			}
+		}
+	}
+}
+
+// Far beyond the tolerance the sampling breaks: the slot-synchronous
+// abstraction of the main simulator would no longer be valid, and a real
+// node would raise stuff/CRC/form errors (the paper's clock-failure
+// class).
+func TestSamplerBeyondTolerance(t *testing.T) {
+	seg := Classic()
+	tol := seg.MaxTolerance()
+	r := rand.New(rand.NewSource(18))
+	stream := encodeRandomFrames(t, r, 12)
+	df := tol * 4
+	sp, err := NewSampler(seg, df, -df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := sp.MismatchCount(stream); n == 0 {
+		t.Errorf("drift ±%.3f%% (4x tolerance) produced no mismatch over %d bits", 100*df, len(stream))
+	}
+}
+
+// A drift-corrupted stream fed through the receive pipeline is rejected by
+// the CAN error detection (stuff or CRC error), never silently accepted as
+// a different frame.
+func TestDriftCorruptionIsDetected(t *testing.T) {
+	seg := Classic()
+	tol := seg.MaxTolerance()
+	r := rand.New(rand.NewSource(19))
+	detections := 0
+	for trial := 0; trial < 60; trial++ {
+		f := &frame.Frame{ID: uint32(r.Intn(frame.MaxStandardID + 1)), Data: make([]byte, 8)}
+		r.Read(f.Data)
+		enc, err := frame.Encode(f, frame.StandardEOFBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := NewSampler(seg, 3*tol, -3*tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		view := sp.Sample(enc.Bits)
+
+		var ds bitstream.Destuffer
+		var a frame.Assembler
+		corrupted := false
+		for _, l := range view {
+			kind, err := ds.Push(l)
+			if err != nil {
+				corrupted = true // stuff error
+				break
+			}
+			if kind == bitstream.StuffBit {
+				continue
+			}
+			if _, err := a.Push(l); err != nil {
+				corrupted = true // form error
+				break
+			}
+			if a.Done() {
+				break
+			}
+		}
+		if !corrupted && a.Done() {
+			if !a.CRCOK() {
+				corrupted = true
+			} else if !a.Frame().Equal(f) {
+				t.Fatalf("trial %d: drift forged a different frame", trial)
+			}
+		}
+		if corrupted {
+			detections++
+		}
+	}
+	if detections == 0 {
+		t.Error("3x-tolerance drift never corrupted a frame; the model seems inert")
+	}
+}
+
+// The tolerance bound is monotone in SJW (more jump width buys more
+// tolerance until the phase segments cap it).
+func TestToleranceMonotoneInSJW(t *testing.T) {
+	base := Segments{Prop: 7, PS1: 4, PS2: 4, SJW: 1}
+	prev := 0.0
+	for sjw := 1; sjw <= 4; sjw++ {
+		s := base
+		s.SJW = sjw
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		tol := s.MaxTolerance()
+		if tol < prev {
+			t.Errorf("tolerance decreased at SJW=%d: %v < %v", sjw, tol, prev)
+		}
+		prev = tol
+	}
+}

@@ -1,0 +1,227 @@
+// Package bus simulates the CAN physical medium: a wired-AND bus advancing
+// in synchronous bit slots, where every attached station drives a level and
+// then samples the resulting bus value through its own, individually
+// disturbable view.
+//
+// The per-station view is the heart of the paper's error model: a bit error
+// occurring "somewhere in the network" affects each node's reading of the
+// bus independently (Charzinski's spatial distribution, ber* = ber/N).
+package bus
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/frame"
+)
+
+// Phase describes what a station is doing during a bit slot, for
+// disturbance scripting and trace rendering.
+type Phase uint8
+
+const (
+	// PhaseIdle means the bus is idle from this station's point of view.
+	PhaseIdle Phase = iota + 1
+	// PhaseFrame covers SOF through the ACK delimiter.
+	PhaseFrame
+	// PhaseEOF covers the end-of-frame field.
+	PhaseEOF
+	// PhaseErrorFlag is the transmission of an (active) error flag.
+	PhaseErrorFlag
+	// PhasePassiveErrorFlag is the transmission of a passive error flag.
+	PhasePassiveErrorFlag
+	// PhaseErrorDelim is the error delimiter (recessive).
+	PhaseErrorDelim
+	// PhaseOverloadFlag is the transmission of an overload flag.
+	PhaseOverloadFlag
+	// PhaseOverloadDelim is the overload delimiter (recessive).
+	PhaseOverloadDelim
+	// PhaseSampling is MajorCAN's acceptance-sampling window.
+	PhaseSampling
+	// PhaseExtFlag is MajorCAN's extended (acceptance) error flag.
+	PhaseExtFlag
+	// PhaseIntermission is the 3-bit interframe space.
+	PhaseIntermission
+	// PhaseSuspend is the suspend-transmission period of an error-passive
+	// transmitter.
+	PhaseSuspend
+	// PhaseOff means the station is disconnected (bus-off, switched off, or
+	// crashed).
+	PhaseOff
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseIdle:
+		return "idle"
+	case PhaseFrame:
+		return "frame"
+	case PhaseEOF:
+		return "eof"
+	case PhaseErrorFlag:
+		return "error-flag"
+	case PhasePassiveErrorFlag:
+		return "passive-error-flag"
+	case PhaseErrorDelim:
+		return "error-delim"
+	case PhaseOverloadFlag:
+		return "overload-flag"
+	case PhaseOverloadDelim:
+		return "overload-delim"
+	case PhaseSampling:
+		return "sampling"
+	case PhaseExtFlag:
+		return "ext-flag"
+	case PhaseIntermission:
+		return "intermission"
+	case PhaseSuspend:
+		return "suspend"
+	case PhaseOff:
+		return "off"
+	default:
+		return fmt.Sprintf("Phase(%d)", uint8(p))
+	}
+}
+
+// ViewContext describes a station's position within the protocol at the
+// moment it samples a bit. Disturbance scripts match on it to express
+// conditions such as "the last but one bit of the EOF of the nodes
+// belonging to X" directly in the paper's terms.
+type ViewContext struct {
+	// Phase is the station's current protocol phase.
+	Phase Phase
+	// Field is the frame field of the bit being sampled (valid during
+	// PhaseFrame and PhaseEOF).
+	Field frame.Field
+	// Index is the zero-based index within Field.
+	Index int
+	// EOFRel is the 1-based position of the sampled bit relative to the
+	// first EOF bit of the current frame as this station counts it, or 0
+	// when the station is not in the end-of-frame region. The paper numbers
+	// all MajorCAN deadlines ((m+7)th bit, (3m+5)th bit, ...) in exactly
+	// this coordinate.
+	EOFRel int
+	// Transmitter reports whether the station is (still) the transmitter
+	// of the current frame.
+	Transmitter bool
+	// Attempts counts the frame transmission attempts (SOFs) this station
+	// has observed, including the current one. Scripts use it to target
+	// "the first transmission" vs. a retransmission.
+	Attempts int
+}
+
+// Station is a device attached to the bus. The network calls Drive exactly
+// once per bit slot on every station, computes the wired-AND bus value,
+// and then calls Latch exactly once with the station's (possibly
+// disturbed) sample of that value.
+type Station interface {
+	// Drive returns the level the station puts on the bus this bit slot.
+	Drive() bitstream.Level
+	// Latch delivers the station's sample of the bus for this bit slot and
+	// advances the station's state machine.
+	Latch(level bitstream.Level)
+	// View describes the station's position for the bit it is about to
+	// sample, used by disturbance models and trace probes.
+	View() ViewContext
+}
+
+// Disturber decides whether a station's view of the bus is inverted during
+// a given bit slot. Implementations live in package errmodel.
+type Disturber interface {
+	// Disturb reports whether station's sample in this slot is flipped.
+	Disturb(slot uint64, station int, view ViewContext) bool
+}
+
+// Probe observes every bit slot, e.g. to record traces.
+type Probe interface {
+	// OnBit is called once per slot after all stations latched. views and
+	// drives and samples are indexed by station and must not be retained.
+	OnBit(slot uint64, busLevel bitstream.Level, drives, samples []bitstream.Level, views []ViewContext)
+}
+
+// Network couples stations through the wired-AND medium.
+type Network struct {
+	stations   []Station
+	disturbers []Disturber
+	probes     []Probe
+	slot       uint64
+
+	// scratch buffers reused across steps
+	drives  []bitstream.Level
+	samples []bitstream.Level
+	views   []ViewContext
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork() *Network {
+	return &Network{}
+}
+
+// Attach adds a station to the bus and returns its station index.
+func (n *Network) Attach(s Station) int {
+	n.stations = append(n.stations, s)
+	n.drives = append(n.drives, bitstream.Recessive)
+	n.samples = append(n.samples, bitstream.Recessive)
+	n.views = append(n.views, ViewContext{})
+	return len(n.stations) - 1
+}
+
+// AddDisturber registers a disturbance model. Multiple disturbers compose:
+// a bit is flipped when an odd number of them fire (each flip inverts).
+func (n *Network) AddDisturber(d Disturber) {
+	n.disturbers = append(n.disturbers, d)
+}
+
+// AddProbe registers a per-bit observer.
+func (n *Network) AddProbe(p Probe) {
+	n.probes = append(n.probes, p)
+}
+
+// Stations returns the number of attached stations.
+func (n *Network) Stations() int { return len(n.stations) }
+
+// Slot returns the index of the next bit slot to be simulated.
+func (n *Network) Slot() uint64 { return n.slot }
+
+// Step simulates one bit slot and returns the (undisturbed) bus level.
+func (n *Network) Step() bitstream.Level {
+	for i, s := range n.stations {
+		n.views[i] = s.View()
+		n.drives[i] = s.Drive()
+	}
+	level := bitstream.Wire(n.drives...)
+	for i, s := range n.stations {
+		sample := level
+		for _, d := range n.disturbers {
+			if d.Disturb(n.slot, i, n.views[i]) {
+				sample = sample.Invert()
+			}
+		}
+		n.samples[i] = sample
+		s.Latch(sample)
+	}
+	for _, p := range n.probes {
+		p.OnBit(n.slot, level, n.drives, n.samples, n.views)
+	}
+	n.slot++
+	return level
+}
+
+// Run simulates the given number of bit slots.
+func (n *Network) Run(slots int) {
+	for i := 0; i < slots; i++ {
+		n.Step()
+	}
+}
+
+// RunUntil steps the network until cond returns true or the slot budget is
+// exhausted; it reports whether the condition was met.
+func (n *Network) RunUntil(cond func() bool, maxSlots int) bool {
+	for i := 0; i < maxSlots; i++ {
+		if cond() {
+			return true
+		}
+		n.Step()
+	}
+	return cond()
+}

@@ -1,0 +1,155 @@
+package bus
+
+import (
+	"testing"
+
+	"repro/internal/bitstream"
+)
+
+// fakeStation drives a scripted sequence and records its samples.
+type fakeStation struct {
+	out     bitstream.Sequence
+	pos     int
+	samples bitstream.Sequence
+	view    ViewContext
+}
+
+func (f *fakeStation) Drive() bitstream.Level {
+	if f.pos < len(f.out) {
+		return f.out[f.pos]
+	}
+	return bitstream.Recessive
+}
+
+func (f *fakeStation) Latch(l bitstream.Level) {
+	f.samples = append(f.samples, l)
+	f.pos++
+}
+
+func (f *fakeStation) View() ViewContext { return f.view }
+
+type flipAll struct{}
+
+func (flipAll) Disturb(uint64, int, ViewContext) bool { return true }
+
+type flipStation struct{ station int }
+
+func (f flipStation) Disturb(_ uint64, s int, _ ViewContext) bool { return s == f.station }
+
+type recordingProbe struct {
+	slots []uint64
+	bus   bitstream.Sequence
+}
+
+func (p *recordingProbe) OnBit(slot uint64, level bitstream.Level, _, _ []bitstream.Level, _ []ViewContext) {
+	p.slots = append(p.slots, slot)
+	p.bus = append(p.bus, level)
+}
+
+func seq(t *testing.T, s string) bitstream.Sequence {
+	t.Helper()
+	out, err := bitstream.ParseSequence(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestWiredAndCoupling(t *testing.T) {
+	n := NewNetwork()
+	a := &fakeStation{out: seq(t, "rdrr")}
+	b := &fakeStation{out: seq(t, "rrdr")}
+	n.Attach(a)
+	n.Attach(b)
+	n.Run(4)
+	// Bus = AND of both stations: r, d, d, r.
+	want := "rddr"
+	if a.samples.Compact() != want || b.samples.Compact() != want {
+		t.Errorf("samples a=%s b=%s, want %s", a.samples.Compact(), b.samples.Compact(), want)
+	}
+}
+
+func TestEmptyBusFloatsRecessive(t *testing.T) {
+	n := NewNetwork()
+	if got := n.Step(); got != bitstream.Recessive {
+		t.Errorf("empty bus = %v, want recessive", got)
+	}
+}
+
+func TestDisturberFlipsOnlyTargetView(t *testing.T) {
+	n := NewNetwork()
+	a := &fakeStation{out: seq(t, "rrrr")}
+	b := &fakeStation{out: seq(t, "rrrr")}
+	n.Attach(a)
+	n.Attach(b)
+	n.AddDisturber(flipStation{station: 1})
+	n.Run(4)
+	if a.samples.Compact() != "rrrr" {
+		t.Errorf("station 0 view = %s, want undisturbed rrrr", a.samples.Compact())
+	}
+	if b.samples.Compact() != "dddd" {
+		t.Errorf("station 1 view = %s, want flipped dddd", b.samples.Compact())
+	}
+}
+
+func TestTwoDisturbersCancel(t *testing.T) {
+	n := NewNetwork()
+	a := &fakeStation{out: seq(t, "rr")}
+	n.Attach(a)
+	n.AddDisturber(flipAll{})
+	n.AddDisturber(flipAll{})
+	n.Run(2)
+	if a.samples.Compact() != "rr" {
+		t.Errorf("double flip must cancel, got %s", a.samples.Compact())
+	}
+}
+
+func TestProbeSeesEverySlot(t *testing.T) {
+	n := NewNetwork()
+	a := &fakeStation{out: seq(t, "drd")}
+	n.Attach(a)
+	p := &recordingProbe{}
+	n.AddProbe(p)
+	n.Run(3)
+	if len(p.slots) != 3 || p.slots[0] != 0 || p.slots[2] != 2 {
+		t.Errorf("probe slots = %v", p.slots)
+	}
+	if p.bus.Compact() != "drd" {
+		t.Errorf("probe bus = %s, want drd", p.bus.Compact())
+	}
+	if n.Slot() != 3 {
+		t.Errorf("Slot() = %d, want 3", n.Slot())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	n := NewNetwork()
+	a := &fakeStation{out: bitstream.Repeat(bitstream.Dominant, 10)}
+	n.Attach(a)
+	ok := n.RunUntil(func() bool { return len(a.samples) >= 5 }, 100)
+	if !ok {
+		t.Fatal("condition must be reached")
+	}
+	if len(a.samples) != 5 {
+		t.Errorf("ran %d slots, want 5", len(a.samples))
+	}
+	if n.RunUntil(func() bool { return false }, 10) {
+		t.Error("unreachable condition must report false")
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	phases := []Phase{
+		PhaseIdle, PhaseFrame, PhaseEOF, PhaseErrorFlag, PhasePassiveErrorFlag,
+		PhaseErrorDelim, PhaseOverloadFlag, PhaseOverloadDelim, PhaseSampling,
+		PhaseExtFlag, PhaseIntermission, PhaseSuspend, PhaseOff,
+	}
+	seen := map[string]bool{}
+	for _, p := range phases {
+		s := p.String()
+		if s == "" || seen[s] {
+			t.Errorf("phase %d has empty or duplicate string %q", p, s)
+		}
+		seen[s] = true
+	}
+}

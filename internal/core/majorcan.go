@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/bus"
+	"repro/internal/node"
+)
+
+// MajorCAN is the paper's main contribution (Section 5): a CAN
+// modification that achieves Atomic Broadcast in the presence of up to m
+// randomly distributed bit errors per frame.
+//
+// The EOF field is split into two m-bit sub-fields (2m bits total):
+//
+//   - A node detecting an error in the first sub-field (bit 1..m) sends a
+//     regular 6-bit error flag and then samples the 2m-1 bits from position
+//     m+7 through 3m+5 (positions relative to the first EOF bit), deciding
+//     accept/reject by majority vote on those samples.
+//   - A node detecting an error in the second sub-field (bit m+1..2m) must
+//     accept the frame and notifies the acceptance with an extended error
+//     flag: dominant from the bit after detection through position 3m+5.
+//   - A node that must reject from the start (CRC error; its flag begins at
+//     the first EOF bit) never samples and never accepts.
+//   - Second errors detected during the EOF and the extended flags are not
+//     signalled with additional error flags, so they cannot spoil the
+//     agreement process.
+//
+// The error delimiter is 2m+1 recessive bits so that every frame ends with
+// the same bit pattern (ACK delimiter + EOF = 2m+1 recessive bits).
+type MajorCAN struct {
+	m int
+}
+
+var _ node.EOFPolicy = MajorCAN{}
+
+// DefaultM is the paper's proposed tolerance: standard CAN's CRC detects up
+// to 5 randomly distributed bit errors, so MajorCAN guarantees Atomic
+// Broadcast at the same level.
+const DefaultM = 5
+
+// NewMajorCAN returns the MajorCAN_m policy. m must be at least 3: the
+// paper shows that with only 2 errors the new inconsistency scenario can
+// happen, so tolerating m <= 2 would be pointless.
+func NewMajorCAN(m int) (MajorCAN, error) {
+	if m < 3 {
+		return MajorCAN{}, fmt.Errorf("core: MajorCAN requires m >= 3, got %d", m)
+	}
+	return MajorCAN{m: m}, nil
+}
+
+// MustMajorCAN is NewMajorCAN panicking on an invalid m; intended for
+// tests, examples and variable initialisation with constant m.
+func MustMajorCAN(m int) MajorCAN {
+	p, err := NewMajorCAN(m)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// M returns the error tolerance parameter.
+func (p MajorCAN) M() int { return p.m }
+
+// Name implements node.EOFPolicy.
+func (p MajorCAN) Name() string { return fmt.Sprintf("MajorCAN_%d", p.m) }
+
+// EOFBits implements node.EOFPolicy: the two m-bit sub-fields.
+func (p MajorCAN) EOFBits() int { return 2 * p.m }
+
+// DelimiterBits implements node.EOFPolicy: 2m+1 recessive bits.
+func (p MajorCAN) DelimiterBits() int { return 2*p.m + 1 }
+
+// EndPos returns the last bit position (relative to the first EOF bit,
+// 1-based) of the extended error flags and of the sampling window: 3m+5.
+func (p MajorCAN) EndPos() int { return 3*p.m + 5 }
+
+// WindowStart returns the first sampled bit position: m+7.
+func (p MajorCAN) WindowStart() int { return p.m + 7 }
+
+// BestCaseOverhead returns the per-frame overhead in bits compared with
+// standard CAN when no errors hit the EOF region: 2m-7.
+func (p MajorCAN) BestCaseOverhead() int { return 2*p.m - 7 }
+
+// WorstCaseOverhead returns the per-frame overhead in bits compared with
+// standard CAN when errors hit the last m EOF bits: 4m-9 (the paper's
+// Section 6 figure; 11 bits for m = 5).
+func (p MajorCAN) WorstCaseOverhead() int { return 4*p.m - 9 }
+
+// NewEpisode implements node.EOFPolicy.
+func (p MajorCAN) NewEpisode(env node.EpisodeEnv) node.EOFEpisode {
+	ep := &majorEpisode{m: p.m, env: env, pos: 1}
+	if env.RejectAtStart {
+		ep.mode = majFlag
+		ep.flagLeft = flagBits
+		ep.afterFlag = majRejectWait
+		ep.status = node.EpisodeStatus{
+			Verdict:   node.VerdictReject,
+			After:     node.AfterErrorDelim,
+			Signalled: true,
+			Kind:      env.RejectKind,
+		}
+	}
+	return ep
+}
+
+type majMode uint8
+
+const (
+	majQuiet      majMode = iota // monitoring the EOF field
+	majFlag                      // sending the 6-bit error flag
+	majSampling                  // monitoring through 3m+5, voting in the window
+	majExtFlag                   // sending the extended (acceptance) flag
+	majRejectWait                // rejected from the start; waiting out the episode
+)
+
+type majorEpisode struct {
+	m         int
+	env       node.EpisodeEnv
+	pos       int // 1-based, relative to the first EOF bit
+	mode      majMode
+	afterFlag majMode
+	flagLeft  int
+	votes     int // dominant samples inside the window
+	status    node.EpisodeStatus
+}
+
+func (e *majorEpisode) endPos() int      { return 3*e.m + 5 }
+func (e *majorEpisode) windowStart() int { return e.m + 7 }
+
+func (e *majorEpisode) Drive() bitstream.Level {
+	switch e.mode {
+	case majFlag, majExtFlag:
+		if e.env.ErrorPassive {
+			return bitstream.Recessive
+		}
+		return bitstream.Dominant
+	default:
+		return bitstream.Recessive
+	}
+}
+
+func (e *majorEpisode) Phase() (bus.Phase, int) {
+	switch e.mode {
+	case majFlag:
+		return bus.PhaseErrorFlag, e.pos
+	case majExtFlag:
+		return bus.PhaseExtFlag, e.pos
+	case majSampling:
+		return bus.PhaseSampling, e.pos
+	case majRejectWait:
+		// Waiting out the episode without sampling (second errors are
+		// suppressed); reported as the delimiter phase.
+		return bus.PhaseErrorDelim, e.pos
+	default:
+		return bus.PhaseEOF, e.pos
+	}
+}
+
+func (e *majorEpisode) Latch(level bitstream.Level) node.EpisodeStatus {
+	defer func() { e.pos++ }()
+	switch e.mode {
+	case majQuiet:
+		if level == bitstream.Dominant {
+			kind := node.ErrForm
+			if e.env.Transmitter {
+				kind = node.ErrBit
+			}
+			if e.pos <= e.m {
+				// First sub-field: 6-bit flag, then decide by sampling.
+				e.mode = majFlag
+				e.flagLeft = flagBits
+				e.afterFlag = majSampling
+				e.status = node.EpisodeStatus{Signalled: true, Kind: kind}
+			} else {
+				// Second sub-field: accept and notify with the extended
+				// flag through position 3m+5.
+				e.mode = majExtFlag
+				e.status = node.EpisodeStatus{
+					Verdict:   node.VerdictAccept,
+					After:     node.AfterErrorDelim,
+					Signalled: true,
+					Kind:      kind,
+				}
+			}
+			return node.EpisodeStatus{}
+		}
+		if e.pos >= 2*e.m {
+			return node.EpisodeStatus{Done: true, Verdict: node.VerdictAccept, After: node.AfterNone}
+		}
+		return node.EpisodeStatus{}
+	case majFlag:
+		e.flagLeft--
+		if e.flagLeft <= 0 {
+			e.mode = e.afterFlag
+		}
+		return node.EpisodeStatus{}
+	case majSampling:
+		if e.pos >= e.windowStart() && level == bitstream.Dominant {
+			e.votes++
+		}
+		if e.pos >= e.endPos() {
+			st := e.status
+			st.Done = true
+			st.After = node.AfterErrorDelim
+			if e.votes >= e.m {
+				// Majority of the 2m-1 samples dominant: some node is
+				// notifying acceptance.
+				st.Verdict = node.VerdictAccept
+			} else {
+				st.Verdict = node.VerdictReject
+			}
+			return st
+		}
+		return node.EpisodeStatus{}
+	case majExtFlag:
+		if e.pos >= e.endPos() {
+			st := e.status
+			st.Done = true
+			return st
+		}
+		return node.EpisodeStatus{}
+	default: // majRejectWait: second errors are not signalled
+		if e.pos >= e.endPos() {
+			st := e.status
+			st.Done = true
+			return st
+		}
+		return node.EpisodeStatus{}
+	}
+}

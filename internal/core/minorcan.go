@@ -1,0 +1,157 @@
+package core
+
+import (
+	"repro/internal/bitstream"
+	"repro/internal/bus"
+	"repro/internal/frame"
+	"repro/internal/node"
+)
+
+// MinorCAN is the paper's first, minimal modification of CAN (Section 3).
+// Errors detected before the last EOF bit reject the frame and errors
+// detected after it leave the frame accepted, exactly as in standard CAN.
+// For an error detected in the last EOF bit, both receivers and the
+// transmitter apply the same criterion, implemented with the CAN MAC's
+// Primary_error signal: after sending its six-bit flag, the node samples
+// the following bit. A dominant level there is the tail of a flag some
+// other node started later, i.e. this node was the first to detect the
+// error — nobody has rejected the frame, so it accepts (and the
+// transmitter does not retransmit). A recessive level means this node was
+// reacting to somebody else's flag, so it rejects (and the transmitter
+// retransmits).
+type MinorCAN struct{}
+
+var _ node.EOFPolicy = MinorCAN{}
+
+// NewMinorCAN returns the MinorCAN policy.
+func NewMinorCAN() MinorCAN { return MinorCAN{} }
+
+// Name implements node.EOFPolicy.
+func (MinorCAN) Name() string { return "MinorCAN" }
+
+// EOFBits implements node.EOFPolicy.
+func (MinorCAN) EOFBits() int { return frame.StandardEOFBits }
+
+// DelimiterBits implements node.EOFPolicy.
+func (MinorCAN) DelimiterBits() int { return 8 }
+
+// NewEpisode implements node.EOFPolicy.
+func (MinorCAN) NewEpisode(env node.EpisodeEnv) node.EOFEpisode {
+	ep := &minorEpisode{eofBits: frame.StandardEOFBits, env: env, pos: 1}
+	if env.RejectAtStart {
+		ep.mode = minorFlag
+		ep.flagLeft = flagBits
+		ep.status = node.EpisodeStatus{
+			Verdict:   node.VerdictReject,
+			After:     node.AfterErrorDelim,
+			Signalled: true,
+			Kind:      env.RejectKind,
+		}
+	}
+	return ep
+}
+
+type minorMode uint8
+
+const (
+	minorQuiet   minorMode = iota // monitoring the EOF field
+	minorFlag                     // sending a flag; status already decided
+	minorLastbit                  // sending a flag for a last-bit error; probe follows
+	minorProbe                    // sampling the bit after the own flag (Primary_error)
+)
+
+type minorEpisode struct {
+	eofBits  int
+	env      node.EpisodeEnv
+	pos      int
+	mode     minorMode
+	flagLeft int
+	status   node.EpisodeStatus
+}
+
+func (e *minorEpisode) Drive() bitstream.Level {
+	if (e.mode == minorFlag || e.mode == minorLastbit) && !e.env.ErrorPassive {
+		return bitstream.Dominant
+	}
+	return bitstream.Recessive
+}
+
+func (e *minorEpisode) Phase() (bus.Phase, int) {
+	switch e.mode {
+	case minorFlag, minorLastbit:
+		return bus.PhaseErrorFlag, e.pos
+	case minorProbe:
+		return bus.PhaseSampling, e.pos
+	default:
+		return bus.PhaseEOF, e.pos
+	}
+}
+
+func (e *minorEpisode) Latch(level bitstream.Level) node.EpisodeStatus {
+	defer func() { e.pos++ }()
+	switch e.mode {
+	case minorQuiet:
+		if level == bitstream.Dominant {
+			e.flagLeft = flagBits
+			if e.pos < e.eofBits {
+				// Before the last EOF bit: reject as in standard CAN.
+				e.mode = minorFlag
+				kind := node.ErrForm
+				if e.env.Transmitter {
+					kind = node.ErrBit
+				}
+				e.status = node.EpisodeStatus{
+					Verdict:   node.VerdictReject,
+					After:     node.AfterErrorDelim,
+					Signalled: true,
+					Kind:      kind,
+				}
+			} else {
+				// Last EOF bit: flag now, decide by the Primary_error probe.
+				e.mode = minorLastbit
+			}
+			return node.EpisodeStatus{}
+		}
+		if e.pos >= e.eofBits {
+			return node.EpisodeStatus{Done: true, Verdict: node.VerdictAccept, After: node.AfterNone}
+		}
+		return node.EpisodeStatus{}
+	case minorFlag:
+		e.flagLeft--
+		if e.flagLeft <= 0 {
+			st := e.status
+			st.Done = true
+			return st
+		}
+		return node.EpisodeStatus{}
+	case minorLastbit:
+		e.flagLeft--
+		if e.flagLeft <= 0 {
+			e.mode = minorProbe
+		}
+		return node.EpisodeStatus{}
+	default: // minorProbe: the bit right after the own flag
+		if level == bitstream.Dominant {
+			// Primary_error: some other node's flag is still on the bus, so
+			// this node detected the error first — accept the frame.
+			return node.EpisodeStatus{
+				Done:      true,
+				Verdict:   node.VerdictAccept,
+				After:     node.AfterOverloadDelim,
+				Signalled: true,
+				Kind:      node.ErrOverload,
+			}
+		}
+		// The error was caused by an earlier flag of another node, which
+		// has already rejected the frame: reject too. The recessive probe
+		// bit already counts as the first delimiter bit.
+		return node.EpisodeStatus{
+			Done:        true,
+			Verdict:     node.VerdictReject,
+			After:       node.AfterErrorDelim,
+			DelimCredit: 1,
+			Signalled:   true,
+			Kind:        node.ErrForm,
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package core implements the end-of-frame protocol variants the MajorCAN
+// paper studies: standard CAN (ISO 11898), the MinorCAN modification and
+// the MajorCAN_m protocol, as node.EOFPolicy implementations for the
+// simulated controller.
+package core
+
+import (
+	"repro/internal/bitstream"
+	"repro/internal/bus"
+	"repro/internal/frame"
+	"repro/internal/node"
+)
+
+// flagBits is the length of active error and overload flags.
+const flagBits = 6
+
+// Standard is the standard CAN end-of-frame behaviour: a 7-bit EOF, an
+// 8-bit error delimiter and the "last bit of EOF" rule — a receiver
+// detecting an error in the last EOF bit accepts the frame and sends an
+// overload flag, while the transmitter rejects and retransmits in the same
+// situation.
+type Standard struct{}
+
+var _ node.EOFPolicy = Standard{}
+
+// NewStandard returns the standard CAN policy.
+func NewStandard() Standard { return Standard{} }
+
+// Name implements node.EOFPolicy.
+func (Standard) Name() string { return "CAN" }
+
+// EOFBits implements node.EOFPolicy.
+func (Standard) EOFBits() int { return frame.StandardEOFBits }
+
+// DelimiterBits implements node.EOFPolicy.
+func (Standard) DelimiterBits() int { return 8 }
+
+// NewEpisode implements node.EOFPolicy.
+func (Standard) NewEpisode(env node.EpisodeEnv) node.EOFEpisode {
+	ep := &stdEpisode{eofBits: frame.StandardEOFBits, env: env, pos: 1}
+	if env.RejectAtStart {
+		ep.mode = stdFlag
+		ep.flagLeft = flagBits
+		ep.status = node.EpisodeStatus{
+			Verdict:   node.VerdictReject,
+			After:     node.AfterErrorDelim,
+			Signalled: true,
+			Kind:      env.RejectKind,
+		}
+	}
+	return ep
+}
+
+type stdMode uint8
+
+const (
+	stdQuiet stdMode = iota // monitoring the EOF field
+	stdFlag                 // sending a 6-bit flag (error or overload)
+)
+
+type stdEpisode struct {
+	eofBits  int
+	env      node.EpisodeEnv
+	pos      int // 1-based position of the bit about to be latched, relative to EOF start
+	mode     stdMode
+	flagLeft int
+	overload bool
+	status   node.EpisodeStatus
+}
+
+func (e *stdEpisode) Drive() bitstream.Level {
+	if e.mode == stdFlag && !e.env.ErrorPassive {
+		return bitstream.Dominant
+	}
+	return bitstream.Recessive
+}
+
+func (e *stdEpisode) Phase() (bus.Phase, int) {
+	switch {
+	case e.mode == stdFlag && e.overload:
+		return bus.PhaseOverloadFlag, e.pos
+	case e.mode == stdFlag:
+		return bus.PhaseErrorFlag, e.pos
+	default:
+		return bus.PhaseEOF, e.pos
+	}
+}
+
+func (e *stdEpisode) Latch(level bitstream.Level) node.EpisodeStatus {
+	defer func() { e.pos++ }()
+	switch e.mode {
+	case stdQuiet:
+		if level == bitstream.Dominant {
+			e.mode = stdFlag
+			e.flagLeft = flagBits
+			if e.pos < e.eofBits || e.env.Transmitter {
+				// An error before the last EOF bit — or anywhere in the EOF
+				// for the transmitter — invalidates the frame.
+				kind := node.ErrForm
+				if e.env.Transmitter {
+					kind = node.ErrBit
+				}
+				e.status = node.EpisodeStatus{
+					Verdict:   node.VerdictReject,
+					After:     node.AfterErrorDelim,
+					Signalled: true,
+					Kind:      kind,
+				}
+			} else {
+				// The last-bit rule: the receiver accepts the frame and
+				// signals an overload condition instead of an error.
+				e.overload = true
+				e.status = node.EpisodeStatus{
+					Verdict:   node.VerdictAccept,
+					After:     node.AfterOverloadDelim,
+					Signalled: true,
+					Kind:      node.ErrOverload,
+				}
+			}
+			return node.EpisodeStatus{}
+		}
+		if e.pos >= e.eofBits {
+			return node.EpisodeStatus{Done: true, Verdict: node.VerdictAccept, After: node.AfterNone}
+		}
+		return node.EpisodeStatus{}
+	default: // stdFlag
+		e.flagLeft--
+		if e.flagLeft <= 0 {
+			st := e.status
+			st.Done = true
+			return st
+		}
+		return node.EpisodeStatus{}
+	}
+}

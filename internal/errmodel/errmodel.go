@@ -1,0 +1,238 @@
+// Package errmodel implements the disturbance models of the MajorCAN
+// paper: the spatially distributed random bit-error model based on
+// Charzinski's p_eff (ber* = ber/N) and deterministic scripted disturbances
+// used to reproduce the paper's figure scenarios.
+//
+// A disturbance flips one station's view of one bus bit; it never changes
+// the bus itself, matching the paper's per-node error effectivity model.
+package errmodel
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/bus"
+)
+
+// Random is a bus.Disturber that flips each (slot, station) sample
+// independently with probability BerStar, the per-node bit error rate
+// ber* = ber/N of the paper (expression 3).
+type Random struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	berStar float64
+	flips   uint64
+}
+
+var _ bus.Disturber = (*Random)(nil)
+
+// NewRandom creates a random disturber with the given per-node bit error
+// probability and deterministic seed.
+func NewRandom(berStar float64, seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed)), berStar: berStar}
+}
+
+// Disturb implements bus.Disturber.
+func (r *Random) Disturb(_ uint64, _ int, _ bus.ViewContext) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.rng.Float64() < r.berStar {
+		r.flips++
+		return true
+	}
+	return false
+}
+
+// Flips returns the number of bit flips injected so far.
+func (r *Random) Flips() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.flips
+}
+
+// GlobalRandom models the alternative "global ber" interpretation in which
+// an error affects every station's view of the same bit simultaneously
+// (the whole-bus corruption model). It exists for the error-model ablation
+// bench; the paper argues the spatial model is the right one.
+type GlobalRandom struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	ber   float64
+	slot  uint64
+	flip  bool
+	flips uint64
+}
+
+var _ bus.Disturber = (*GlobalRandom)(nil)
+
+// NewGlobalRandom creates a global disturber flipping all views of a bit
+// with probability ber.
+func NewGlobalRandom(ber float64, seed int64) *GlobalRandom {
+	return &GlobalRandom{rng: rand.New(rand.NewSource(seed)), ber: ber, slot: ^uint64(0)}
+}
+
+// Disturb implements bus.Disturber: one draw per slot, applied to every
+// station.
+func (g *GlobalRandom) Disturb(slot uint64, _ int, _ bus.ViewContext) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if slot != g.slot {
+		g.slot = slot
+		g.flip = g.rng.Float64() < g.ber
+		if g.flip {
+			g.flips++
+		}
+	}
+	return g.flip
+}
+
+// Flips returns the number of disturbed slots so far.
+func (g *GlobalRandom) Flips() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.flips
+}
+
+// Rule is one scripted disturbance: it fires for the stations in Stations
+// (nil means every station) whenever When matches, at most Count times per
+// station (Count <= 0 means unlimited).
+type Rule struct {
+	// Stations restricts the rule to the listed station indices; nil means
+	// all stations.
+	Stations []int
+	// When matches the station's protocol position; nil matches always.
+	When func(slot uint64, station int, view bus.ViewContext) bool
+	// Count limits how many times the rule fires per station (<= 0 for
+	// unlimited).
+	Count int
+
+	fired map[int]int
+}
+
+func (r *Rule) matches(slot uint64, station int, view bus.ViewContext) bool {
+	if r.Stations != nil {
+		found := false
+		for _, s := range r.Stations {
+			if s == station {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if r.When != nil && !r.When(slot, station, view) {
+		return false
+	}
+	if r.Count > 0 {
+		if r.fired == nil {
+			r.fired = make(map[int]int)
+		}
+		if r.fired[station] >= r.Count {
+			return false
+		}
+		r.fired[station]++
+	}
+	return true
+}
+
+// Script is a deterministic bus.Disturber built from rules. A sample is
+// flipped when at least one rule fires.
+type Script struct {
+	rules []*Rule
+	log   []Firing
+}
+
+var _ bus.Disturber = (*Script)(nil)
+
+// Firing records one scripted disturbance, for assertions in tests.
+type Firing struct {
+	Slot    uint64
+	Station int
+	View    bus.ViewContext
+}
+
+// NewScript creates a script from the given rules.
+func NewScript(rules ...*Rule) *Script {
+	return &Script{rules: rules}
+}
+
+// Add appends a rule to the script.
+func (s *Script) Add(r *Rule) *Script {
+	s.rules = append(s.rules, r)
+	return s
+}
+
+// Disturb implements bus.Disturber.
+func (s *Script) Disturb(slot uint64, station int, view bus.ViewContext) bool {
+	fired := false
+	for _, r := range s.rules {
+		if r.matches(slot, station, view) {
+			fired = true
+		}
+	}
+	if fired {
+		s.log = append(s.log, Firing{Slot: slot, Station: station, View: view})
+	}
+	return fired
+}
+
+// Firings returns the disturbances injected so far.
+func (s *Script) Firings() []Firing {
+	return append([]Firing(nil), s.log...)
+}
+
+// AtEOFBit builds a rule that flips the view of the given stations at the
+// 1-based EOF-relative bit position rel of transmission attempt number
+// attempt (1-based; 0 matches any attempt). This is the vocabulary the
+// paper's figures use: "a disturbance corrupts the last but one bit of the
+// EOF of the nodes belonging to X" becomes AtEOFBit(x, eofBits-1, 1).
+func AtEOFBit(stations []int, rel int, attempt int) *Rule {
+	return &Rule{
+		Stations: stations,
+		Count:    1,
+		When: func(_ uint64, _ int, v bus.ViewContext) bool {
+			if attempt != 0 && v.Attempts != attempt {
+				return false
+			}
+			return v.EOFRel == rel
+		},
+	}
+}
+
+// AtEOFBits builds one single-shot rule per EOF-relative position so a
+// station can be disturbed at several positions of the same frame.
+func AtEOFBits(stations []int, rels []int, attempt int) []*Rule {
+	rules := make([]*Rule, 0, len(rels))
+	for _, rel := range rels {
+		rules = append(rules, AtEOFBit(stations, rel, attempt))
+	}
+	return rules
+}
+
+// AtSlot builds a rule that flips the view of the given stations at an
+// absolute bit slot.
+func AtSlot(stations []int, slot uint64) *Rule {
+	return &Rule{
+		Stations: stations,
+		When: func(s uint64, _ int, _ bus.ViewContext) bool {
+			return s == slot
+		},
+	}
+}
+
+// AtPhase builds a single-shot rule matching a protocol phase with the
+// given 1-based EOF-relative position (0 to ignore the position).
+func AtPhase(stations []int, phase bus.Phase, rel int) *Rule {
+	return &Rule{
+		Stations: stations,
+		Count:    1,
+		When: func(_ uint64, _ int, v bus.ViewContext) bool {
+			if v.Phase != phase {
+				return false
+			}
+			return rel == 0 || v.EOFRel == rel
+		},
+	}
+}

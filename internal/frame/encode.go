@@ -1,0 +1,168 @@
+package frame
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+)
+
+// Encoding is the full bit-level image of a frame as transmitted by an
+// error-free transmitter, together with per-bit layout annotations.
+type Encoding struct {
+	// Bits are the on-the-wire levels from SOF through the last EOF bit,
+	// with stuff bits inserted (stuffing covers SOF through the CRC
+	// sequence).
+	Bits bitstream.Sequence
+	// Refs annotates every element of Bits with its field position.
+	Refs []Ref
+	// CRC is the 15-bit CRC computed over the destuffed SOF..data bits.
+	CRC uint16
+	// EOFBits is the EOF length used (7 for standard CAN, 2m for
+	// MajorCAN_m).
+	EOFBits int
+	// StuffCount is the number of stuff bits inserted.
+	StuffCount int
+}
+
+// Len returns the total number of bit times of the encoded frame
+// (SOF..EOF inclusive, without interframe space).
+func (e *Encoding) Len() int { return len(e.Bits) }
+
+// IndexOf returns the offset within Bits of the idx-th bit (zero-based) of
+// the given field, skipping stuff bits. It returns -1 if not present.
+func (e *Encoding) IndexOf(f Field, idx int) int {
+	for i, r := range e.Refs {
+		if !r.Stuff && r.Field == f && r.Index == idx {
+			return i
+		}
+	}
+	return -1
+}
+
+// FieldLen returns the number of non-stuff bits of field f in the encoding.
+func (e *Encoding) FieldLen(f Field) int {
+	n := 0
+	for _, r := range e.Refs {
+		if !r.Stuff && r.Field == f {
+			n++
+		}
+	}
+	return n
+}
+
+// unstuffed returns the frame's bit layout before stuffing, split into the
+// stuffed region (SOF..CRC) and the fixed-form tail (CRC delimiter..EOF).
+func unstuffed(f *Frame, eofBits int) (stuffRegion, tail bitstream.Sequence, stuffRefs, tailRefs []Ref) {
+	push := func(region *bitstream.Sequence, refs *[]Ref, field Field, l bitstream.Level) {
+		idx := 0
+		for i := len(*refs) - 1; i >= 0; i-- {
+			if (*refs)[i].Field == field {
+				idx = (*refs)[i].Index + 1
+				break
+			}
+		}
+		*region = append(*region, l)
+		*refs = append(*refs, Ref{Field: field, Index: idx})
+	}
+	pushUint := func(region *bitstream.Sequence, refs *[]Ref, field Field, v uint64, width int) {
+		for i := width - 1; i >= 0; i-- {
+			push(region, refs, field, bitstream.FromBit(uint8(v>>uint(i)&1)))
+		}
+	}
+
+	rtr := bitstream.Dominant
+	if f.Remote {
+		rtr = bitstream.Recessive
+	}
+
+	push(&stuffRegion, &stuffRefs, FieldSOF, bitstream.Dominant)
+	switch f.EffectiveFormat() {
+	case Extended:
+		base := f.ID >> 18 & MaxStandardID
+		ext := f.ID & (1<<18 - 1)
+		pushUint(&stuffRegion, &stuffRefs, FieldID, uint64(base), 11)
+		push(&stuffRegion, &stuffRefs, FieldSRR, bitstream.Recessive)
+		push(&stuffRegion, &stuffRefs, FieldIDE, bitstream.Recessive)
+		pushUint(&stuffRegion, &stuffRefs, FieldExtID, uint64(ext), 18)
+		push(&stuffRegion, &stuffRefs, FieldRTR, rtr)
+		push(&stuffRegion, &stuffRefs, FieldR1, bitstream.Dominant)
+		push(&stuffRegion, &stuffRefs, FieldR0, bitstream.Dominant)
+	default:
+		pushUint(&stuffRegion, &stuffRefs, FieldID, uint64(f.ID), 11)
+		push(&stuffRegion, &stuffRefs, FieldRTR, rtr)
+		push(&stuffRegion, &stuffRefs, FieldIDE, bitstream.Dominant)
+		push(&stuffRegion, &stuffRefs, FieldR0, bitstream.Dominant)
+	}
+	pushUint(&stuffRegion, &stuffRefs, FieldDLC, uint64(f.EffectiveDLC()), 4)
+	if !f.Remote {
+		for _, b := range f.Data {
+			pushUint(&stuffRegion, &stuffRefs, FieldData, uint64(b), 8)
+		}
+	}
+	crc := bitstream.ComputeCRC(stuffRegion)
+	pushUint(&stuffRegion, &stuffRefs, FieldCRC, uint64(crc), bitstream.CRCWidth)
+
+	push(&tail, &tailRefs, FieldCRCDelim, bitstream.Recessive)
+	push(&tail, &tailRefs, FieldACKSlot, bitstream.Recessive)
+	push(&tail, &tailRefs, FieldACKDelim, bitstream.Recessive)
+	for i := 0; i < eofBits; i++ {
+		push(&tail, &tailRefs, FieldEOF, bitstream.Recessive)
+	}
+	return stuffRegion, tail, stuffRefs, tailRefs
+}
+
+// Encode produces the on-the-wire image of the frame with the given EOF
+// length (use StandardEOFBits for standard CAN and MinorCAN, 2m for
+// MajorCAN_m).
+func Encode(f *Frame, eofBits int) (*Encoding, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if eofBits < 1 {
+		return nil, fmt.Errorf("frame: EOF length %d must be positive", eofBits)
+	}
+	stuffRegion, tail, stuffRefs, tailRefs := unstuffed(f, eofBits)
+
+	enc := &Encoding{EOFBits: eofBits}
+	var st bitstream.Stuffer
+	for i, l := range stuffRegion {
+		enc.Bits = append(enc.Bits, l)
+		enc.Refs = append(enc.Refs, stuffRefs[i])
+		if sb, ok := st.Push(l); ok {
+			enc.Bits = append(enc.Bits, sb)
+			ref := stuffRefs[i]
+			ref.Stuff = true
+			enc.Refs = append(enc.Refs, ref)
+			enc.StuffCount++
+		}
+	}
+	enc.Bits = append(enc.Bits, tail...)
+	enc.Refs = append(enc.Refs, tailRefs...)
+
+	crcStart := len(stuffRegion) - bitstream.CRCWidth
+	enc.CRC = uint16(stuffRegion[crcStart:].Uint())
+	return enc, nil
+}
+
+// Decode reconstructs a Frame from a destuffed bit sequence spanning SOF
+// through the CRC sequence. It verifies the CRC and returns an error on any
+// format violation.
+func Decode(destuffed bitstream.Sequence) (*Frame, error) {
+	var a Assembler
+	for i, l := range destuffed {
+		st, err := a.Push(l)
+		if err != nil {
+			return nil, fmt.Errorf("frame: decode bit %d: %w", i, err)
+		}
+		if st == AssemblyDone && i != len(destuffed)-1 {
+			return nil, fmt.Errorf("frame: %d trailing bits after CRC", len(destuffed)-1-i)
+		}
+	}
+	if !a.Done() {
+		return nil, fmt.Errorf("frame: truncated sequence (%d bits, in %s)", len(destuffed), a.Field())
+	}
+	if !a.CRCOK() {
+		return nil, fmt.Errorf("frame: CRC mismatch: received %#x, computed %#x", a.ReceivedCRC(), a.ComputedCRC())
+	}
+	return a.Frame(), nil
+}

@@ -1,0 +1,249 @@
+// Package frame models CAN data and remote frames (CAN 2.0A standard and
+// 2.0B extended format): field layout, bit-level encoding with stuffing and
+// CRC, and an incremental assembler for the receive path.
+package frame
+
+import "fmt"
+
+// Format selects between the standard (11-bit identifier) and extended
+// (29-bit identifier) frame formats.
+type Format uint8
+
+const (
+	// Standard is the CAN 2.0A frame format with an 11-bit identifier.
+	Standard Format = iota + 1
+	// Extended is the CAN 2.0B frame format with a 29-bit identifier.
+	Extended
+)
+
+func (f Format) String() string {
+	switch f {
+	case Standard:
+		return "standard"
+	case Extended:
+		return "extended"
+	default:
+		return fmt.Sprintf("Format(%d)", uint8(f))
+	}
+}
+
+// Limits of the CAN frame format.
+const (
+	// MaxStandardID is the largest 11-bit identifier.
+	MaxStandardID = 1<<11 - 1
+	// MaxExtendedID is the largest 29-bit identifier.
+	MaxExtendedID = 1<<29 - 1
+	// MaxDataLen is the maximum number of data bytes in a frame.
+	MaxDataLen = 8
+	// StandardEOFBits is the length of the end-of-frame field in standard
+	// CAN (and MinorCAN).
+	StandardEOFBits = 7
+	// IntermissionBits is the length of the interframe space intermission
+	// field.
+	IntermissionBits = 3
+)
+
+// Frame is a CAN data or remote frame as seen by the application layer.
+type Frame struct {
+	// ID is the frame identifier (11 bits for Standard, 29 for Extended).
+	// Lower values have higher priority in arbitration.
+	ID uint32
+	// Format selects standard or extended format. The zero value is
+	// treated as Standard.
+	Format Format
+	// Remote marks a remote transmission request frame (no data field).
+	Remote bool
+	// Data is the payload, at most 8 bytes. For remote frames Data must be
+	// empty; DLC still carries the requested length.
+	Data []byte
+	// DLC is the data length code. For data frames it is derived from
+	// len(Data) when encoding if zero; for remote frames it encodes the
+	// requested data length.
+	DLC uint8
+}
+
+// EffectiveFormat returns the frame's format, defaulting to Standard.
+func (f *Frame) EffectiveFormat() Format {
+	if f.Format == Extended {
+		return Extended
+	}
+	return Standard
+}
+
+// EffectiveDLC returns the data length code that will be encoded.
+func (f *Frame) EffectiveDLC() uint8 {
+	if !f.Remote && f.DLC == 0 {
+		return uint8(len(f.Data))
+	}
+	return f.DLC
+}
+
+// Validate checks the frame against the CAN format limits.
+func (f *Frame) Validate() error {
+	switch f.EffectiveFormat() {
+	case Standard:
+		if f.ID > MaxStandardID {
+			return fmt.Errorf("frame: standard identifier %#x exceeds 11 bits", f.ID)
+		}
+	case Extended:
+		if f.ID > MaxExtendedID {
+			return fmt.Errorf("frame: extended identifier %#x exceeds 29 bits", f.ID)
+		}
+	}
+	if len(f.Data) > MaxDataLen {
+		return fmt.Errorf("frame: %d data bytes exceed the %d-byte limit", len(f.Data), MaxDataLen)
+	}
+	if f.Remote && len(f.Data) > 0 {
+		return fmt.Errorf("frame: remote frame must not carry data")
+	}
+	if f.EffectiveDLC() > 15 {
+		return fmt.Errorf("frame: DLC %d exceeds 4 bits", f.EffectiveDLC())
+	}
+	// The CAN specification admits DLC values 9..15 on the wire, all
+	// meaning eight data bytes.
+	if !f.Remote {
+		dlc := int(f.EffectiveDLC())
+		switch {
+		case dlc <= MaxDataLen && dlc != len(f.Data):
+			return fmt.Errorf("frame: DLC %d does not match %d data bytes", dlc, len(f.Data))
+		case dlc > MaxDataLen && len(f.Data) != MaxDataLen:
+			return fmt.Errorf("frame: DLC %d (meaning 8) does not match %d data bytes", dlc, len(f.Data))
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the frame.
+func (f *Frame) Clone() *Frame {
+	c := *f
+	c.Data = append([]byte(nil), f.Data...)
+	return &c
+}
+
+// Equal reports whether two frames are identical at the application layer.
+func (f *Frame) Equal(o *Frame) bool {
+	if f == nil || o == nil {
+		return f == o
+	}
+	if f.ID != o.ID || f.EffectiveFormat() != o.EffectiveFormat() ||
+		f.Remote != o.Remote || f.EffectiveDLC() != o.EffectiveDLC() ||
+		len(f.Data) != len(o.Data) {
+		return false
+	}
+	for i := range f.Data {
+		if f.Data[i] != o.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *Frame) String() string {
+	kind := "data"
+	if f.Remote {
+		kind = "remote"
+	}
+	return fmt.Sprintf("%s frame id=%#x fmt=%s dlc=%d data=%x",
+		kind, f.ID, f.EffectiveFormat(), f.EffectiveDLC(), f.Data)
+}
+
+// Field identifies a position within the bit-level layout of a CAN frame,
+// including the fields appended by the protocol variant (EOF) and the
+// interframe space.
+type Field uint8
+
+const (
+	// FieldSOF is the single dominant start-of-frame bit.
+	FieldSOF Field = iota + 1
+	// FieldID is the (base) identifier: 11 bits in both formats.
+	FieldID
+	// FieldSRR is the substitute remote request bit (extended format only).
+	FieldSRR
+	// FieldIDE is the identifier extension bit.
+	FieldIDE
+	// FieldExtID is the 18-bit identifier extension (extended format only).
+	FieldExtID
+	// FieldRTR is the remote transmission request bit.
+	FieldRTR
+	// FieldR1 is the reserved bit r1 (extended format only).
+	FieldR1
+	// FieldR0 is the reserved bit r0.
+	FieldR0
+	// FieldDLC is the 4-bit data length code.
+	FieldDLC
+	// FieldData is the data field (8 bits per byte).
+	FieldData
+	// FieldCRC is the 15-bit CRC sequence.
+	FieldCRC
+	// FieldCRCDelim is the recessive CRC delimiter.
+	FieldCRCDelim
+	// FieldACKSlot is the acknowledge slot (transmitter sends recessive,
+	// receivers assert dominant).
+	FieldACKSlot
+	// FieldACKDelim is the recessive acknowledge delimiter.
+	FieldACKDelim
+	// FieldEOF is the end-of-frame field: 7 recessive bits in standard CAN,
+	// 2m recessive bits in MajorCAN_m.
+	FieldEOF
+	// FieldIntermission is the 3-bit interframe space intermission.
+	FieldIntermission
+)
+
+func (f Field) String() string {
+	switch f {
+	case FieldSOF:
+		return "SOF"
+	case FieldID:
+		return "ID"
+	case FieldSRR:
+		return "SRR"
+	case FieldIDE:
+		return "IDE"
+	case FieldExtID:
+		return "ExtID"
+	case FieldRTR:
+		return "RTR"
+	case FieldR1:
+		return "r1"
+	case FieldR0:
+		return "r0"
+	case FieldDLC:
+		return "DLC"
+	case FieldData:
+		return "Data"
+	case FieldCRC:
+		return "CRC"
+	case FieldCRCDelim:
+		return "CRCdel"
+	case FieldACKSlot:
+		return "ACK"
+	case FieldACKDelim:
+		return "ACKdel"
+	case FieldEOF:
+		return "EOF"
+	case FieldIntermission:
+		return "Interm"
+	default:
+		return fmt.Sprintf("Field(%d)", uint8(f))
+	}
+}
+
+// Ref locates one on-the-wire bit within the frame layout.
+type Ref struct {
+	// Field is the frame field this bit belongs to.
+	Field Field
+	// Index is the zero-based position within the field (data bits count
+	// across the whole data field).
+	Index int
+	// Stuff marks an inserted stuff bit. Stuff bits carry the Field/Index
+	// of the preceding data bit.
+	Stuff bool
+}
+
+func (r Ref) String() string {
+	s := fmt.Sprintf("%s[%d]", r.Field, r.Index)
+	if r.Stuff {
+		s += "*"
+	}
+	return s
+}

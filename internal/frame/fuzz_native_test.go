@@ -1,0 +1,90 @@
+package frame
+
+import (
+	"testing"
+
+	"repro/internal/bitstream"
+)
+
+// FuzzPipeline drives the destuff+assemble receive pipeline with arbitrary
+// byte-derived bit streams: it must never panic and must either reject the
+// stream or complete a structurally valid frame.
+func FuzzPipeline(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xFF, 0x00, 0xAA, 0x55})
+	// A real frame image as a seed.
+	fr := &Frame{ID: 0x123, Data: []byte{1, 2, 3}}
+	if enc, err := Encode(fr, StandardEOFBits); err == nil {
+		seed := make([]byte, 0, len(enc.Bits)/8+1)
+		var cur byte
+		for i, l := range enc.Bits {
+			cur = cur<<1 | l.Bit()
+			if i%8 == 7 {
+				seed = append(seed, cur)
+				cur = 0
+			}
+		}
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var ds bitstream.Destuffer
+		var a Assembler
+		for _, b := range raw {
+			for bit := 7; bit >= 0; bit-- {
+				l := bitstream.FromBit(uint8(b >> uint(bit) & 1))
+				kind, err := ds.Push(l)
+				if err != nil {
+					return // stuff error: rejected
+				}
+				if kind == bitstream.StuffBit {
+					continue
+				}
+				if _, err := a.Push(l); err != nil {
+					return // form error: rejected
+				}
+				if a.Done() {
+					got := a.Frame()
+					if err := got.Validate(); err != nil {
+						t.Fatalf("assembler completed an invalid frame %v: %v", got, err)
+					}
+					return
+				}
+			}
+		}
+	})
+}
+
+// FuzzEncodeDecode round-trips arbitrary frame parameters through the
+// codec: valid inputs must round-trip exactly; invalid ones must be
+// rejected at Encode.
+func FuzzEncodeDecode(f *testing.F) {
+	f.Add(uint32(0x123), false, false, []byte{1, 2, 3})
+	f.Add(uint32(0x1FFFFFFF), true, false, []byte{})
+	f.Add(uint32(0x42), false, true, []byte{})
+	f.Fuzz(func(t *testing.T, id uint32, extended, remote bool, data []byte) {
+		fr := &Frame{ID: id, Remote: remote, Data: data}
+		if extended {
+			fr.Format = Extended
+		}
+		if remote {
+			fr.Data = nil
+			fr.DLC = uint8(len(data) % 9)
+		}
+		enc, err := Encode(fr, StandardEOFBits)
+		if err != nil {
+			return // invalid parameters, correctly rejected
+		}
+		crcDelim := enc.IndexOf(FieldCRCDelim, 0)
+		destuffed, err := bitstream.Destuff(enc.Bits[:crcDelim])
+		if err != nil {
+			t.Fatalf("own encoding fails to destuff: %v", err)
+		}
+		got, err := Decode(destuffed)
+		if err != nil {
+			t.Fatalf("own encoding fails to decode: %v", err)
+		}
+		if !got.Equal(fr) {
+			t.Fatalf("round trip mismatch: %v != %v", got, fr)
+		}
+	})
+}

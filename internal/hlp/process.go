@@ -1,0 +1,321 @@
+package hlp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/abcheck"
+	"repro/internal/frame"
+	"repro/internal/node"
+)
+
+// Protocol selects the broadcast protocol a process runs.
+type Protocol uint8
+
+const (
+	// RawCAN delivers controller deliveries directly (the baseline with all
+	// of CAN's inconsistencies visible at the application).
+	RawCAN Protocol = iota + 1
+	// EDCAN (error detection based): every receiver retransmits each
+	// message once after reception, masking transmitter failures at the
+	// cost of at least one extra transmission per frame. Reliable
+	// broadcast, no total order.
+	EDCAN
+	// RELCAN: the transmitter sends a CONFIRM after the data frame; only if
+	// the CONFIRM times out do the receivers retransmit the data.
+	RELCAN
+	// TOTCAN: receivers queue each message; the transmitter's ACCEPT fixes
+	// its position (deliveries happen in ACCEPT order); a missing ACCEPT
+	// drops the message.
+	TOTCAN
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case RawCAN:
+		return "RawCAN"
+	case EDCAN:
+		return "EDCAN"
+	case RELCAN:
+		return "RELCAN"
+	case TOTCAN:
+		return "TOTCAN"
+	default:
+		return fmt.Sprintf("Protocol(%d)", uint8(p))
+	}
+}
+
+// Options configures the processes of a stack.
+type Options struct {
+	// Protocol is the broadcast protocol.
+	Protocol Protocol
+	// ConfirmTimeout is RELCAN's timeout (bit slots after data delivery)
+	// for the CONFIRM message. Default 600.
+	ConfirmTimeout uint64
+	// AcceptTimeout is TOTCAN's timeout (bit slots after data delivery) for
+	// the ACCEPT message. Default 600.
+	AcceptTimeout uint64
+}
+
+func (o *Options) confirmTimeout() uint64 {
+	if o.ConfirmTimeout == 0 {
+		return 600
+	}
+	return o.ConfirmTimeout
+}
+
+func (o *Options) acceptTimeout() uint64 {
+	if o.AcceptTimeout == 0 {
+		return 600
+	}
+	return o.AcceptTimeout
+}
+
+// DeliveredMsg is a message delivered by a process to the application.
+type DeliveredMsg struct {
+	Key     abcheck.MsgKey
+	Payload []byte
+	Slot    uint64
+}
+
+// timer is a pending RELCAN/TOTCAN timeout.
+type timer struct {
+	deadline uint64
+	data     *frame.Frame // the original data frame (for RELCAN retransmission)
+}
+
+// Process is one station's protocol entity.
+type Process struct {
+	id   int
+	ctrl *node.Controller
+	opts Options
+	now  uint64
+
+	seq        uint32
+	broadcasts []abcheck.Broadcast
+	delivered  []DeliveredMsg
+
+	seen    map[abcheck.MsgKey]bool // delivered (or queued, for TOTCAN)
+	relayed map[abcheck.MsgKey]bool // EDCAN/RELCAN: already retransmitted
+	timers  map[abcheck.MsgKey]*timer
+
+	queue    []abcheck.MsgKey // TOTCAN pending queue
+	payloads map[abcheck.MsgKey][]byte
+}
+
+func newProcess(id int, opts Options) *Process {
+	return &Process{
+		id:       id,
+		opts:     opts,
+		seen:     make(map[abcheck.MsgKey]bool),
+		relayed:  make(map[abcheck.MsgKey]bool),
+		timers:   make(map[abcheck.MsgKey]*timer),
+		payloads: make(map[abcheck.MsgKey][]byte),
+	}
+}
+
+// ID returns the process identifier (its station index).
+func (p *Process) ID() int { return p.id }
+
+// Delivered returns the messages delivered so far, in delivery order.
+func (p *Process) Delivered() []DeliveredMsg {
+	return append([]DeliveredMsg(nil), p.delivered...)
+}
+
+// Broadcasts returns the messages this process broadcast.
+func (p *Process) Broadcasts() []abcheck.Broadcast {
+	return append([]abcheck.Broadcast(nil), p.broadcasts...)
+}
+
+// Pending reports whether the process still waits on timers.
+func (p *Process) Pending() bool { return len(p.timers) > 0 }
+
+// Broadcast hands a message to the broadcast service.
+func (p *Process) Broadcast(payload []byte) (abcheck.MsgKey, error) {
+	p.seq++
+	key := abcheck.MsgKey{Origin: p.id, Seq: p.seq}
+	f, err := encode(Message{Kind: KindData, Key: key, Payload: payload})
+	if err != nil {
+		return abcheck.MsgKey{}, err
+	}
+	if err := p.ctrl.Enqueue(f); err != nil {
+		return abcheck.MsgKey{}, err
+	}
+	p.broadcasts = append(p.broadcasts, abcheck.Broadcast{Key: key, Slot: p.now})
+	p.seen[key] = true // never deliver nor relay an own message
+	p.payloads[key] = append([]byte(nil), payload...)
+	return key, nil
+}
+
+func (p *Process) deliver(key abcheck.MsgKey, payload []byte, slot uint64) {
+	p.delivered = append(p.delivered, DeliveredMsg{Key: key, Payload: payload, Slot: slot})
+}
+
+// onDeliver handles a frame delivered by the controller.
+func (p *Process) onDeliver(slot uint64, f *frame.Frame) {
+	m, ok := decode(f)
+	if !ok {
+		return
+	}
+	switch p.opts.Protocol {
+	case RawCAN:
+		if m.Kind == KindData {
+			// Raw CAN passes every copy through: duplicates and omissions
+			// are visible to the application.
+			p.deliver(m.Key, m.Payload, slot)
+		}
+	case EDCAN:
+		p.onDeliverEDCAN(slot, m, f)
+	case RELCAN:
+		p.onDeliverRELCAN(slot, m, f)
+	case TOTCAN:
+		p.onDeliverTOTCAN(slot, m)
+	}
+}
+
+func (p *Process) onDeliverEDCAN(slot uint64, m Message, f *frame.Frame) {
+	if m.Kind != KindData {
+		return
+	}
+	if m.Key.Origin == p.id {
+		// A replica of an own message coming back: the origin already
+		// transmitted the original and must not relay again.
+		return
+	}
+	if !p.seen[m.Key] {
+		p.seen[m.Key] = true
+		p.deliver(m.Key, m.Payload, slot)
+	}
+	// Every receiver retransmits the message once after reception; the
+	// replica is bit-identical so concurrent replicas merge on the bus.
+	if !p.relayed[m.Key] {
+		p.relayed[m.Key] = true
+		_ = p.ctrl.Enqueue(f)
+	}
+}
+
+func (p *Process) onDeliverRELCAN(slot uint64, m Message, f *frame.Frame) {
+	switch m.Kind {
+	case KindData:
+		if !p.seen[m.Key] {
+			p.seen[m.Key] = true
+			p.deliver(m.Key, m.Payload, slot)
+			// Wait for the transmitter's CONFIRM; retransmit on timeout.
+			p.timers[m.Key] = &timer{deadline: slot + p.opts.confirmTimeout(), data: f.Clone()}
+		}
+	case KindConfirm:
+		delete(p.timers, m.Key)
+	}
+}
+
+func (p *Process) onDeliverTOTCAN(slot uint64, m Message) {
+	switch m.Kind {
+	case KindData:
+		if !p.seen[m.Key] {
+			p.seen[m.Key] = true
+			p.queue = append(p.queue, m.Key)
+			p.payloads[m.Key] = m.Payload
+			p.timers[m.Key] = &timer{deadline: slot + p.opts.acceptTimeout()}
+		}
+	case KindAccept:
+		for i, k := range p.queue {
+			if k == m.Key {
+				p.queue = append(p.queue[:i], p.queue[i+1:]...)
+				delete(p.timers, m.Key)
+				p.deliver(m.Key, p.payloads[m.Key], slot)
+				return
+			}
+		}
+		// ACCEPT for a message we never received (e.g. the paper's new
+		// scenario): nothing to fix — the message is lost here.
+	}
+}
+
+// onTxSuccess handles the controller's confirmation of an own
+// transmission.
+func (p *Process) onTxSuccess(slot uint64, f *frame.Frame) {
+	m, ok := decode(f)
+	if !ok {
+		return
+	}
+	switch p.opts.Protocol {
+	case RawCAN, EDCAN:
+		if m.Kind == KindData && m.Key.Origin == p.id && !p.deliveredLocally(m.Key) {
+			p.deliver(m.Key, m.Payload, slot) // local delivery of the own message
+		}
+	case RELCAN:
+		if m.Kind == KindData && m.Key.Origin == p.id {
+			if !p.deliveredLocally(m.Key) {
+				p.deliver(m.Key, m.Payload, slot)
+			}
+			confirm, err := encode(Message{Kind: KindConfirm, Key: m.Key})
+			if err == nil {
+				_ = p.ctrl.Enqueue(confirm)
+			}
+		}
+	case TOTCAN:
+		switch {
+		case m.Kind == KindData && m.Key.Origin == p.id:
+			accept, err := encode(Message{Kind: KindAccept, Key: m.Key})
+			if err == nil {
+				_ = p.ctrl.Enqueue(accept)
+			}
+		case m.Kind == KindAccept && m.Key.Origin == p.id:
+			if !p.deliveredLocally(m.Key) {
+				p.deliver(m.Key, p.payloads[m.Key], slot) // own message ordered
+			}
+		}
+	}
+}
+
+func (p *Process) deliveredLocally(key abcheck.MsgKey) bool {
+	for _, d := range p.delivered {
+		if d.Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Tick advances the process clock and fires expired timers.
+func (p *Process) Tick(slot uint64) {
+	p.now = slot
+	if len(p.timers) == 0 {
+		return
+	}
+	expired := make([]abcheck.MsgKey, 0, 1)
+	for key, tm := range p.timers {
+		if slot >= tm.deadline {
+			expired = append(expired, key)
+		}
+	}
+	// Deterministic firing order.
+	sort.Slice(expired, func(i, j int) bool {
+		a, b := expired[i], expired[j]
+		if a.Origin != b.Origin {
+			return a.Origin < b.Origin
+		}
+		return a.Seq < b.Seq
+	})
+	for _, key := range expired {
+		tm := p.timers[key]
+		delete(p.timers, key)
+		switch p.opts.Protocol {
+		case RELCAN:
+			// CONFIRM missing: assume transmitter failure and take over the
+			// retransmission of the main message.
+			if !p.relayed[key] && tm.data != nil {
+				p.relayed[key] = true
+				_ = p.ctrl.Enqueue(tm.data)
+			}
+		case TOTCAN:
+			// ACCEPT missing: remove the message from the queue.
+			for i, k := range p.queue {
+				if k == key {
+					p.queue = append(p.queue[:i], p.queue[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package hlp
+
+import (
+	"fmt"
+
+	"repro/internal/abcheck"
+	"repro/internal/frame"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// Stack couples a cluster of CAN controllers with one protocol process per
+// station.
+type Stack struct {
+	Cluster *sim.Cluster
+	Procs   []*Process
+	opts    Options
+}
+
+// NewStack builds n stations running the given protocol over controllers
+// with the given end-of-frame policy.
+func NewStack(n int, policy node.EOFPolicy, opts Options) (*Stack, error) {
+	if opts.Protocol == 0 {
+		return nil, fmt.Errorf("hlp: no protocol selected")
+	}
+	s := &Stack{opts: opts, Procs: make([]*Process, n)}
+	for i := range s.Procs {
+		s.Procs[i] = newProcess(i, opts)
+	}
+	cluster, err := sim.NewCluster(sim.ClusterOptions{
+		Nodes:  n,
+		Policy: policy,
+		NodeHooks: func(station int) node.Hooks {
+			return node.Hooks{
+				OnDeliver: func(slot uint64, f *frame.Frame) {
+					s.Procs[station].onDeliver(slot, f)
+				},
+				OnTxSuccess: func(slot uint64, f *frame.Frame) {
+					s.Procs[station].onTxSuccess(slot, f)
+				},
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.Cluster = cluster
+	for i, p := range s.Procs {
+		p.ctrl = cluster.Nodes[i]
+	}
+	return s, nil
+}
+
+// MustStack is NewStack panicking on error, for tests and examples.
+func MustStack(n int, policy node.EOFPolicy, opts Options) *Stack {
+	s, err := NewStack(n, policy, opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Step advances the bus one bit slot and runs the process timers.
+func (s *Stack) Step() {
+	s.Cluster.Net.Step()
+	slot := s.Cluster.Net.Slot()
+	for _, p := range s.Procs {
+		if !p.ctrl.Crashed() {
+			p.Tick(slot)
+		}
+	}
+}
+
+// Quiet reports whether the controllers are idle and no process timer is
+// pending.
+func (s *Stack) Quiet() bool {
+	if !s.Cluster.Quiet() {
+		return false
+	}
+	for _, p := range s.Procs {
+		if p.ctrl.Crashed() {
+			continue
+		}
+		if p.Pending() {
+			return false
+		}
+	}
+	return true
+}
+
+// RunUntilQuiet steps until quiescence or the slot budget is exhausted and
+// reports whether quiescence was reached.
+func (s *Stack) RunUntilQuiet(maxSlots int) bool {
+	for i := 0; i < maxSlots; i++ {
+		if s.Quiet() {
+			for j := 0; j < 4; j++ {
+				s.Step()
+			}
+			return true
+		}
+		s.Step()
+	}
+	return s.Quiet()
+}
+
+// Trace assembles the abcheck trace of the run. Crashed or disconnected
+// stations are marked faulty.
+func (s *Stack) Trace() abcheck.Trace {
+	tr := abcheck.Trace{
+		Nodes:  len(s.Procs),
+		Faulty: make(map[int]bool),
+	}
+	for i, p := range s.Procs {
+		tr.Broadcasts = append(tr.Broadcasts, p.Broadcasts()...)
+		for _, d := range p.Delivered() {
+			tr.Deliveries = append(tr.Deliveries, abcheck.Delivery{Node: i, Key: d.Key, Slot: d.Slot})
+		}
+		mode := p.ctrl.Mode()
+		if p.ctrl.Crashed() || mode == node.BusOff || mode == node.SwitchedOff {
+			tr.Faulty[i] = true
+		}
+	}
+	return tr
+}
+
+// Check runs the Atomic Broadcast checker on the stack's trace.
+func (s *Stack) Check() *abcheck.Report {
+	return abcheck.Check(s.Trace())
+}

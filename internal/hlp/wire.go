@@ -1,0 +1,106 @@
+// Package hlp implements the higher-level broadcast protocols of Rufino et
+// al. (FTCS'98) that the MajorCAN paper compares against: EDCAN, RELCAN and
+// TOTCAN, plus the raw CAN baseline. They run as processes on top of the
+// simulated CAN controllers.
+//
+// The paper's Section 4 claim — that in the new inconsistency scenarios
+// only EDCAN still operates properly (and even EDCAN provides no total
+// order) — is demonstrated by this package's tests.
+package hlp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/abcheck"
+	"repro/internal/frame"
+)
+
+// Kind tags the protocol messages on the wire.
+type Kind uint8
+
+const (
+	// KindData is an application message (or an EDCAN/RELCAN replica of
+	// one: replicas are bit-identical to the original frame so that
+	// concurrent replicas merge on the bus).
+	KindData Kind = iota + 1
+	// KindConfirm is RELCAN's CONFIRM control message.
+	KindConfirm
+	// KindAccept is TOTCAN's ACCEPT control message.
+	KindAccept
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "DATA"
+	case KindConfirm:
+		return "CONFIRM"
+	case KindAccept:
+		return "ACCEPT"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// CAN identifier layout: control messages use a higher-priority block than
+// data so that CONFIRM/ACCEPT frames win arbitration against queued data.
+const (
+	ctrlIDBase = 0x100
+	dataIDBase = 0x200
+)
+
+// Payload layout: kind(1) origin(1) seq(4) user-payload(0..2).
+const headerLen = 6
+
+// maxUserPayload is the user payload capacity left after the header.
+const maxUserPayload = frame.MaxDataLen - headerLen
+
+// Message is a decoded protocol message.
+type Message struct {
+	Kind    Kind
+	Key     abcheck.MsgKey
+	Payload []byte
+}
+
+// encode builds the CAN frame for a protocol message.
+func encode(m Message) (*frame.Frame, error) {
+	if len(m.Payload) > maxUserPayload {
+		return nil, fmt.Errorf("hlp: payload %d bytes exceeds capacity %d", len(m.Payload), maxUserPayload)
+	}
+	if m.Key.Origin < 0 || m.Key.Origin > 0xFF {
+		return nil, fmt.Errorf("hlp: origin %d out of range", m.Key.Origin)
+	}
+	data := make([]byte, headerLen+len(m.Payload))
+	data[0] = byte(m.Kind)
+	data[1] = byte(m.Key.Origin)
+	binary.BigEndian.PutUint32(data[2:6], m.Key.Seq)
+	copy(data[headerLen:], m.Payload)
+	id := uint32(dataIDBase)
+	if m.Kind != KindData {
+		id = ctrlIDBase
+	}
+	id |= uint32(m.Key.Origin)
+	return &frame.Frame{ID: id, Data: data}, nil
+}
+
+// decode parses a received frame; ok is false for frames that do not carry
+// a protocol message.
+func decode(f *frame.Frame) (Message, bool) {
+	if f.Remote || len(f.Data) < headerLen {
+		return Message{}, false
+	}
+	k := Kind(f.Data[0])
+	if k != KindData && k != KindConfirm && k != KindAccept {
+		return Message{}, false
+	}
+	m := Message{
+		Kind: k,
+		Key: abcheck.MsgKey{
+			Origin: int(f.Data[1]),
+			Seq:    binary.BigEndian.Uint32(f.Data[2:6]),
+		},
+		Payload: append([]byte(nil), f.Data[headerLen:]...),
+	}
+	return m, true
+}

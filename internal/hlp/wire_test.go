@@ -1,0 +1,101 @@
+package hlp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/abcheck"
+	"repro/internal/frame"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	kinds := []Kind{KindData, KindConfirm, KindAccept}
+	for trial := 0; trial < 500; trial++ {
+		m := Message{
+			Kind: kinds[r.Intn(len(kinds))],
+			Key: abcheck.MsgKey{
+				Origin: r.Intn(256),
+				Seq:    r.Uint32(),
+			},
+			Payload: make([]byte, r.Intn(maxUserPayload+1)),
+		}
+		r.Read(m.Payload)
+		f, err := encode(m)
+		if err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+		if err := f.Validate(); err != nil {
+			t.Fatalf("trial %d: encoded frame invalid: %v", trial, err)
+		}
+		got, ok := decode(f)
+		if !ok {
+			t.Fatalf("trial %d: decode failed", trial)
+		}
+		if got.Kind != m.Kind || got.Key != m.Key {
+			t.Fatalf("trial %d: got %+v, want %+v", trial, got, m)
+		}
+		if string(got.Payload) != string(m.Payload) {
+			t.Fatalf("trial %d: payload mismatch", trial)
+		}
+	}
+}
+
+func TestWireControlMessagesOutrankData(t *testing.T) {
+	data, err := encode(Message{Kind: KindData, Key: abcheck.MsgKey{Origin: 0, Seq: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []Kind{KindConfirm, KindAccept} {
+		ctrl, err := encode(Message{Kind: kind, Key: abcheck.MsgKey{Origin: 255, Seq: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ctrl.ID >= data.ID {
+			t.Errorf("%s id %#x must beat data id %#x in arbitration", kind, ctrl.ID, data.ID)
+		}
+	}
+}
+
+func TestWireRejectsOversizedPayload(t *testing.T) {
+	_, err := encode(Message{
+		Kind:    KindData,
+		Key:     abcheck.MsgKey{Origin: 1, Seq: 1},
+		Payload: make([]byte, maxUserPayload+1),
+	})
+	if err == nil {
+		t.Error("oversized payload must be rejected")
+	}
+	if _, err := encode(Message{Kind: KindData, Key: abcheck.MsgKey{Origin: 300}}); err == nil {
+		t.Error("out-of-range origin must be rejected")
+	}
+}
+
+func TestDecodeRejectsForeignFrames(t *testing.T) {
+	if _, ok := decode(&frame.Frame{ID: 1, Remote: true, DLC: 8}); ok {
+		t.Error("remote frames are not protocol messages")
+	}
+	if _, ok := decode(&frame.Frame{ID: 1, Data: []byte{1, 2}}); ok {
+		t.Error("short frames are not protocol messages")
+	}
+	if _, ok := decode(&frame.Frame{ID: 1, Data: []byte{99, 0, 0, 0, 0, 1}}); ok {
+		t.Error("unknown kinds are not protocol messages")
+	}
+}
+
+func TestProtocolAndKindStrings(t *testing.T) {
+	for p, want := range map[Protocol]string{
+		RawCAN: "RawCAN", EDCAN: "EDCAN", RELCAN: "RELCAN", TOTCAN: "TOTCAN",
+	} {
+		if p.String() != want {
+			t.Errorf("Protocol(%d) = %q, want %q", p, p.String(), want)
+		}
+	}
+	for k, want := range map[Kind]string{
+		KindData: "DATA", KindConfirm: "CONFIRM", KindAccept: "ACCEPT",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d) = %q, want %q", k, k.String(), want)
+		}
+	}
+}

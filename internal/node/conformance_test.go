@@ -1,0 +1,205 @@
+package node_test
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/errmodel"
+	"repro/internal/frame"
+	"repro/internal/node"
+	"repro/internal/trace"
+)
+
+// A dominant bit inside the error delimiter (positions 2..7) is a form
+// error: the node signals again and the bus still converges.
+func TestDominantInErrorDelimiter(t *testing.T) {
+	c := standardCluster(t, 3)
+	// First break the frame mid-body at one receiver (globalised), then
+	// corrupt that receiver's view during its error delimiter.
+	first := false
+	c.Net.AddDisturber(errmodel.NewScript(
+		&errmodel.Rule{
+			Stations: []int{1},
+			When: func(_ uint64, _ int, v bus.ViewContext) bool {
+				if first || v.Phase != bus.PhaseFrame || v.Field != frame.FieldData {
+					return false
+				}
+				first = true
+				return true
+			},
+		},
+		func() *errmodel.Rule {
+			// Fire at the third error-delimiter bit of station 1 — well
+			// inside the counted delimiter, where a dominant level is a
+			// form error (not during the wait-for-recessive phase).
+			seen := 0
+			return &errmodel.Rule{
+				Stations: []int{1},
+				Count:    1,
+				When: func(_ uint64, _ int, v bus.ViewContext) bool {
+					if v.Phase != bus.PhaseErrorDelim {
+						return false
+					}
+					seen++
+					return seen == 3
+				},
+			}
+		}(),
+	))
+	f := &frame.Frame{ID: 3, Data: []byte{0x0F}}
+	if err := c.Nodes[0].Enqueue(f); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntilQuiet(6000) {
+		t.Fatal("no quiescence")
+	}
+	// Despite the extra error frame the retransmission eventually
+	// delivers exactly once everywhere.
+	for i := 1; i < 3; i++ {
+		if n := c.DeliveryCount(i, f); n != 1 {
+			t.Errorf("station %d delivered %d, want 1", i, n)
+		}
+	}
+	if got := c.Nodes[1].ErrorCount(node.ErrForm); got == 0 {
+		t.Error("the delimiter corruption must register as a form error")
+	}
+}
+
+// At most two successive overload frames: a node whose view keeps showing
+// dominant intermissions escalates to a form error instead of looping.
+func TestOverloadCascadeCapped(t *testing.T) {
+	c := standardCluster(t, 3)
+	// Flip station 1's view during its first two intermission bits,
+	// repeatedly (Count generous).
+	c.Net.AddDisturber(errmodel.NewScript(&errmodel.Rule{
+		Stations: []int{1},
+		Count:    6,
+		When: func(_ uint64, _ int, v bus.ViewContext) bool {
+			return v.Phase == bus.PhaseIntermission && v.Index == 0
+		},
+	}))
+	f := &frame.Frame{ID: 3, Data: []byte{1}}
+	if err := c.Nodes[0].Enqueue(f); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntilQuiet(8000) {
+		t.Fatal("no quiescence")
+	}
+	if got := c.Nodes[1].ErrorCount(node.ErrOverload); got == 0 {
+		t.Error("expected overload conditions")
+	}
+	// The escalation after two overloads surfaces as form errors; the bus
+	// still recovers and delivers.
+	if n := c.DeliveryCount(1, f); n != 1 {
+		t.Errorf("station 1 delivered %d, want 1", n)
+	}
+}
+
+// Arbitration among extended identifiers is resolved inside the 18-bit
+// extension field.
+func TestExtendedIDArbitrationInExtension(t *testing.T) {
+	c := standardCluster(t, 3)
+	// Same base ID, different extension: the lower extension wins.
+	base := uint32(0x155) << 18
+	hi := &frame.Frame{ID: base | 0x2FF00, Format: frame.Extended, Data: []byte{1}}
+	lo := &frame.Frame{ID: base | 0x2FE00, Format: frame.Extended, Data: []byte{2}}
+	if err := c.Nodes[0].Enqueue(hi); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Nodes[1].Enqueue(lo); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntilQuiet(4000) {
+		t.Fatal("no quiescence")
+	}
+	ds := c.Deliveries[2]
+	if len(ds) != 2 {
+		t.Fatalf("observer got %d frames, want 2", len(ds))
+	}
+	if !ds[0].Frame.Equal(lo) {
+		t.Errorf("first delivery = %v, want the lower extension", ds[0].Frame)
+	}
+}
+
+// A node that loses arbitration mid-extension continues as receiver and
+// still delivers the winner's frame.
+func TestArbitrationLoserDelivers(t *testing.T) {
+	c := standardCluster(t, 3)
+	win := &frame.Frame{ID: 0x100, Data: []byte{1}}
+	lose := &frame.Frame{ID: 0x101, Data: []byte{2}}
+	if err := c.Nodes[0].Enqueue(lose); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Nodes[1].Enqueue(win); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntilQuiet(4000) {
+		t.Fatal("no quiescence")
+	}
+	if !c.DeliveredAt(0, win) {
+		t.Error("the arbitration loser must deliver the winning frame")
+	}
+	if !c.DeliveredAt(1, lose) {
+		t.Error("the retried loser frame must reach the earlier winner")
+	}
+}
+
+// The recorded phase sequence of a clean transmission matches the CAN
+// frame structure: frame -> eof -> intermission -> idle.
+func TestCleanFramePhaseSequence(t *testing.T) {
+	c := standardCluster(t, 2)
+	rec := trace.NewRecorder("T", "R")
+	c.Net.AddProbe(rec)
+	if err := c.Nodes[0].Enqueue(&frame.Frame{ID: 1, Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntilQuiet(2000) {
+		t.Fatal("no quiescence")
+	}
+	var kinds []bus.Phase
+	for _, span := range rec.Phases(0) {
+		kinds = append(kinds, span.Phase)
+	}
+	want := []bus.Phase{bus.PhaseIdle, bus.PhaseFrame, bus.PhaseEOF, bus.PhaseIntermission, bus.PhaseIdle}
+	if len(kinds) != len(want) {
+		t.Fatalf("phases = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("phase %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+// Back-to-back traffic from two stations alternates via arbitration
+// without dead slots beyond the interframe space.
+func TestSaturatedBusUtilisation(t *testing.T) {
+	c := standardCluster(t, 3)
+	for i := 0; i < 6; i++ {
+		if err := c.Nodes[i%2].Enqueue(&frame.Frame{ID: uint32(0x100 + i), Data: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec := trace.NewRecorder()
+	c.Net.AddProbe(rec)
+	if !c.RunUntilQuiet(4000) {
+		t.Fatal("no quiescence")
+	}
+	if len(c.Deliveries[2]) != 6 {
+		t.Fatalf("observer got %d frames, want 6", len(c.Deliveries[2]))
+	}
+	// Between consecutive frames the idle time at the observer must be
+	// exactly the 3-bit intermission (no drained slots).
+	idleRuns := 0
+	for _, span := range rec.Phases(2) {
+		if span.Phase == bus.PhaseIntermission {
+			if got := int(span.To - span.From + 1); got != 3 {
+				t.Errorf("intermission of %d slots, want 3", got)
+			}
+			idleRuns++
+		}
+	}
+	if idleRuns != 6 {
+		t.Errorf("saw %d intermissions, want 6", idleRuns)
+	}
+}

@@ -1,0 +1,372 @@
+package node
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/frame"
+)
+
+// flagBits is the length of active error and overload flags.
+const flagBits = 6
+
+// maxOverloads is the maximum number of successive overload frames a node
+// generates (CAN specification: at most two).
+const maxOverloads = 2
+
+func arbitrationField(f frame.Field) bool {
+	switch f {
+	case frame.FieldID, frame.FieldSRR, frame.FieldIDE, frame.FieldExtID, frame.FieldRTR:
+		return true
+	default:
+		return false
+	}
+}
+
+// beginFrame initialises the receive pipeline (and the transmit overlay
+// when tx is true) for a frame whose SOF is being latched this slot.
+func (c *Controller) beginFrame(tx bool) {
+	c.state = stFrame
+	c.transmitter = tx
+	c.lastTxSelf = tx
+	c.destuff.Reset()
+	c.asm.Reset()
+	c.rxTail = 0
+	c.rejectAtStart = false
+	c.overloads = 0
+	c.attempts++
+	if tx {
+		head := c.queue.peek()
+		if head == nil {
+			// StartTx is only entered with a pending frame; this is a
+			// programming error.
+			panic(fmt.Sprintf("node %s: transmit with empty queue", c.name))
+		}
+		enc, err := frame.Encode(head, c.policy.EOFBits())
+		if err != nil {
+			// Frames are validated at Enqueue; this is a programming error.
+			panic(fmt.Sprintf("node %s: encode queued frame: %v", c.name, err))
+		}
+		c.txEnc, c.txPos = enc, 0
+	}
+}
+
+func (c *Controller) latchFrame(level bitstream.Level) {
+	if c.transmitter {
+		sent := c.txEnc.Bits[c.txPos]
+		ref := c.txEnc.Refs[c.txPos]
+		if sent != level {
+			switch {
+			case sent == bitstream.Recessive && arbitrationField(ref.Field):
+				// Lost arbitration: continue as a receiver; the sampled bit
+				// belongs to the winner's frame and flows into the receive
+				// pipeline below.
+				c.transmitter = false
+			case sent == bitstream.Recessive && ref.Field == frame.FieldACKSlot:
+				// Receivers asserting the acknowledgement.
+			default:
+				c.signalError(ErrBit)
+				return
+			}
+		} else if ref.Field == frame.FieldACKSlot && level == bitstream.Recessive {
+			// Nobody acknowledged the frame.
+			c.signalError(ErrAck)
+			return
+		}
+		if c.transmitter {
+			c.txPos++
+		}
+	}
+
+	// Receive pipeline: every node, the transmitter included, tracks the
+	// frame through the destuffer and assembler so that an arbitration
+	// loser can continue seamlessly as a receiver.
+	if !c.asm.Done() {
+		kind, err := c.destuff.Push(level)
+		if err != nil {
+			c.signalError(ErrStuff)
+			return
+		}
+		if kind == bitstream.StuffBit {
+			return
+		}
+		if _, aerr := c.asm.Push(level); aerr != nil {
+			c.signalError(ErrForm)
+		}
+		return
+	}
+
+	// If the last five CRC bits were equal, one more stuff bit follows the
+	// CRC sequence before the CRC delimiter (stuffing covers SOF through
+	// the CRC sequence inclusive).
+	if c.rxTail == 0 && c.destuff.NextIsStuff() {
+		if _, err := c.destuff.Push(level); err != nil {
+			c.signalError(ErrStuff)
+		}
+		return
+	}
+
+	// Fixed-form tail: CRC delimiter, ACK slot, ACK delimiter.
+	switch c.rxTail {
+	case 0: // CRC delimiter must be recessive.
+		c.rxTail++
+		if level == bitstream.Dominant {
+			c.signalError(ErrForm)
+		}
+	case 1: // ACK slot. The transmitter's checks happened above; a receiver
+		// sampling dominant here simply observes the acknowledgement.
+		c.rxTail++
+	case 2: // ACK delimiter; the end-of-frame region starts next bit.
+		c.rxTail++
+		if !c.transmitter {
+			if level == bitstream.Dominant {
+				// A form error this late is signalled from the first EOF
+				// bit, exactly like a CRC error.
+				c.recordError(ErrForm)
+				c.enterEpisode(true, ErrForm)
+				return
+			}
+			if !c.asm.CRCOK() {
+				c.recordError(ErrCRC)
+				c.enterEpisode(true, ErrCRC)
+				return
+			}
+		}
+		c.enterEpisode(false, 0)
+	}
+}
+
+func (c *Controller) enterEpisode(reject bool, kind ErrorKind) {
+	c.state = stEpisode
+	c.rejectAtStart = reject
+	c.episode = c.policy.NewEpisode(EpisodeEnv{
+		Transmitter:   c.transmitter,
+		RejectAtStart: reject,
+		RejectKind:    kind,
+		ErrorPassive:  c.mode == ErrorPassive,
+	})
+}
+
+func (c *Controller) latchEpisode(level bitstream.Level) {
+	st := c.episode.Latch(level)
+	if !st.Done {
+		return
+	}
+	c.episode = nil
+	if st.Signalled && !c.rejectAtStart {
+		// A RejectAtStart error was already recorded when it was detected.
+		c.recordError(st.Kind)
+	}
+	if h := c.opts.Hooks.OnVerdict; h != nil {
+		h(c.now, st.Verdict, c.transmitter)
+	}
+	wasTx := c.transmitter
+	c.transmitter = false
+	switch st.Verdict {
+	case VerdictAccept:
+		if wasTx {
+			f := c.queue.pop()
+			c.txOK++
+			c.creditSuccess(true)
+			if h := c.opts.Hooks.OnTxSuccess; h != nil {
+				h(c.now, f)
+			}
+		} else if !c.rejectAtStart {
+			f := c.asm.Frame()
+			c.delivered++
+			c.creditSuccess(false)
+			if h := c.opts.Hooks.OnDeliver; h != nil {
+				h(c.now, f)
+			}
+		}
+	case VerdictReject:
+		c.flagOwnerTx = wasTx
+		if wasTx {
+			c.tec += 8
+			if c.opts.DisableRetransmission {
+				c.queue.pop()
+			}
+		} else {
+			c.rec++
+		}
+		c.refreshMode()
+	}
+	if c.state == stOff {
+		return
+	}
+	switch st.After {
+	case AfterNone:
+		c.enterIntermission()
+	case AfterOverloadDelim:
+		c.overloads = 1
+		c.startDelim(AfterOverloadDelim, st.DelimCredit)
+	default:
+		c.startDelim(AfterErrorDelim, st.DelimCredit)
+	}
+}
+
+// signalError handles an error detected mid-frame (or during a delimiter):
+// fault confinement accounting, then transmission of an error flag starting
+// with the next bit.
+func (c *Controller) signalError(kind ErrorKind) {
+	c.recordError(kind)
+	wasTx := c.transmitter
+	c.transmitter = false
+	c.flagOwnerTx = wasTx
+	if wasTx {
+		// Exception: an error-passive transmitter detecting an ACK error
+		// does not increment its TEC (CAN fault confinement rule 3
+		// exception), so a lone node does not drift to bus-off.
+		if !(kind == ErrAck && c.mode == ErrorPassive) {
+			c.tec += 8
+		}
+		if c.opts.DisableRetransmission {
+			c.queue.pop()
+		}
+	} else {
+		c.rec++
+	}
+	c.refreshMode()
+	if c.state == stOff {
+		return
+	}
+	c.flagLeft = flagBits
+	if c.mode == ErrorPassive {
+		c.state = stPassiveFlag
+	} else {
+		c.state = stErrorFlag
+	}
+	c.delimAfter = AfterErrorDelim
+}
+
+func (c *Controller) recordError(kind ErrorKind) {
+	c.errCount[kind]++
+	if h := c.opts.Hooks.OnError; h != nil {
+		h(c.now, kind, c.transmitter)
+	}
+}
+
+func (c *Controller) latchFlag(level bitstream.Level) {
+	if c.state == stErrorFlag || c.state == stOverloadFlag {
+		if level == bitstream.Recessive {
+			// Bit error while sending an active flag (fault confinement
+			// rule: +8).
+			if c.flagOwnerTx {
+				c.tec += 8
+			} else {
+				c.rec += 8
+			}
+			c.refreshMode()
+			if c.state == stOff {
+				return
+			}
+		}
+	}
+	c.flagLeft--
+	if c.flagLeft <= 0 {
+		after := AfterErrorDelim
+		if c.state == stOverloadFlag {
+			after = AfterOverloadDelim
+		}
+		c.startDelim(after, 0)
+	}
+}
+
+func (c *Controller) startDelim(after After, credit int) {
+	c.state = stDelim
+	c.delimAfter = after
+	c.delimSeen = credit > 0
+	c.delimCount = credit
+	c.waitDominant = 0
+}
+
+func (c *Controller) latchDelim(level bitstream.Level) {
+	if !c.delimSeen {
+		if level == bitstream.Dominant {
+			// Still superposed flags from other nodes. Fault confinement:
+			// +8 for every eight consecutive dominant bits after a flag.
+			c.waitDominant++
+			if c.waitDominant%8 == 0 {
+				if c.flagOwnerTx {
+					c.tec += 8
+				} else {
+					c.rec += 8
+				}
+				c.refreshMode()
+			}
+			return
+		}
+		c.delimSeen = true
+		c.delimCount = 1
+		c.finishDelimIfDone()
+		return
+	}
+	c.delimCount++
+	if level == bitstream.Dominant {
+		if c.delimCount >= c.policy.DelimiterBits() {
+			// Dominant at the last delimiter bit: overload condition.
+			c.recordError(ErrOverload)
+			c.startOverload()
+			return
+		}
+		// Form error inside the delimiter.
+		c.signalError(ErrForm)
+		return
+	}
+	c.finishDelimIfDone()
+}
+
+func (c *Controller) finishDelimIfDone() {
+	if c.delimCount >= c.policy.DelimiterBits() {
+		c.enterIntermission()
+	}
+}
+
+func (c *Controller) startOverload() {
+	if c.overloads >= maxOverloads {
+		// The specification allows at most two successive overload frames;
+		// treat further dominant violations as form errors.
+		c.signalError(ErrForm)
+		return
+	}
+	c.overloads++
+	c.state = stOverloadFlag
+	c.flagLeft = flagBits
+	c.flagOwnerTx = false
+}
+
+func (c *Controller) enterIntermission() {
+	c.state = stIntermission
+	c.intermCount = 0
+}
+
+func (c *Controller) latchIntermission(level bitstream.Level) {
+	if level == bitstream.Dominant {
+		if c.intermCount < frame.IntermissionBits-1 {
+			// Dominant during the first two intermission bits: overload.
+			c.recordError(ErrOverload)
+			c.startOverload()
+		} else {
+			// Dominant at the third bit of intermission is interpreted as a
+			// start of frame.
+			c.beginFrame(false)
+			c.latchFrame(level)
+		}
+		return
+	}
+	c.intermCount++
+	if c.intermCount >= frame.IntermissionBits {
+		c.overloads = 0
+		switch {
+		case c.queue.len() == 0:
+			c.state = stIdle
+		case c.mode == ErrorPassive && c.lastTxSelf:
+			// Suspend transmission: an error-passive node that was the
+			// transmitter waits eight bits before the next attempt.
+			c.state = stSuspend
+			c.suspendLeft = 8
+		default:
+			c.state = stStartTx
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package node_test
+
+import (
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/node"
+)
+
+// Bus-off recovery: after 128 occurrences of 11 consecutive recessive bits
+// an AutoRecover node rejoins the bus error-active and can transmit again.
+func TestBusOffRecovery(t *testing.T) {
+	n0 := node.New("tx", core.NewStandard(), node.Options{AutoRecover: true})
+	n1 := node.New("rx", core.NewStandard(), node.Options{})
+	net := bus.NewNetwork()
+	net.Attach(n0)
+	net.Attach(n1)
+
+	n0.SetErrorCounters(node.BusOffLimit, 0)
+	if n0.Mode() != node.BusOff {
+		t.Fatalf("mode = %v, want bus-off", n0.Mode())
+	}
+	if err := n0.Enqueue(&frame.Frame{ID: 7, Data: []byte{7}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Not yet recovered after fewer than 128*11 recessive bits.
+	net.Run(128*11 - 12)
+	if n0.Mode() != node.BusOff {
+		t.Fatalf("recovered too early at mode %v", n0.Mode())
+	}
+	// Complete the recovery sequence and let the pending frame go out.
+	net.Run(12 + 200)
+	if n0.Mode() != node.ErrorActive {
+		t.Fatalf("mode = %v, want error-active after recovery", n0.Mode())
+	}
+	if tec, rec := n0.Counters(); tec != 0 || rec != 0 {
+		t.Errorf("counters after recovery = %d/%d, want 0/0", tec, rec)
+	}
+	if n0.TxSuccesses() != 1 {
+		t.Errorf("tx successes = %d, want 1 (queued frame sent after recovery)", n0.TxSuccesses())
+	}
+	if n1.Delivered() != 1 {
+		t.Errorf("receiver delivered %d, want 1", n1.Delivered())
+	}
+}
+
+// A dominant bit interrupts the recovery run counting.
+func TestBusOffRecoveryInterruptedByTraffic(t *testing.T) {
+	n0 := node.New("off", core.NewStandard(), node.Options{AutoRecover: true})
+	n1 := node.New("tx", core.NewStandard(), node.Options{})
+	n2 := node.New("rx", core.NewStandard(), node.Options{})
+	net := bus.NewNetwork()
+	net.Attach(n0)
+	net.Attach(n1)
+	net.Attach(n2)
+	n0.SetErrorCounters(node.BusOffLimit, 0)
+
+	// Keep the bus busy: recovery must take longer than the idle-bus bound
+	// because frames contain dominant bits.
+	for i := 0; i < 12; i++ {
+		if err := n1.Enqueue(&frame.Frame{ID: uint32(i), Data: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Run(128*11 + 24)
+	if n0.Mode() != node.BusOff {
+		t.Error("node must still be bus-off while traffic interrupts the recovery sequence")
+	}
+	// After the bus drains and goes idle long enough, recovery completes.
+	net.Run(12 * 150)
+	net.Run(128 * 11)
+	if n0.Mode() != node.ErrorActive {
+		t.Errorf("mode = %v, want error-active once the bus has been idle long enough", n0.Mode())
+	}
+}
+
+// Crashed nodes never recover, AutoRecover or not.
+func TestCrashIsTerminal(t *testing.T) {
+	n0 := node.New("crash", core.NewStandard(), node.Options{AutoRecover: true})
+	net := bus.NewNetwork()
+	net.Attach(n0)
+	n0.Crash()
+	net.Run(130 * 11)
+	if n0.Mode() != node.SwitchedOff {
+		t.Errorf("mode = %v, want switched-off forever", n0.Mode())
+	}
+	if got := n0.Drive(); got != bitstream.Recessive {
+		t.Errorf("crashed node drives %v, want recessive", got)
+	}
+}
+
+// Without AutoRecover, bus-off is terminal.
+func TestBusOffWithoutAutoRecoverIsTerminal(t *testing.T) {
+	n0 := node.New("off", core.NewStandard(), node.Options{})
+	net := bus.NewNetwork()
+	net.Attach(n0)
+	n0.SetErrorCounters(node.BusOffLimit, 0)
+	net.Run(200 * 11)
+	if n0.Mode() != node.BusOff {
+		t.Errorf("mode = %v, want bus-off forever", n0.Mode())
+	}
+}

@@ -1,0 +1,170 @@
+// Package node implements a bit-synchronous CAN controller: arbitration,
+// the receive pipeline (destuffing, CRC, frame assembly), error detection
+// and signalling, fault confinement, and automatic retransmission.
+//
+// The behaviour at the end of frame — exactly the part the MajorCAN paper
+// modifies — is delegated to an EOFPolicy. Package core provides the three
+// policies: standard CAN, MinorCAN and MajorCAN_m.
+package node
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/bus"
+)
+
+// ErrorKind classifies the CAN error detection mechanisms plus the
+// overload condition.
+type ErrorKind uint8
+
+const (
+	// ErrBit is a bit error: a transmitter monitored a level different from
+	// the one it sent.
+	ErrBit ErrorKind = iota + 1
+	// ErrStuff is a stuff error: six consecutive equal bits in a stuffed
+	// field.
+	ErrStuff
+	// ErrCRC is a CRC error: the received CRC sequence does not match the
+	// computed one.
+	ErrCRC
+	// ErrForm is a form error: a fixed-form bit field contains an illegal
+	// level.
+	ErrForm
+	// ErrAck is an acknowledgment error: the transmitter monitored
+	// recessive during the ACK slot.
+	ErrAck
+	// ErrOverload is not an error proper but the overload condition
+	// (dominant during intermission or at the last bit of a delimiter).
+	ErrOverload
+)
+
+func (k ErrorKind) String() string {
+	switch k {
+	case ErrBit:
+		return "bit"
+	case ErrStuff:
+		return "stuff"
+	case ErrCRC:
+		return "crc"
+	case ErrForm:
+		return "form"
+	case ErrAck:
+		return "ack"
+	case ErrOverload:
+		return "overload"
+	default:
+		return fmt.Sprintf("ErrorKind(%d)", uint8(k))
+	}
+}
+
+// Verdict is the outcome of a frame at one node.
+type Verdict uint8
+
+const (
+	// VerdictAccept means the frame is valid at this node: a receiver
+	// delivers it, a transmitter considers it successfully sent.
+	VerdictAccept Verdict = iota + 1
+	// VerdictReject means the frame is invalid at this node: a receiver
+	// discards it, a transmitter schedules a retransmission.
+	VerdictReject
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictAccept:
+		return "accept"
+	case VerdictReject:
+		return "reject"
+	default:
+		return fmt.Sprintf("Verdict(%d)", uint8(v))
+	}
+}
+
+// After tells the controller what follows the end-of-frame episode.
+type After uint8
+
+const (
+	// AfterNone means the frame ended cleanly: intermission follows.
+	AfterNone After = iota + 1
+	// AfterErrorDelim means an error delimiter must be completed first.
+	AfterErrorDelim
+	// AfterOverloadDelim means an overload delimiter must be completed
+	// first.
+	AfterOverloadDelim
+)
+
+// EpisodeStatus is returned by EOFEpisode.Latch.
+type EpisodeStatus struct {
+	// Done reports that the episode is complete; the remaining fields are
+	// only meaningful when Done is true.
+	Done bool
+	// Verdict is the node's decision about the frame.
+	Verdict Verdict
+	// After selects the delimiter the controller must run next.
+	After After
+	// DelimCredit is the number of recessive delimiter bits the episode
+	// already consumed (used by MinorCAN's primary-error probe bit).
+	DelimCredit int
+	// Signalled reports whether the node transmitted an error or overload
+	// flag during the episode (drives the fault confinement counters).
+	Signalled bool
+	// Kind is the error kind that triggered the signalling.
+	Kind ErrorKind
+}
+
+// EpisodeEnv describes the node's situation at the start of the
+// end-of-frame region.
+type EpisodeEnv struct {
+	// Transmitter reports whether this node transmitted the frame.
+	Transmitter bool
+	// RejectAtStart forces an error flag from the first EOF bit on: the
+	// node detected a CRC error (or an ACK/form error at the very end of
+	// the frame body) and must never accept the frame.
+	RejectAtStart bool
+	// RejectKind is the error kind behind RejectAtStart.
+	RejectKind ErrorKind
+	// ErrorPassive makes every flag the episode sends passive (recessive):
+	// the node's error signalling cannot influence the rest of the bus,
+	// reproducing the Section 1 impairment. The verdict logic is
+	// unchanged.
+	ErrorPassive bool
+}
+
+// EOFEpisode is the per-frame state machine covering the end-of-frame
+// region: the EOF field plus any error/overload flags, acceptance sampling
+// and flag extensions mandated by the protocol variant. It starts at the
+// first EOF bit and ends when the controller should run a delimiter (or go
+// straight to intermission).
+type EOFEpisode interface {
+	// Drive returns the level to put on the bus for the bit about to be
+	// latched.
+	Drive() bitstream.Level
+	// Latch processes the node's sample of that bit.
+	Latch(level bitstream.Level) EpisodeStatus
+	// Phase describes the episode position: the protocol phase and the
+	// 1-based bit position relative to the first EOF bit.
+	Phase() (bus.Phase, int)
+}
+
+// EOFPolicy is a protocol variant: it fixes the frame's EOF length, the
+// delimiter length and the end-of-frame decision logic. Implementations:
+// core.Standard, core.MinorCAN, core.MajorCAN.
+//
+// Error-passive nodes send passive (recessive) flags in the end-of-frame
+// region too (EpisodeEnv.ErrorPassive), reproducing the Section 1
+// impairment; the paper's protocols assume that state is avoided, which
+// Options.WarningSwitchOff enforces.
+type EOFPolicy interface {
+	// Name identifies the variant ("CAN", "MinorCAN", "MajorCAN_5", ...).
+	Name() string
+	// EOFBits is the length of the end-of-frame field (7 in standard CAN,
+	// 2m in MajorCAN_m).
+	EOFBits() int
+	// DelimiterBits is the total length of the error and overload
+	// delimiters including the first recessive bit (8 in standard CAN,
+	// 2m+1 in MajorCAN_m).
+	DelimiterBits() int
+	// NewEpisode creates the end-of-frame state machine for one frame.
+	NewEpisode(env EpisodeEnv) EOFEpisode
+}

@@ -1,0 +1,117 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/errmodel"
+	"repro/internal/frame"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// CAN5Outcome is the result of the total-order example of the paper's
+// Section 2.2: "If a frame, labeled A, is scheduled for retransmission
+// when some nodes have received it and some others have not, a second
+// frame, labeled B, could gain the arbitration to the retransmission. The
+// nodes having received A the first time will see the order A, B, A,
+// while the others will see B, A."
+type CAN5Outcome struct {
+	// A and B are the two frames.
+	A, B *frame.Frame
+	// OrderY is the delivery order at a Y-set receiver (got A first).
+	OrderY []string
+	// OrderX is the delivery order at an X-set receiver (missed A first).
+	OrderX []string
+	// TotalOrderViolated reports that X and Y saw A and B in opposite
+	// orders.
+	TotalOrderViolated bool
+	// DoubleReception reports that Y received A twice.
+	DoubleReception bool
+	// Recorder holds the bit-level history.
+	Recorder *trace.Recorder
+}
+
+// CAN5 reproduces the example deterministically on the given policy.
+// Under standard CAN the outcome violates Total Order (property CAN5);
+// under MajorCAN the inconsistent acceptance cannot arise, so the order is
+// total.
+func CAN5(policy node.EOFPolicy) (*CAN5Outcome, error) {
+	cluster, err := sim.NewCluster(sim.ClusterOptions{Nodes: 5, Policy: policy})
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.NewRecorder("T", "X1", "X2", "Y3", "B-src")
+	cluster.Net.AddProbe(rec)
+	// The Fig. 1b disturbance: the X set (stations 1, 2) rejects A at the
+	// last-but-one EOF bit while Y accepts under the last-bit rule and the
+	// transmitter schedules the retransmission.
+	cluster.Net.AddDisturber(errmodel.NewScript(
+		errmodel.AtEOFBit([]int{1, 2}, policy.EOFBits()-1, 1),
+	))
+
+	a := &frame.Frame{ID: 0x300, Data: []byte{0xAA}} // A: low priority
+	b := &frame.Frame{ID: 0x100, Data: []byte{0xBB}} // B: wins arbitration
+	if err := cluster.Nodes[0].Enqueue(a); err != nil {
+		return nil, err
+	}
+	// B becomes pending at station 4 while A's first transmission is on
+	// the wire, so it contends against A's retransmission and wins.
+	cluster.Net.Run(40)
+	if err := cluster.Nodes[4].Enqueue(b); err != nil {
+		return nil, err
+	}
+	if !cluster.RunUntilQuiet(20000) {
+		return nil, fmt.Errorf("scenario CAN5: no quiescence")
+	}
+
+	order := func(station int) []string {
+		var out []string
+		for _, d := range cluster.Deliveries[station] {
+			switch {
+			case d.Frame.Equal(a):
+				out = append(out, "A")
+			case d.Frame.Equal(b):
+				out = append(out, "B")
+			}
+		}
+		return out
+	}
+	outc := &CAN5Outcome{
+		A:        a,
+		B:        b,
+		OrderY:   order(3),
+		OrderX:   order(1),
+		Recorder: rec,
+	}
+	outc.DoubleReception = cluster.DeliveryCount(3, a) > 1
+	// Opposite relative orders of A and B?
+	first := func(o []string, s string) int {
+		for i, v := range o {
+			if v == s {
+				return i
+			}
+		}
+		return -1
+	}
+	ax, bx := first(outc.OrderX, "A"), first(outc.OrderX, "B")
+	ay, by := first(outc.OrderY, "A"), first(outc.OrderY, "B")
+	if ax >= 0 && bx >= 0 && ay >= 0 && by >= 0 {
+		outc.TotalOrderViolated = (ax < bx) != (ay < by)
+	}
+	return outc, nil
+}
+
+// Summary renders the outcome.
+func (o *CAN5Outcome) Summary() string {
+	s := fmt.Sprintf("Y sees %v, X sees %v", o.OrderY, o.OrderX)
+	if o.TotalOrderViolated {
+		s += " => TOTAL ORDER VIOLATED (the paper's property CAN5)"
+	} else {
+		s += " => total order preserved"
+	}
+	if o.DoubleReception {
+		s += "; Y received A twice"
+	}
+	return s
+}

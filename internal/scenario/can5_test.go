@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The paper's Section 2.2 justification of "CAN5 - Total Order not
+// ensured": nodes having received A the first time see A, B, A while the
+// others see B, A.
+func TestCAN5StandardCAN(t *testing.T) {
+	out, err := CAN5(core.NewStandard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.TotalOrderViolated {
+		t.Errorf("standard CAN must violate total order: Y=%v X=%v", out.OrderY, out.OrderX)
+	}
+	if !out.DoubleReception {
+		t.Error("Y must receive A twice")
+	}
+	wantY := []string{"A", "B", "A"}
+	if len(out.OrderY) != 3 || out.OrderY[0] != wantY[0] || out.OrderY[1] != wantY[1] || out.OrderY[2] != wantY[2] {
+		t.Errorf("Y order = %v, want %v (the paper's example verbatim)", out.OrderY, wantY)
+	}
+	wantX := []string{"B", "A"}
+	if len(out.OrderX) != 2 || out.OrderX[0] != wantX[0] || out.OrderX[1] != wantX[1] {
+		t.Errorf("X order = %v, want %v", out.OrderX, wantX)
+	}
+	if !strings.Contains(out.Summary(), "TOTAL ORDER VIOLATED") {
+		t.Errorf("summary %q", out.Summary())
+	}
+}
+
+// Under MajorCAN the same disturbance cannot split acceptance, so the
+// retransmission race never happens and the order is total.
+func TestCAN5MajorCAN(t *testing.T) {
+	out, err := CAN5(core.MustMajorCAN(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TotalOrderViolated {
+		t.Errorf("MajorCAN must preserve total order: Y=%v X=%v", out.OrderY, out.OrderX)
+	}
+	if out.DoubleReception {
+		t.Error("MajorCAN must avoid the double reception")
+	}
+	// Both observers deliver both frames exactly once, in the same order.
+	if len(out.OrderX) != 2 || len(out.OrderY) != 2 {
+		t.Fatalf("orders X=%v Y=%v, want two deliveries each", out.OrderX, out.OrderY)
+	}
+	for i := range out.OrderX {
+		if out.OrderX[i] != out.OrderY[i] {
+			t.Errorf("orders differ: X=%v Y=%v", out.OrderX, out.OrderY)
+		}
+	}
+}
+
+// MinorCAN also fixes this particular race: all nodes reject the first
+// attempt consistently, so B then A-retry arrive in one total order.
+func TestCAN5MinorCAN(t *testing.T) {
+	out, err := CAN5(core.NewMinorCAN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TotalOrderViolated {
+		t.Errorf("MinorCAN must preserve total order here: Y=%v X=%v", out.OrderY, out.OrderX)
+	}
+	if out.DoubleReception {
+		t.Error("MinorCAN must avoid the double reception")
+	}
+}

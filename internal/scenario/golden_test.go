@@ -1,0 +1,75 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// Golden regression: the exact Fig. 3a timeline. This pins down the whole
+// pipeline — frame encoding, the controllers' per-bit behaviour, the
+// disturbance scripting and the renderer — in one artefact. If a
+// refactoring shifts any bit of the protocol, this test shows exactly
+// where.
+func TestFig3aGoldenTimeline(t *testing.T) {
+	out, err := Fig3a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last, ok := out.Recorder.EOFWindow(0, 1)
+	if !ok {
+		t.Fatal("no EOF window")
+	}
+	got := out.Recorder.Render(first, last+16)
+
+	// Station rows, EOF start through the flags and delimiters:
+	//   - T (transmitter) samples recessive EOF bits, its view of the last
+	//     bit is disturbed ('!'), then it treats the flags as an overload
+	//     condition and sends its own overload flag.
+	//   - X1/X2 see the disturbance ('!') at the last-but-one bit and
+	//     drive 6-bit error flags.
+	//   - Y3/Y4 see the first flag bit at their last EOF bit and accept,
+	//     driving overload flags.
+	want := []string{
+		"  T: rrrrrr!dDDDDDDrrrrrrrr",
+		" X1: rrrrr!DDDDDDddrrrrrrrr",
+		" X2: rrrrr!DDDDDDddrrrrrrrr",
+		" Y3: rrrrrrdDDDDDDdrrrrrrrr",
+		" Y4: rrrrrrdDDDDDDdrrrrrrrr",
+	}
+	for _, line := range want {
+		if !strings.Contains(got, line) {
+			t.Errorf("timeline missing golden row %q:\n%s", line, got)
+		}
+	}
+}
+
+// Golden regression for Fig. 5: the MajorCAN_5 consistency timeline. The
+// X set flags at bit 3, the blinded transmitter extends from bit 6, and
+// the sampling windows absorb the remaining two errors.
+func TestFig5GoldenTimeline(t *testing.T) {
+	out, err := Fig5(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last, ok := out.Recorder.EOFWindow(0, 1)
+	if !ok {
+		t.Fatal("no EOF window")
+	}
+	got := out.Recorder.Render(first, last+4)
+
+	// The transmitter: two disturbed samples ('!!') hide the X flags, the
+	// next dominant is in the second sub-field, and the extended flag runs
+	// through position 3m+5 = 20.
+	if !strings.Contains(got, "T: rrr!!dDDDDDDDDDDDDDD") {
+		t.Errorf("transmitter row not golden:\n%s", got)
+	}
+	// X receivers: disturbance at bit 3, 6-bit flag, one corrupted
+	// sampling-window bit ('!'), acceptance.
+	if !strings.Contains(got, "X1: rr!DDDDDDddd!ddddddd") {
+		t.Errorf("X1 row not golden:\n%s", got)
+	}
+	// Y receivers: flag one bit later, a different corrupted window bit.
+	if !strings.Contains(got, "Y3: rrrdDDDDDDdddd!ddddd") {
+		t.Errorf("Y3 row not golden:\n%s", got)
+	}
+}

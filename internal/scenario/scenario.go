@@ -1,0 +1,207 @@
+// Package scenario reproduces the error scenarios of the MajorCAN paper's
+// figures as deterministic simulations: the classic last-bit scenarios of
+// Rufino et al. (Fig. 1), MinorCAN's behaviour on them (Fig. 2), the
+// paper's new inconsistency scenarios (Fig. 3), the per-bit behaviour of a
+// MajorCAN_5 node (Fig. 4) and MajorCAN's consistency under five errors
+// (Fig. 5).
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitstream"
+	"repro/internal/bus"
+	"repro/internal/errmodel"
+	"repro/internal/frame"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestFrame returns the frame used by all figure scenarios.
+func TestFrame() *frame.Frame {
+	return &frame.Frame{ID: 0x100, Data: []byte{0xA5, 0x5A}}
+}
+
+// Config describes one scripted scenario. Station 0 is always the
+// transmitter.
+type Config struct {
+	// Name labels the scenario ("Fig. 1b", ...).
+	Name string
+	// Policy is the protocol variant under test.
+	Policy node.EOFPolicy
+	// Nodes is the total number of stations (transmitter included).
+	Nodes int
+	// X and Y are the receiver sets of the paper's figures (station
+	// indices).
+	X, Y []int
+	// Rules are the scripted disturbances.
+	Rules []*errmodel.Rule
+	// CrashTxOnErrorFlag crashes the transmitter as soon as it starts
+	// signalling an error (the "failure before retransmission" of Fig. 1c).
+	CrashTxOnErrorFlag bool
+	// MaxSlots bounds the simulation (default 4000).
+	MaxSlots int
+}
+
+// Outcome is the result of one scenario run.
+type Outcome struct {
+	Name   string
+	Policy string
+	// Frame is the frame under test.
+	Frame *frame.Frame
+	// DeliveredCount[i] is how many copies station i delivered.
+	DeliveredCount []int
+	// TxSuccess reports whether the transmitter considered the frame
+	// successfully sent at least once.
+	TxSuccess bool
+	// Retransmitted reports whether a second transmission attempt happened.
+	Retransmitted bool
+	// TxCrashed reports whether the transmitter was crashed by the script.
+	TxCrashed bool
+	// IMO (inconsistent message omission) reports that among the correct
+	// (non-crashed) receivers some delivered the message and some never
+	// did — the Agreement violation of the paper.
+	IMO bool
+	// DoubleReception reports that some receiver delivered the frame more
+	// than once (At-most-once violation).
+	DoubleReception bool
+	// AllExactlyOnce reports that every correct receiver delivered exactly
+	// one copy.
+	AllExactlyOnce bool
+	// Quiet reports that the bus reached quiescence within the slot budget.
+	Quiet bool
+	// Recorder holds the full bit-level history for rendering.
+	Recorder *trace.Recorder
+	// Cluster gives access to the simulated nodes.
+	Cluster *sim.Cluster
+}
+
+// Run executes a scenario.
+func Run(cfg Config) (*Outcome, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("scenario %s: need at least 2 nodes", cfg.Name)
+	}
+	maxSlots := cfg.MaxSlots
+	if maxSlots == 0 {
+		maxSlots = 4000
+	}
+	cluster, err := sim.NewCluster(sim.ClusterOptions{Nodes: cfg.Nodes, Policy: cfg.Policy})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", cfg.Name, err)
+	}
+	names := make([]string, cfg.Nodes)
+	names[0] = "T"
+	for _, x := range cfg.X {
+		names[x] = fmt.Sprintf("X%d", x)
+	}
+	for _, y := range cfg.Y {
+		names[y] = fmt.Sprintf("Y%d", y)
+	}
+	rec := trace.NewRecorder(names...)
+	cluster.Net.AddProbe(rec)
+	cluster.Net.AddDisturber(errmodel.NewScript(cfg.Rules...))
+	if cfg.CrashTxOnErrorFlag {
+		cluster.Net.AddProbe(&crashOnErrorFlag{ctrl: cluster.Nodes[0]})
+	}
+
+	f := TestFrame()
+	if err := cluster.Nodes[0].Enqueue(f); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", cfg.Name, err)
+	}
+	quiet := cluster.RunUntilQuiet(maxSlots)
+
+	out := &Outcome{
+		Name:           cfg.Name,
+		Policy:         cfg.Policy.Name(),
+		Frame:          f,
+		DeliveredCount: make([]int, cfg.Nodes),
+		TxSuccess:      cluster.Nodes[0].TxSuccesses() > 0,
+		TxCrashed:      cluster.Nodes[0].Crashed(),
+		Quiet:          quiet,
+		Recorder:       rec,
+		Cluster:        cluster,
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		out.DeliveredCount[i] = cluster.DeliveryCount(i, f)
+	}
+	// A retransmission happened if any station observed more than one SOF.
+	for _, r := range rec.Records() {
+		for _, v := range r.Views {
+			if v.Attempts > 1 {
+				out.Retransmitted = true
+			}
+		}
+	}
+	some, none := false, false
+	allOnce := true
+	for i := 1; i < cfg.Nodes; i++ {
+		if cluster.Nodes[i].Crashed() {
+			continue
+		}
+		switch {
+		case out.DeliveredCount[i] == 0:
+			none = true
+			allOnce = false
+		case out.DeliveredCount[i] >= 1:
+			some = true
+			if out.DeliveredCount[i] > 1 {
+				out.DoubleReception = true
+				allOnce = false
+			}
+		}
+	}
+	out.IMO = some && none
+	out.AllExactlyOnce = allOnce
+	return out, nil
+}
+
+// crashOnErrorFlag crashes the controller the first time it is observed in
+// an error-flag phase: the transmitter fails right after scheduling the
+// retransmission and before performing it (Fig. 1c).
+type crashOnErrorFlag struct {
+	ctrl *node.Controller
+	done bool
+}
+
+var _ bus.Probe = (*crashOnErrorFlag)(nil)
+
+func (c *crashOnErrorFlag) OnBit(_ uint64, _ bitstream.Level, _, _ []bitstream.Level, views []bus.ViewContext) {
+	if c.done {
+		return
+	}
+	// Station 0 is always the transmitter in scenario configs.
+	if views[0].Phase == bus.PhaseErrorFlag {
+		c.ctrl.Crash()
+		c.done = true
+	}
+}
+
+// Summary renders a one-paragraph human-readable outcome.
+func (o *Outcome) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s under %s: ", o.Name, o.Policy)
+	fmt.Fprintf(&b, "deliveries per station %v", o.DeliveredCount)
+	if o.TxCrashed {
+		b.WriteString(", transmitter crashed")
+	} else if o.TxSuccess {
+		b.WriteString(", transmitter succeeded")
+	} else {
+		b.WriteString(", transmitter still retrying")
+	}
+	if o.Retransmitted {
+		b.WriteString(", retransmission occurred")
+	}
+	switch {
+	case o.IMO:
+		b.WriteString(" => INCONSISTENT MESSAGE OMISSION (Agreement violated)")
+	case o.DoubleReception:
+		b.WriteString(" => double reception (At-most-once violated)")
+	case o.AllExactlyOnce:
+		b.WriteString(" => consistent, exactly-once everywhere")
+	default:
+		b.WriteString(" => consistent omission (nobody delivered)")
+	}
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+)
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Name: "bad", Policy: core.NewStandard(), Nodes: 1}); err == nil {
+		t.Error("single-node scenario must be rejected")
+	}
+}
+
+func TestSummaryTexts(t *testing.T) {
+	tests := []struct {
+		name string
+		run  func() (*Outcome, error)
+		want []string
+	}{
+		{
+			"exactly once",
+			func() (*Outcome, error) { return Fig1a(core.NewStandard()) },
+			[]string{"consistent", "exactly-once", "transmitter succeeded"},
+		},
+		{
+			"double reception",
+			func() (*Outcome, error) { return Fig1b(core.NewStandard()) },
+			[]string{"double reception", "retransmission occurred"},
+		},
+		{
+			"omission",
+			Fig3a,
+			[]string{"INCONSISTENT MESSAGE OMISSION"},
+		},
+		{
+			"crash",
+			func() (*Outcome, error) { return Fig1c(core.NewMinorCAN()) },
+			[]string{"transmitter crashed", "consistent omission"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			out, err := tt.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := out.Summary()
+			for _, want := range tt.want {
+				if !strings.Contains(s, want) {
+					t.Errorf("summary %q missing %q", s, want)
+				}
+			}
+		})
+	}
+}
+
+// The recorded timeline around the first EOF must show the scripted
+// disturbances as '!' symbols and the error flags as driven dominants.
+func TestTimelineShowsDisturbancesAndFlags(t *testing.T) {
+	out, err := Fig3a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last, ok := out.Recorder.EOFWindow(0, 1)
+	if !ok {
+		t.Fatal("no EOF window recorded for the transmitter")
+	}
+	render := out.Recorder.Render(first-2, last+20)
+	if !strings.Contains(render, "!") {
+		t.Errorf("render must mark disturbed samples:\n%s", render)
+	}
+	if !strings.Contains(render, "DDDDDD") {
+		t.Errorf("render must show a six-bit error flag:\n%s", render)
+	}
+}
+
+// The EOF windows of the stations in a scenario are aligned (no framing
+// desync in the figure scenarios).
+func TestEOFWindowsAligned(t *testing.T) {
+	out, err := Fig1b(core.NewStandard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstT, _, ok := out.Recorder.EOFWindow(0, 1)
+	if !ok {
+		t.Fatal("transmitter has no EOF window")
+	}
+	for station := 1; station < 5; station++ {
+		first, _, ok := out.Recorder.EOFWindow(station, 1)
+		if !ok {
+			t.Fatalf("station %d has no EOF window", station)
+		}
+		if first != firstT {
+			t.Errorf("station %d EOF starts at %d, transmitter at %d", station, first, firstT)
+		}
+	}
+}
+
+// Fig. 4 rows have readable labels in the paper's style.
+func TestFig4Labels(t *testing.T) {
+	if got := (Fig4Row{Position: 0}).Label(); got != "CRC error" {
+		t.Errorf("label = %q", got)
+	}
+	for pos, want := range map[int]string{
+		1: "1st", 2: "2nd", 3: "3rd", 4: "4th", 10: "10th", 11: "11th", 21: "21st",
+	} {
+		got := (Fig4Row{Position: pos}).Label()
+		if !strings.Contains(got, want) {
+			t.Errorf("position %d label = %q, want ordinal %q", pos, got, want)
+		}
+	}
+}
+
+func TestRenderFig4Text(t *testing.T) {
+	rows, err := Fig4(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := RenderFig4(rows)
+	for _, want := range []string{"CRC error", "extended error flag", "sampling is performed", "frame is accepted"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// The scenario phases recorded for the transmitter in Fig. 5 include the
+// extended flag phase (it detects the error in the second sub-field).
+func TestFig5TransmitterExtends(t *testing.T) {
+	out, err := Fig5(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawExt := false
+	for _, span := range out.Recorder.Phases(0) {
+		if span.Phase == bus.PhaseExtFlag {
+			sawExt = true
+		}
+	}
+	if !sawExt {
+		t.Error("the Fig. 5 transmitter must notify acceptance with an extended flag")
+	}
+}

@@ -1,0 +1,164 @@
+// Package sim provides the experiment harness: clusters of simulated CAN
+// controllers on a shared bus, workload generation, Monte Carlo runs and
+// consistency statistics.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/frame"
+	"repro/internal/node"
+)
+
+// Delivery records one frame handed to a node's upper layer.
+type Delivery struct {
+	// Slot is the bit slot at which the frame was delivered.
+	Slot uint64
+	// Frame is the delivered frame.
+	Frame *frame.Frame
+}
+
+// TxResult records one successful transmission at the sending node.
+type TxResult struct {
+	Slot  uint64
+	Frame *frame.Frame
+}
+
+// ClusterOptions configures a Cluster.
+type ClusterOptions struct {
+	// Nodes is the number of stations (must be >= 2 for acknowledgement).
+	Nodes int
+	// Policy is the end-of-frame policy shared by all stations.
+	Policy node.EOFPolicy
+	// WarningSwitchOff enables the paper's switch-off-at-warning-limit
+	// policy on every node.
+	WarningSwitchOff bool
+	// NodeHooks, if non-nil, is called for every node so callers can add
+	// extra instrumentation; the returned hooks are merged with the
+	// cluster's own recording hooks.
+	NodeHooks func(station int) node.Hooks
+}
+
+// Cluster is a set of CAN controllers on one simulated bus with recorded
+// deliveries and transmissions.
+type Cluster struct {
+	Net   *bus.Network
+	Nodes []*node.Controller
+
+	// Deliveries[i] are the frames delivered at station i in order.
+	Deliveries [][]Delivery
+	// TxResults[i] are the successful transmissions of station i in order.
+	TxResults [][]TxResult
+	// Verdicts[i] are the accept/reject decisions of station i per frame
+	// episode, in order.
+	Verdicts [][]node.Verdict
+}
+
+// NewCluster builds a cluster of identical controllers.
+func NewCluster(opts ClusterOptions) (*Cluster, error) {
+	if opts.Nodes < 2 {
+		return nil, fmt.Errorf("sim: a CAN bus needs at least 2 nodes, got %d", opts.Nodes)
+	}
+	if opts.Policy == nil {
+		return nil, fmt.Errorf("sim: nil policy")
+	}
+	c := &Cluster{
+		Net:        bus.NewNetwork(),
+		Nodes:      make([]*node.Controller, opts.Nodes),
+		Deliveries: make([][]Delivery, opts.Nodes),
+		TxResults:  make([][]TxResult, opts.Nodes),
+		Verdicts:   make([][]node.Verdict, opts.Nodes),
+	}
+	for i := 0; i < opts.Nodes; i++ {
+		i := i
+		var extra node.Hooks
+		if opts.NodeHooks != nil {
+			extra = opts.NodeHooks(i)
+		}
+		hooks := node.Hooks{
+			OnDeliver: func(slot uint64, f *frame.Frame) {
+				c.Deliveries[i] = append(c.Deliveries[i], Delivery{Slot: slot, Frame: f})
+				if extra.OnDeliver != nil {
+					extra.OnDeliver(slot, f)
+				}
+			},
+			OnTxSuccess: func(slot uint64, f *frame.Frame) {
+				c.TxResults[i] = append(c.TxResults[i], TxResult{Slot: slot, Frame: f})
+				if extra.OnTxSuccess != nil {
+					extra.OnTxSuccess(slot, f)
+				}
+			},
+			OnVerdict: func(slot uint64, v node.Verdict, tx bool) {
+				c.Verdicts[i] = append(c.Verdicts[i], v)
+				if extra.OnVerdict != nil {
+					extra.OnVerdict(slot, v, tx)
+				}
+			},
+			OnError:      extra.OnError,
+			OnModeChange: extra.OnModeChange,
+		}
+		ctrl := node.New(fmt.Sprintf("n%d", i), opts.Policy, node.Options{
+			WarningSwitchOff: opts.WarningSwitchOff,
+			Hooks:            hooks,
+		})
+		c.Nodes[i] = ctrl
+		c.Net.Attach(ctrl)
+	}
+	return c, nil
+}
+
+// MustCluster is NewCluster panicking on error, for tests and examples.
+func MustCluster(opts ClusterOptions) *Cluster {
+	c, err := NewCluster(opts)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Quiet reports whether every (live) controller is idle with an empty
+// transmit queue.
+func (c *Cluster) Quiet() bool {
+	for _, n := range c.Nodes {
+		if n.Mode() == node.BusOff || n.Mode() == node.SwitchedOff {
+			continue
+		}
+		if !n.Idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// RunUntilQuiet steps the network until the bus is quiet (plus a few idle
+// slots to flush intermission) or the slot budget is exhausted; it reports
+// whether quiescence was reached.
+func (c *Cluster) RunUntilQuiet(maxSlots int) bool {
+	done := c.Net.RunUntil(c.Quiet, maxSlots)
+	// A few extra slots so trailing idle bits appear in traces.
+	c.Net.Run(4)
+	return done
+}
+
+// DeliveredAt reports whether station i delivered a frame equal to f.
+func (c *Cluster) DeliveredAt(i int, f *frame.Frame) bool {
+	for _, d := range c.Deliveries[i] {
+		if d.Frame.Equal(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// DeliveryCount returns how many times station i delivered a frame equal
+// to f.
+func (c *Cluster) DeliveryCount(i int, f *frame.Frame) int {
+	n := 0
+	for _, d := range c.Deliveries[i] {
+		if d.Frame.Equal(f) {
+			n++
+		}
+	}
+	return n
+}

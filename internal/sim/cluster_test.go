@@ -1,0 +1,154 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+func policies(t *testing.T) map[string]node.EOFPolicy {
+	t.Helper()
+	return map[string]node.EOFPolicy{
+		"CAN":        core.NewStandard(),
+		"MinorCAN":   core.NewMinorCAN(),
+		"MajorCAN_5": core.MustMajorCAN(5),
+	}
+}
+
+func TestErrorFreeBroadcast(t *testing.T) {
+	for name, policy := range policies(t) {
+		t.Run(name, func(t *testing.T) {
+			c := sim.MustCluster(sim.ClusterOptions{Nodes: 4, Policy: policy})
+			f := &frame.Frame{ID: 0x123, Data: []byte{0xDE, 0xAD}}
+			if err := c.Nodes[0].Enqueue(f); err != nil {
+				t.Fatal(err)
+			}
+			if !c.RunUntilQuiet(2000) {
+				t.Fatal("bus did not become quiet")
+			}
+			if got := c.Nodes[0].TxSuccesses(); got != 1 {
+				t.Errorf("transmitter successes = %d, want 1", got)
+			}
+			for i := 1; i < 4; i++ {
+				if n := c.DeliveryCount(i, f); n != 1 {
+					t.Errorf("node %d delivered %d copies, want 1", i, n)
+				}
+			}
+			if len(c.Deliveries[0]) != 0 {
+				t.Errorf("transmitter must not deliver its own frame, got %d", len(c.Deliveries[0]))
+			}
+		})
+	}
+}
+
+func TestBackToBackFrames(t *testing.T) {
+	for name, policy := range policies(t) {
+		t.Run(name, func(t *testing.T) {
+			c := sim.MustCluster(sim.ClusterOptions{Nodes: 3, Policy: policy})
+			frames := []*frame.Frame{
+				{ID: 0x10, Data: []byte{1}},
+				{ID: 0x20, Data: []byte{2}},
+				{ID: 0x30, Data: []byte{3, 3, 3}},
+			}
+			for _, f := range frames {
+				if err := c.Nodes[0].Enqueue(f); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !c.RunUntilQuiet(5000) {
+				t.Fatal("bus did not become quiet")
+			}
+			for i := 1; i < 3; i++ {
+				if len(c.Deliveries[i]) != len(frames) {
+					t.Fatalf("node %d delivered %d frames, want %d", i, len(c.Deliveries[i]), len(frames))
+				}
+				for k, f := range frames {
+					if !c.Deliveries[i][k].Frame.Equal(f) {
+						t.Errorf("node %d delivery %d = %v, want %v", i, k, c.Deliveries[i][k].Frame, f)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestArbitration(t *testing.T) {
+	for name, policy := range policies(t) {
+		t.Run(name, func(t *testing.T) {
+			c := sim.MustCluster(sim.ClusterOptions{Nodes: 3, Policy: policy})
+			low := &frame.Frame{ID: 0x700, Data: []byte{7}}  // low priority
+			high := &frame.Frame{ID: 0x050, Data: []byte{5}} // high priority
+			if err := c.Nodes[0].Enqueue(low); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Nodes[1].Enqueue(high); err != nil {
+				t.Fatal(err)
+			}
+			if !c.RunUntilQuiet(3000) {
+				t.Fatal("bus did not become quiet")
+			}
+			// Node 2 observes both; the high-priority frame must win the
+			// simultaneous arbitration and arrive first.
+			if len(c.Deliveries[2]) != 2 {
+				t.Fatalf("node 2 delivered %d frames, want 2", len(c.Deliveries[2]))
+			}
+			if !c.Deliveries[2][0].Frame.Equal(high) {
+				t.Errorf("first delivery = %v, want the high-priority frame", c.Deliveries[2][0].Frame)
+			}
+			if !c.Deliveries[2][1].Frame.Equal(low) {
+				t.Errorf("second delivery = %v, want the low-priority frame", c.Deliveries[2][1].Frame)
+			}
+			// The arbitration losers also receive each other's frames.
+			if !c.DeliveredAt(0, high) {
+				t.Error("node 0 (loser) must receive the winning frame")
+			}
+			if !c.DeliveredAt(1, low) {
+				t.Error("node 1 must receive the retried low-priority frame")
+			}
+		})
+	}
+}
+
+func TestExtendedFrameBroadcast(t *testing.T) {
+	c := sim.MustCluster(sim.ClusterOptions{Nodes: 3, Policy: core.NewStandard()})
+	f := &frame.Frame{ID: 0x1ABCDEF0, Format: frame.Extended, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}}
+	if err := c.Nodes[0].Enqueue(f); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntilQuiet(3000) {
+		t.Fatal("bus did not become quiet")
+	}
+	for i := 1; i < 3; i++ {
+		if n := c.DeliveryCount(i, f); n != 1 {
+			t.Errorf("node %d delivered %d copies, want 1", i, n)
+		}
+	}
+}
+
+func TestRemoteFrameBroadcast(t *testing.T) {
+	c := sim.MustCluster(sim.ClusterOptions{Nodes: 3, Policy: core.NewStandard()})
+	f := &frame.Frame{ID: 0x42, Remote: true, DLC: 4}
+	if err := c.Nodes[0].Enqueue(f); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntilQuiet(3000) {
+		t.Fatal("bus did not become quiet")
+	}
+	for i := 1; i < 3; i++ {
+		if n := c.DeliveryCount(i, f); n != 1 {
+			t.Errorf("node %d delivered %d copies of the remote frame, want 1", i, n)
+		}
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := sim.NewCluster(sim.ClusterOptions{Nodes: 1, Policy: core.NewStandard()}); err == nil {
+		t.Error("single-node cluster must be rejected")
+	}
+	if _, err := sim.NewCluster(sim.ClusterOptions{Nodes: 3}); err == nil {
+		t.Error("nil policy must be rejected")
+	}
+}

@@ -1,0 +1,40 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// End-to-end latency comparison at identical load: MajorCAN_5's error-free
+// cost is 3 bits per frame over standard CAN, which must show up as a
+// latency difference of a few bit times, not frames.
+func TestLatencyOverheadAcrossPolicies(t *testing.T) {
+	resCAN, err := sim.RunWorkload(sim.WorkloadConfig{
+		Policy: core.NewStandard(), Nodes: 6, Slots: 60000, Load: 0.7, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resMaj, err := sim.RunWorkload(sim.WorkloadConfig{
+		Policy: core.MustMajorCAN(5), Nodes: 6, Slots: 60000, Load: 0.7, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resCAN.MeanLatency <= 0 || resMaj.MeanLatency <= 0 {
+		t.Fatalf("latencies not measured: CAN=%.1f Maj=%.1f", resCAN.MeanLatency, resMaj.MeanLatency)
+	}
+	diff := resMaj.MeanLatency - resCAN.MeanLatency
+	// Error-free per-frame overhead of MajorCAN_5 is 3 bits; queueing can
+	// amplify it slightly but it must stay within a fraction of one frame
+	// time (~115 slots), nowhere near the >= 1 extra frame of the
+	// higher-level protocols.
+	if diff < 0 || diff > 40 {
+		t.Errorf("mean latency difference = %.1f slots (CAN %.1f, MajorCAN %.1f); want a few bits",
+			diff, resCAN.MeanLatency, resMaj.MeanLatency)
+	}
+	t.Logf("mean latency: CAN=%.1f MajorCAN_5=%.1f (+%.1f slots); max: %d vs %d",
+		resCAN.MeanLatency, resMaj.MeanLatency, diff, resCAN.MaxLatency, resMaj.MaxLatency)
+}

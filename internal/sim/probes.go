@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"repro/internal/bitstream"
+	"repro/internal/bus"
+	"repro/internal/node"
+)
+
+// CrashOnPhase is a bus.Probe that crashes a controller the first time the
+// given station is observed in the given protocol phase. It injects the
+// "fails before retransmission" faults of the paper's Fig. 1c.
+type CrashOnPhase struct {
+	// Ctrl is the controller to crash.
+	Ctrl *node.Controller
+	// Station is the station index whose view is watched.
+	Station int
+	// Phase triggers the crash.
+	Phase bus.Phase
+
+	done bool
+}
+
+var _ bus.Probe = (*CrashOnPhase)(nil)
+
+// OnBit implements bus.Probe.
+func (c *CrashOnPhase) OnBit(_ uint64, _ bitstream.Level, _, _ []bitstream.Level, views []bus.ViewContext) {
+	if c.done || c.Station >= len(views) {
+		return
+	}
+	if views[c.Station].Phase == c.Phase {
+		c.Ctrl.Crash()
+		c.done = true
+	}
+}
+
+// CrashAtSlot is a bus.Probe that crashes a controller at a fixed bit
+// slot.
+type CrashAtSlot struct {
+	Ctrl *node.Controller
+	Slot uint64
+
+	done bool
+}
+
+var _ bus.Probe = (*CrashAtSlot)(nil)
+
+// OnBit implements bus.Probe.
+func (c *CrashAtSlot) OnBit(slot uint64, _ bitstream.Level, _, _ []bitstream.Level, _ []bus.ViewContext) {
+	if !c.done && slot >= c.Slot {
+		c.Ctrl.Crash()
+		c.done = true
+	}
+}

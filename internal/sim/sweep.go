@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SweepPoint is one Monte Carlo run of a sweep.
+type SweepPoint struct {
+	// Seed is the RNG seed of this point.
+	Seed int64
+	// Result is the run's outcome (nil if Err is set).
+	Result *MCResult
+	// Err reports a configuration failure for this point.
+	Err error
+}
+
+// SweepSeeds runs the same Monte Carlo configuration across many seeds in
+// parallel and returns the points in seed order. Parallelism bounds the
+// number of concurrent simulations (values < 1 mean 1). Every simulation
+// is fully independent — the simulator shares no mutable state between
+// clusters — so the sweep is deterministic regardless of scheduling.
+func SweepSeeds(cfg MCConfig, seeds []int64, parallelism int) []SweepPoint {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	points := make([]SweepPoint, len(seeds))
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i, seed := range seeds {
+		i, seed := i, seed
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			c := cfg
+			c.Seed = seed
+			res, err := MonteCarlo(c)
+			points[i] = SweepPoint{Seed: seed, Result: res, Err: err}
+		}()
+	}
+	wg.Wait()
+	return points
+}
+
+// SweepSummary aggregates a sweep.
+type SweepSummary struct {
+	Points     int
+	Frames     int
+	IMOs       int
+	Duplicates int
+	Errors     int // points that failed to run
+}
+
+// IMORate returns IMOs per frame across the sweep.
+func (s SweepSummary) IMORate() float64 {
+	if s.Frames == 0 {
+		return 0
+	}
+	return float64(s.IMOs) / float64(s.Frames)
+}
+
+// DuplicateRate returns duplicates per frame across the sweep.
+func (s SweepSummary) DuplicateRate() float64 {
+	if s.Frames == 0 {
+		return 0
+	}
+	return float64(s.Duplicates) / float64(s.Frames)
+}
+
+func (s SweepSummary) String() string {
+	return fmt.Sprintf("%d points, %d frames: %d IMOs (%.3e/frame), %d duplicates (%.3e/frame)",
+		s.Points, s.Frames, s.IMOs, s.IMORate(), s.Duplicates, s.DuplicateRate())
+}
+
+// Summarize folds sweep points into totals.
+func Summarize(points []SweepPoint) SweepSummary {
+	var s SweepSummary
+	for _, p := range points {
+		s.Points++
+		if p.Err != nil || p.Result == nil {
+			s.Errors++
+			continue
+		}
+		s.Frames += p.Result.FramesSent
+		s.IMOs += p.Result.IMOs
+		s.Duplicates += p.Result.Duplicates
+	}
+	return s
+}

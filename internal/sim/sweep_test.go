@@ -1,0 +1,76 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func sweepConfig() sim.MCConfig {
+	return sim.MCConfig{
+		Policy:        core.NewStandard(),
+		Nodes:         4,
+		Frames:        60,
+		BerStar:       0.02,
+		EOFOnly:       true,
+		ResetCounters: true,
+	}
+}
+
+func TestSweepDeterministicPerSeed(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6}
+	a := sim.SweepSeeds(sweepConfig(), seeds, 4)
+	b := sim.SweepSeeds(sweepConfig(), seeds, 1)
+	if len(a) != len(seeds) || len(b) != len(seeds) {
+		t.Fatalf("point counts %d/%d, want %d", len(a), len(b), len(seeds))
+	}
+	for i := range seeds {
+		if a[i].Err != nil || b[i].Err != nil {
+			t.Fatalf("seed %d errored: %v / %v", seeds[i], a[i].Err, b[i].Err)
+		}
+		if a[i].Seed != seeds[i] {
+			t.Errorf("point %d seed = %d, want %d (order must be preserved)", i, a[i].Seed, seeds[i])
+		}
+		ra, rb := a[i].Result, b[i].Result
+		if ra.IMOs != rb.IMOs || ra.Duplicates != rb.Duplicates || ra.BitFlips != rb.BitFlips {
+			t.Errorf("seed %d: parallel (%d,%d,%d) != serial (%d,%d,%d)",
+				seeds[i], ra.IMOs, ra.Duplicates, ra.BitFlips, rb.IMOs, rb.Duplicates, rb.BitFlips)
+		}
+	}
+}
+
+func TestSweepSummary(t *testing.T) {
+	seeds := []int64{10, 11, 12, 13}
+	points := sim.SweepSeeds(sweepConfig(), seeds, 2)
+	s := sim.Summarize(points)
+	if s.Points != 4 || s.Errors != 0 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Frames != 4*60 {
+		t.Errorf("frames = %d, want 240", s.Frames)
+	}
+	if s.Duplicates == 0 {
+		t.Error("standard CAN at this rate should show duplicates across 240 frames")
+	}
+	if s.String() == "" {
+		t.Error("summary string must not be empty")
+	}
+}
+
+func TestSweepPropagatesErrors(t *testing.T) {
+	bad := sweepConfig()
+	bad.Nodes = 2 // invalid
+	points := sim.SweepSeeds(bad, []int64{1, 2}, 2)
+	s := sim.Summarize(points)
+	if s.Errors != 2 {
+		t.Errorf("errors = %d, want 2", s.Errors)
+	}
+}
+
+func TestSweepParallelismClamp(t *testing.T) {
+	points := sim.SweepSeeds(sweepConfig(), []int64{1}, 0) // clamped to 1
+	if len(points) != 1 || points[0].Err != nil {
+		t.Fatalf("points %+v", points)
+	}
+}

@@ -1,0 +1,199 @@
+// Package trace records per-bit simulation history and renders ASCII
+// timelines in the style of the MajorCAN paper's figures.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitstream"
+	"repro/internal/bus"
+)
+
+// Record is the state of one bit slot.
+type Record struct {
+	Slot    uint64
+	Bus     bitstream.Level
+	Drives  []bitstream.Level
+	Samples []bitstream.Level
+	Views   []bus.ViewContext
+}
+
+// Recorder is a bus.Probe that keeps the full per-bit history.
+type Recorder struct {
+	names   []string
+	records []Record
+}
+
+var _ bus.Probe = (*Recorder)(nil)
+
+// NewRecorder creates a recorder; names label the stations in rendered
+// output (missing names fall back to "n<i>").
+func NewRecorder(names ...string) *Recorder {
+	return &Recorder{names: names}
+}
+
+// OnBit implements bus.Probe.
+func (r *Recorder) OnBit(slot uint64, level bitstream.Level, drives, samples []bitstream.Level, views []bus.ViewContext) {
+	rec := Record{
+		Slot:    slot,
+		Bus:     level,
+		Drives:  append([]bitstream.Level(nil), drives...),
+		Samples: append([]bitstream.Level(nil), samples...),
+		Views:   append([]bus.ViewContext(nil), views...),
+	}
+	r.records = append(r.records, rec)
+}
+
+// Len returns the number of recorded slots.
+func (r *Recorder) Len() int { return len(r.records) }
+
+// Records returns the recorded history (not a copy; do not modify).
+func (r *Recorder) Records() []Record { return r.records }
+
+// At returns the record of the given slot, or false if not recorded.
+func (r *Recorder) At(slot uint64) (Record, bool) {
+	for _, rec := range r.records {
+		if rec.Slot == slot {
+			return rec, true
+		}
+	}
+	return Record{}, false
+}
+
+func (r *Recorder) name(i int) string {
+	if i < len(r.names) && r.names[i] != "" {
+		return r.names[i]
+	}
+	return fmt.Sprintf("n%d", i)
+}
+
+// symbol renders one station-slot cell:
+//
+//	'.'  station idle / off
+//	'r'  station passive, sampled recessive
+//	'd'  station passive, sampled dominant
+//	'D'  station driving dominant (SOF, frame bits, flags)
+//	'R'  station driving recessive inside a frame
+//	'!'  the station's sample was disturbed (differs from the bus value)
+func symbol(rec Record, i int) byte {
+	v := rec.Views[i]
+	if v.Phase == bus.PhaseIdle || v.Phase == bus.PhaseOff {
+		return '.'
+	}
+	if rec.Samples[i] != rec.Bus {
+		return '!'
+	}
+	if rec.Drives[i] == bitstream.Dominant {
+		return 'D'
+	}
+	if v.Phase == bus.PhaseFrame {
+		if rec.Samples[i] == bitstream.Dominant {
+			return 'd'
+		}
+		return 'R'
+	}
+	if rec.Samples[i] == bitstream.Dominant {
+		return 'd'
+	}
+	return 'r'
+}
+
+// Render draws one row per station for the slot range [from, to), plus a
+// bus row, one character per bit slot.
+func (r *Recorder) Render(from, to uint64) string {
+	var b strings.Builder
+	width := 0
+	for i := range r.names {
+		if len(r.name(i)) > width {
+			width = len(r.name(i))
+		}
+	}
+	if width < 3 {
+		width = 3
+	}
+	sel := make([]Record, 0)
+	for _, rec := range r.records {
+		if rec.Slot >= from && rec.Slot < to {
+			sel = append(sel, rec)
+		}
+	}
+	if len(sel) == 0 {
+		return "(no records in range)\n"
+	}
+	fmt.Fprintf(&b, "%*s  slots %d..%d\n", width, "", sel[0].Slot, sel[len(sel)-1].Slot)
+	fmt.Fprintf(&b, "%*s: ", width, "bus")
+	for _, rec := range sel {
+		b.WriteString(rec.Bus.String())
+	}
+	b.WriteByte('\n')
+	stations := len(sel[0].Views)
+	for i := 0; i < stations; i++ {
+		fmt.Fprintf(&b, "%*s: ", width, r.name(i))
+		for _, rec := range sel {
+			b.WriteByte(symbol(rec, i))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// PhaseSpan is a run of consecutive slots during which a station stayed in
+// one protocol phase.
+type PhaseSpan struct {
+	Phase bus.Phase
+	From  uint64
+	To    uint64 // inclusive
+}
+
+// Phases compresses a station's history into phase spans.
+func (r *Recorder) Phases(station int) []PhaseSpan {
+	var spans []PhaseSpan
+	for _, rec := range r.records {
+		p := rec.Views[station].Phase
+		if n := len(spans); n > 0 && spans[n-1].Phase == p && spans[n-1].To+1 == rec.Slot {
+			spans[n-1].To = rec.Slot
+			continue
+		}
+		spans = append(spans, PhaseSpan{Phase: p, From: rec.Slot, To: rec.Slot})
+	}
+	return spans
+}
+
+// PhaseSummary renders a station's phase spans on one line, e.g.
+// "frame[0..96] eof[97..106] error-flag[107..112] ...".
+func (r *Recorder) PhaseSummary(station int) string {
+	spans := r.Phases(station)
+	parts := make([]string, 0, len(spans))
+	for _, s := range spans {
+		parts = append(parts, fmt.Sprintf("%s[%d..%d]", s.Phase, s.From, s.To))
+	}
+	return strings.Join(parts, " ")
+}
+
+// FirstSlot returns the slot of the first record with the given phase at
+// the station, or false.
+func (r *Recorder) FirstSlot(station int, phase bus.Phase) (uint64, bool) {
+	for _, rec := range r.records {
+		if rec.Views[station].Phase == phase {
+			return rec.Slot, true
+		}
+	}
+	return 0, false
+}
+
+// EOFWindow returns the slot range [first, last] during which the station
+// reported EOF-relative positions for the frame with the given attempt
+// number, or ok=false if never.
+func (r *Recorder) EOFWindow(station int, attempt int) (first, last uint64, ok bool) {
+	for _, rec := range r.records {
+		v := rec.Views[station]
+		if v.EOFRel > 0 && (attempt == 0 || v.Attempts == attempt) {
+			if !ok {
+				first, ok = rec.Slot, true
+			}
+			last = rec.Slot
+		}
+	}
+	return first, last, ok
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/bus"
+)
+
+func record(r *Recorder, slot uint64, busLevel bitstream.Level, drives, samples string, phases ...bus.Phase) {
+	d, _ := bitstream.ParseSequence(drives)
+	s, _ := bitstream.ParseSequence(samples)
+	views := make([]bus.ViewContext, len(d))
+	for i := range views {
+		if i < len(phases) {
+			views[i].Phase = phases[i]
+		} else {
+			views[i].Phase = bus.PhaseFrame
+		}
+	}
+	r.OnBit(slot, busLevel, d, s, views)
+}
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder("T", "X")
+	record(r, 0, bitstream.Dominant, "dr", "dr")
+	record(r, 1, bitstream.Recessive, "rr", "rr")
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	if rec, ok := r.At(1); !ok || rec.Bus != bitstream.Recessive {
+		t.Error("At(1) must return the recessive slot")
+	}
+	if _, ok := r.At(5); ok {
+		t.Error("At(5) must report missing")
+	}
+}
+
+func TestRenderSymbols(t *testing.T) {
+	r := NewRecorder("T", "X", "I")
+	// T drives dominant, X passive sampling dominant, I idle.
+	d, _ := bitstream.ParseSequence("drr")
+	s, _ := bitstream.ParseSequence("ddr") // station 2's sample differs from bus (disturbed)
+	views := []bus.ViewContext{
+		{Phase: bus.PhaseErrorFlag},
+		{Phase: bus.PhaseEOF},
+		{Phase: bus.PhaseIdle},
+	}
+	r.OnBit(0, bitstream.Dominant, d, s, views)
+	out := r.Render(0, 1)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + bus + 3 stations
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "d") {
+		t.Errorf("bus row %q must show the dominant level", lines[1])
+	}
+	if !strings.Contains(lines[2], "D") {
+		t.Errorf("station T row %q must show an uppercase driving symbol", lines[2])
+	}
+	if !strings.HasSuffix(lines[3], "d") {
+		t.Errorf("station X row %q must show a lowercase sampled dominant", lines[3])
+	}
+	if !strings.HasSuffix(lines[4], ".") {
+		t.Errorf("idle station row %q must show '.'", lines[4])
+	}
+}
+
+func TestRenderMarksDisturbedSamples(t *testing.T) {
+	r := NewRecorder("a")
+	d, _ := bitstream.ParseSequence("r")
+	s, _ := bitstream.ParseSequence("d") // bus recessive, sample dominant
+	r.OnBit(0, bitstream.Recessive, d, s, []bus.ViewContext{{Phase: bus.PhaseEOF}})
+	out := r.Render(0, 1)
+	if !strings.Contains(out, "!") {
+		t.Errorf("disturbed sample must render as '!':\n%s", out)
+	}
+}
+
+func TestRenderEmptyRange(t *testing.T) {
+	r := NewRecorder()
+	if out := r.Render(0, 10); !strings.Contains(out, "no records") {
+		t.Errorf("empty range must say so, got %q", out)
+	}
+}
+
+func TestPhaseSpans(t *testing.T) {
+	r := NewRecorder("a")
+	for slot := uint64(0); slot < 5; slot++ {
+		p := bus.PhaseFrame
+		if slot >= 3 {
+			p = bus.PhaseEOF
+		}
+		d, _ := bitstream.ParseSequence("r")
+		r.OnBit(slot, bitstream.Recessive, d, d, []bus.ViewContext{{Phase: p}})
+	}
+	spans := r.Phases(0)
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Phase != bus.PhaseFrame || spans[0].From != 0 || spans[0].To != 2 {
+		t.Errorf("span 0 = %+v", spans[0])
+	}
+	if spans[1].Phase != bus.PhaseEOF || spans[1].From != 3 || spans[1].To != 4 {
+		t.Errorf("span 1 = %+v", spans[1])
+	}
+	sum := r.PhaseSummary(0)
+	if !strings.Contains(sum, "frame[0..2]") || !strings.Contains(sum, "eof[3..4]") {
+		t.Errorf("summary = %q", sum)
+	}
+}
+
+func TestFirstSlotAndEOFWindow(t *testing.T) {
+	r := NewRecorder("a")
+	d, _ := bitstream.ParseSequence("r")
+	r.OnBit(0, bitstream.Recessive, d, d, []bus.ViewContext{{Phase: bus.PhaseFrame, Attempts: 1}})
+	r.OnBit(1, bitstream.Recessive, d, d, []bus.ViewContext{{Phase: bus.PhaseEOF, EOFRel: 1, Attempts: 1}})
+	r.OnBit(2, bitstream.Recessive, d, d, []bus.ViewContext{{Phase: bus.PhaseEOF, EOFRel: 2, Attempts: 1}})
+	if slot, ok := r.FirstSlot(0, bus.PhaseEOF); !ok || slot != 1 {
+		t.Errorf("FirstSlot = %d,%v want 1,true", slot, ok)
+	}
+	if _, ok := r.FirstSlot(0, bus.PhaseSuspend); ok {
+		t.Error("missing phase must report false")
+	}
+	first, last, ok := r.EOFWindow(0, 1)
+	if !ok || first != 1 || last != 2 {
+		t.Errorf("EOFWindow = %d..%d,%v want 1..2,true", first, last, ok)
+	}
+	if _, _, ok := r.EOFWindow(0, 2); ok {
+		t.Error("attempt 2 window must be absent")
+	}
+}

@@ -1,0 +1,149 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/errmodel"
+	"repro/internal/frame"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// crashPlacementRun replays one disturbance pattern with a chosen station
+// crashed at an absolute slot, and reports the delivery counts and
+// liveness of each station.
+func crashPlacementRun(t *testing.T, policy node.EOFPolicy, rules func() []*errmodel.Rule, crashStation int, crashSlot uint64) ([]int, []bool) {
+	t.Helper()
+	c := sim.MustCluster(sim.ClusterOptions{Nodes: 4, Policy: policy})
+	// Rules are stateful (single-shot counters); build them fresh per run.
+	c.Net.AddDisturber(errmodel.NewScript(rules()...))
+	c.Net.AddProbe(&sim.CrashAtSlot{Ctrl: c.Nodes[crashStation], Slot: crashSlot})
+	f := &frame.Frame{ID: 0x123, Data: []byte{0xCA, 0xFE}}
+	if err := c.Nodes[0].Enqueue(f); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntilQuiet(8000) {
+		t.Fatal("no quiescence")
+	}
+	counts := make([]int, 4)
+	alive := make([]bool, 4)
+	for i := range counts {
+		counts[i] = c.DeliveryCount(i, f)
+		m := c.Nodes[i].Mode()
+		alive[i] = m == node.ErrorActive || m == node.ErrorPassive
+	}
+	return counts, alive
+}
+
+// consistentAmongCorrect checks the all-or-nothing agreement among live
+// receivers, also requiring agreement with a live transmitter's verdict.
+func consistentAmongCorrect(counts []int, alive []bool) bool {
+	got, missing, dup := 0, 0, false
+	for i := 1; i < len(counts); i++ {
+		if !alive[i] {
+			continue
+		}
+		switch {
+		case counts[i] == 0:
+			missing++
+		case counts[i] == 1:
+			got++
+		default:
+			dup = true
+		}
+	}
+	if dup {
+		return false
+	}
+	return got == 0 || missing == 0
+}
+
+// sweepCrashPlacements crashes the station at EVERY slot of a window
+// covering the whole end-of-frame episode and counts inconsistent
+// placements.
+func sweepCrashPlacements(t *testing.T, policy node.EOFPolicy, rules func() []*errmodel.Rule, crashStation int) (bad int, total int) {
+	t.Helper()
+	// One undisturbed probe run to locate the EOF window of attempt 1.
+	// A frame body is ~70 slots; the episode fits well within slot 220.
+	for slot := uint64(40); slot < 220; slot++ {
+		counts, alive := crashPlacementRun(t, policy, rules, crashStation, slot)
+		total++
+		if !consistentAmongCorrect(counts, alive) {
+			bad++
+		}
+	}
+	return bad, total
+}
+
+// MinorCAN, Fig. 1b pattern, transmitter crashed at every possible slot:
+// the paper's claim that MinorCAN "achieves consistency in the event of a
+// permanent failure of any of the nodes after the bit error detection",
+// swept over every failure instant.
+func TestMinorCANCrashPlacementSweep(t *testing.T) {
+	rules := func() []*errmodel.Rule {
+		return []*errmodel.Rule{
+			errmodel.AtEOFBit([]int{1, 2}, 6, 1), // X set at the last-but-one EOF bit
+		}
+	}
+	for station := 0; station < 4; station++ {
+		bad, total := sweepCrashPlacements(t, core.NewMinorCAN(), rules, station)
+		if bad != 0 {
+			t.Errorf("MinorCAN: crashing station %d: %d/%d placements inconsistent", station, bad, total)
+		}
+	}
+}
+
+// Standard CAN under the same sweep must expose the Fig. 1c omission for
+// some transmitter-crash placements.
+func TestStandardCANCrashPlacementSweep(t *testing.T) {
+	rules := func() []*errmodel.Rule {
+		return []*errmodel.Rule{
+			errmodel.AtEOFBit([]int{1, 2}, 6, 1),
+		}
+	}
+	bad, total := sweepCrashPlacements(t, core.NewStandard(), rules, 0)
+	if bad == 0 {
+		t.Errorf("standard CAN: no inconsistent crash placement among %d (Fig. 1c must appear)", total)
+	}
+	t.Logf("standard CAN: %d/%d transmitter-crash placements inconsistent", bad, total)
+}
+
+// MajorCAN_5 under a single-error pattern: every crash placement of every
+// station stays consistent (the vote-split gap needs at least two channel
+// errors besides the crash).
+func TestMajorCAN5CrashPlacementSweepSingleError(t *testing.T) {
+	rules := func() []*errmodel.Rule {
+		return []*errmodel.Rule{
+			errmodel.AtEOFBit([]int{1}, 6, 1), // second sub-field: station 1 extends
+		}
+	}
+	for station := 0; station < 4; station++ {
+		bad, total := sweepCrashPlacements(t, core.MustMajorCAN(5), rules, station)
+		if bad != 0 {
+			t.Errorf("MajorCAN_5: crashing station %d: %d/%d placements inconsistent", station, bad, total)
+		}
+	}
+}
+
+// The Fig. 5 pattern (delayed transmitter extension) with a fourth window
+// error: sweeping the transmitter's crash instant must rediscover the
+// vote-split placements — and only around the majority threshold.
+func TestMajorCAN5CrashPlacementSweepFindsVoteSplit(t *testing.T) {
+	rules := func() []*errmodel.Rule {
+		return []*errmodel.Rule{
+			errmodel.AtEOFBit([]int{1}, 3, 1),
+			errmodel.AtEOFBit([]int{0}, 4, 1),
+			errmodel.AtEOFBit([]int{0}, 5, 1),
+			errmodel.AtEOFBit([]int{2}, 12, 1),
+		}
+	}
+	bad, total := sweepCrashPlacements(t, core.MustMajorCAN(5), rules, 0)
+	if bad == 0 {
+		t.Fatalf("the vote-split placement must appear in the sweep of %d slots", total)
+	}
+	if bad > 3 {
+		t.Errorf("%d/%d placements inconsistent; expected only the threshold neighbourhood", bad, total)
+	}
+	t.Logf("MajorCAN_5 vote split: %d/%d transmitter-crash placements inconsistent", bad, total)
+}

@@ -1,0 +1,105 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/errmodel"
+	"repro/internal/frame"
+	"repro/internal/sim"
+)
+
+// crashAtExtFlagPos crashes a station when its extended flag reaches the
+// given 1-based EOF-relative position (the bit about to be driven has
+// already gone out; the crash silences everything after it).
+type crashAtExtFlagPos struct {
+	cluster *sim.Cluster
+	station int
+	pos     int
+	done    bool
+}
+
+func (p *crashAtExtFlagPos) OnBit(_ uint64, _ bitstream.Level, _, _ []bitstream.Level, views []bus.ViewContext) {
+	if p.done {
+		return
+	}
+	if views[p.station].Phase == bus.PhaseExtFlag && views[p.station].EOFRel == p.pos {
+		p.cluster.Nodes[p.station].Crash()
+		p.done = true
+	}
+}
+
+// voteSplitRun replays the Fig. 5 pattern with the transmitter crashing
+// after its extended flag covered exactly `covered` sampling-window bits,
+// and with one corrupted window bit at station 2.
+func voteSplitRun(t *testing.T, crashPos int) (*sim.Cluster, *frame.Frame) {
+	t.Helper()
+	c := sim.MustCluster(sim.ClusterOptions{Nodes: 4, Policy: core.MustMajorCAN(5)})
+	c.Net.AddDisturber(errmodel.NewScript(
+		errmodel.AtEOFBit([]int{1}, 3, 1),  // receiver 1 sees the first error (flag 4..9)
+		errmodel.AtEOFBit([]int{0}, 4, 1),  // the transmitter is blinded ...
+		errmodel.AtEOFBit([]int{0}, 5, 1),  // ... until the second sub-field: it extends
+		errmodel.AtEOFBit([]int{2}, 12, 1), // receiver 2 loses one window vote
+	))
+	c.Net.AddProbe(&crashAtExtFlagPos{cluster: c, station: 0, pos: crashPos})
+	f := &frame.Frame{ID: 0x123, Data: []byte{0xCA, 0xFE}}
+	if err := c.Nodes[0].Enqueue(f); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntilQuiet(8000) {
+		t.Fatal("no quiescence")
+	}
+	return c, f
+}
+
+// TestMajorCANCrashVoteSplitGap characterises the second limitation this
+// reproduction found in MajorCAN as specified (see DESIGN.md, "Findings
+// beyond the paper"): a transmitter that crashes fail-silently in the
+// middle of its extended (acceptance) error flag leaves the samplers a
+// truncated notification. If the truncation lands exactly at the majority
+// threshold (m dominant window bits on the wire), a single additional
+// window-bit error at one sampler splits the vote: that sampler rejects
+// while the others accept — an inconsistent message omission from four
+// channel errors (within the m = 5 tolerance) plus one fail-silent crash,
+// both elements of the paper's stated fault model. The majority vote
+// absorbs m-1 corruptions only when the notification itself is complete.
+func TestMajorCANCrashVoteSplitGap(t *testing.T) {
+	// Crash after window position 16: the wire carries exactly m = 5
+	// dominant window bits (12..16). The corrupted sampler counts 4.
+	c, f := voteSplitRun(t, 16)
+	if got := c.DeliveryCount(1, f); got != 1 {
+		t.Errorf("station 1 delivered %d, want 1 (accept)", got)
+	}
+	if got := c.DeliveryCount(3, f); got != 1 {
+		t.Errorf("station 3 delivered %d, want 1 (accept)", got)
+	}
+	if got := c.DeliveryCount(2, f); got != 0 {
+		t.Errorf("station 2 delivered %d, want 0 (the documented vote split)", got)
+	}
+}
+
+// One bit to either side of the threshold the protocol stays consistent —
+// the split exists only at the exact boundary.
+func TestMajorCANCrashVoteSplitBoundary(t *testing.T) {
+	t.Run("one bit earlier: everyone rejects", func(t *testing.T) {
+		c, f := voteSplitRun(t, 15)
+		for i := 1; i < 4; i++ {
+			// The frame is rejected by all on the first attempt, but the
+			// transmitter is crashed, so nobody ever delivers: a consistent
+			// omission with a failed transmitter (allowed by AB1/AB2).
+			if got := c.DeliveryCount(i, f); got != 0 {
+				t.Errorf("station %d delivered %d, want 0", i, got)
+			}
+		}
+	})
+	t.Run("one bit later: everyone accepts", func(t *testing.T) {
+		c, f := voteSplitRun(t, 17)
+		for i := 1; i < 4; i++ {
+			if got := c.DeliveryCount(i, f); got != 1 {
+				t.Errorf("station %d delivered %d, want 1", i, got)
+			}
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package majorcan_test
+
+import (
+	"testing"
+
+	"repro/majorcan"
+)
+
+func TestMeasureConsistencyPublic(t *testing.T) {
+	can, err := majorcan.MeasureConsistency(majorcan.ConsistencyExperiment{
+		Protocol: majorcan.StandardCAN(),
+		Nodes:    5,
+		Frames:   400,
+		BerStar:  0.02,
+		Seed:     7,
+		EOFOnly:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if can.AtomicBroadcast {
+		t.Error("standard CAN at this rate must violate Atomic Broadcast")
+	}
+	if can.DoubleReceptions == 0 {
+		t.Error("standard CAN must show double receptions")
+	}
+
+	maj, err := majorcan.MeasureConsistency(majorcan.ConsistencyExperiment{
+		Protocol: majorcan.MajorCAN(5),
+		Nodes:    5,
+		Frames:   400,
+		BerStar:  0.02,
+		Seed:     7,
+		EOFOnly:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !maj.AtomicBroadcast {
+		t.Errorf("MajorCAN_5 must satisfy Atomic Broadcast:\n%s", maj.Violations)
+	}
+	if maj.InconsistentOmissions != 0 || maj.DoubleReceptions != 0 {
+		t.Errorf("MajorCAN_5: IMOs=%d dups=%d", maj.InconsistentOmissions, maj.DoubleReceptions)
+	}
+	if _, err := majorcan.MeasureConsistency(majorcan.ConsistencyExperiment{}); err == nil {
+		t.Error("unset protocol must be rejected")
+	}
+}
+
+func TestFrameOverheadPublic(t *testing.T) {
+	for _, tt := range []struct {
+		m    int
+		want int
+	}{{3, -1}, {5, 3}, {8, 9}} {
+		got, err := majorcan.FrameOverhead(majorcan.MajorCAN(tt.m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("m=%d overhead = %d bits, want 2m-7 = %d", tt.m, got, tt.want)
+		}
+	}
+	if got, err := majorcan.FrameOverhead(majorcan.StandardCAN()); err != nil || got != 0 {
+		t.Errorf("CAN against itself = %d,%v want 0,nil", got, err)
+	}
+	if _, err := majorcan.FrameOverhead(majorcan.Protocol{}); err == nil {
+		t.Error("unset protocol must be rejected")
+	}
+}

@@ -1,0 +1,260 @@
+// Package majorcan is the public API of the MajorCAN reproduction: a
+// bit-accurate CAN bus simulator with pluggable end-of-frame protocol
+// variants (standard CAN, MinorCAN, MajorCAN_m), fault injection, Atomic
+// Broadcast property checking, the paper's probabilistic model, and
+// exhaustive fault-space verification.
+//
+// # Protocols
+//
+// Three protocol variants are available:
+//
+//	majorcan.StandardCAN()   // ISO 11898 behaviour, last-bit-of-EOF rule
+//	majorcan.MinorCAN()      // the paper's minimal fix (Primary_error rule)
+//	majorcan.MajorCAN(m)     // the paper's contribution, tolerating m errors
+//
+// # Buses
+//
+// A Bus couples N simulated controllers:
+//
+//	bus, err := majorcan.NewBus(majorcan.BusConfig{Nodes: 4, Protocol: majorcan.MajorCAN(5)})
+//	bus.Send(0, majorcan.Message{ID: 0x123, Data: []byte("hi")})
+//	bus.Run(majorcan.DefaultSlotBudget)
+//	fmt.Println(bus.DeliveredAt(1))
+//
+// Disturbances — the paper's spatial error model or scripted single-bit
+// view flips — are injected through BusConfig or Bus methods. See the
+// examples directory for complete programs.
+package majorcan
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/core"
+	"repro/internal/errmodel"
+	"repro/internal/frame"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// Protocol selects the end-of-frame behaviour of every controller on a
+// bus. Construct values with StandardCAN, MinorCAN or MajorCAN.
+type Protocol struct {
+	policy node.EOFPolicy
+}
+
+// StandardCAN returns the ISO 11898 protocol with the last-bit-of-EOF
+// rule — the baseline whose inconsistencies the paper analyses.
+func StandardCAN() Protocol { return Protocol{policy: core.NewStandard()} }
+
+// MinorCAN returns the paper's first modification: consistent handling of
+// errors in the last EOF bit via the Primary_error criterion. It fixes
+// every single-error scenario but not the paper's new two-error scenarios.
+func MinorCAN() Protocol { return Protocol{policy: core.NewMinorCAN()} }
+
+// MajorCAN returns the paper's main contribution with error tolerance m
+// (the paper proposes m = 5). It panics if m < 3; use NewMajorCAN to
+// handle the error.
+func MajorCAN(m int) Protocol { return Protocol{policy: core.MustMajorCAN(m)} }
+
+// NewMajorCAN is MajorCAN with error reporting instead of panicking.
+func NewMajorCAN(m int) (Protocol, error) {
+	p, err := core.NewMajorCAN(m)
+	if err != nil {
+		return Protocol{}, err
+	}
+	return Protocol{policy: p}, nil
+}
+
+// Name returns the protocol's name ("CAN", "MinorCAN", "MajorCAN_5", ...).
+func (p Protocol) Name() string {
+	if p.policy == nil {
+		return "<none>"
+	}
+	return p.policy.Name()
+}
+
+// valid reports whether the protocol was constructed properly.
+func (p Protocol) valid() bool { return p.policy != nil }
+
+// Message is an application-level CAN message.
+type Message struct {
+	// ID is the frame identifier (11-bit standard or 29-bit extended).
+	// Lower IDs win arbitration.
+	ID uint32
+	// Extended selects the 29-bit identifier format.
+	Extended bool
+	// Remote marks a remote transmission request (no data).
+	Remote bool
+	// Data is the payload, at most 8 bytes.
+	Data []byte
+}
+
+func (m Message) toFrame() *frame.Frame {
+	f := &frame.Frame{ID: m.ID, Remote: m.Remote, Data: append([]byte(nil), m.Data...)}
+	if m.Extended {
+		f.Format = frame.Extended
+	}
+	return f
+}
+
+func fromFrame(f *frame.Frame) Message {
+	return Message{
+		ID:       f.ID,
+		Extended: f.EffectiveFormat() == frame.Extended,
+		Remote:   f.Remote,
+		Data:     append([]byte(nil), f.Data...),
+	}
+}
+
+// Equal reports whether two messages are identical.
+func (m Message) Equal(o Message) bool {
+	return m.toFrame().Equal(o.toFrame())
+}
+
+func (m Message) String() string { return m.toFrame().String() }
+
+// Delivery is one message handed to a node's application layer.
+type Delivery struct {
+	// Slot is the bit time of the delivery.
+	Slot uint64
+	// Message is the delivered message.
+	Message Message
+}
+
+// DefaultSlotBudget is a generous bound for Run calls covering several
+// frame transmissions with retries.
+const DefaultSlotBudget = 100000
+
+// BusConfig configures a simulated bus.
+type BusConfig struct {
+	// Nodes is the number of stations (>= 2).
+	Nodes int
+	// Protocol applies to every station.
+	Protocol Protocol
+	// BerStar enables the paper's spatial random error model with the
+	// given per-node per-bit view-flip probability (ber* = ber/N).
+	BerStar float64
+	// Seed seeds the random error model.
+	Seed int64
+	// WarningSwitchOff disconnects nodes at the warning limit (96), the
+	// paper's recommended policy against the error-passive state.
+	WarningSwitchOff bool
+}
+
+// Bus is a simulated CAN bus with recorded deliveries.
+type Bus struct {
+	cluster *sim.Cluster
+}
+
+// NewBus builds a bus.
+func NewBus(cfg BusConfig) (*Bus, error) {
+	if !cfg.Protocol.valid() {
+		return nil, fmt.Errorf("majorcan: BusConfig.Protocol not set (use StandardCAN, MinorCAN or MajorCAN)")
+	}
+	cluster, err := sim.NewCluster(sim.ClusterOptions{
+		Nodes:            cfg.Nodes,
+		Policy:           cfg.Protocol.policy,
+		WarningSwitchOff: cfg.WarningSwitchOff,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.BerStar > 0 {
+		cluster.Net.AddDisturber(errmodel.NewRandom(cfg.BerStar, cfg.Seed))
+	}
+	return &Bus{cluster: cluster}, nil
+}
+
+// Send queues a message for transmission at the given station.
+func (b *Bus) Send(station int, m Message) error {
+	if station < 0 || station >= len(b.cluster.Nodes) {
+		return fmt.Errorf("majorcan: station %d out of range", station)
+	}
+	return b.cluster.Nodes[station].Enqueue(m.toFrame())
+}
+
+// Run simulates until the bus is idle and all queues are drained, or the
+// slot budget is exhausted; it reports whether quiescence was reached.
+func (b *Bus) Run(maxSlots int) bool {
+	return b.cluster.RunUntilQuiet(maxSlots)
+}
+
+// Step advances the simulation by exactly one bit slot.
+func (b *Bus) Step() { b.cluster.Net.Step() }
+
+// Slot returns the current bit time.
+func (b *Bus) Slot() uint64 { return b.cluster.Net.Slot() }
+
+// Nodes returns the number of stations.
+func (b *Bus) Nodes() int { return len(b.cluster.Nodes) }
+
+// DeliveredAt returns the messages delivered at a station, in order.
+func (b *Bus) DeliveredAt(station int) []Delivery {
+	if station < 0 || station >= len(b.cluster.Nodes) {
+		return nil
+	}
+	ds := b.cluster.Deliveries[station]
+	out := make([]Delivery, len(ds))
+	for i, d := range ds {
+		out[i] = Delivery{Slot: d.Slot, Message: fromFrame(d.Frame)}
+	}
+	return out
+}
+
+// DeliveryCount returns how many copies of m a station delivered.
+func (b *Bus) DeliveryCount(station int, m Message) int {
+	return b.cluster.DeliveryCount(station, m.toFrame())
+}
+
+// TxSuccesses returns how many transmissions a station completed.
+func (b *Bus) TxSuccesses(station int) uint64 {
+	return b.cluster.Nodes[station].TxSuccesses()
+}
+
+// Crash makes a station fail silently from now on.
+func (b *Bus) Crash(station int) { b.cluster.Nodes[station].Crash() }
+
+// NodeState describes a station's fault confinement condition.
+type NodeState string
+
+// Node states.
+const (
+	ErrorActive  NodeState = "error-active"
+	ErrorPassive NodeState = "error-passive"
+	BusOff       NodeState = "bus-off"
+	SwitchedOff  NodeState = "switched-off"
+)
+
+// State returns a station's fault confinement state.
+func (b *Bus) State(station int) NodeState {
+	switch b.cluster.Nodes[station].Mode() {
+	case node.ErrorPassive:
+		return ErrorPassive
+	case node.BusOff:
+		return BusOff
+	case node.SwitchedOff:
+		return SwitchedOff
+	default:
+		return ErrorActive
+	}
+}
+
+// DisturbView flips one station's view of the bus at a specific position
+// of the end-of-frame region: position is 1-based relative to the first
+// EOF bit, attempt counts transmissions (1 = the first). This is the
+// vocabulary of the paper's figures.
+func (b *Bus) DisturbView(station, position, attempt int) {
+	b.cluster.Net.AddDisturber(errmodel.NewScript(
+		errmodel.AtEOFBit([]int{station}, position, attempt),
+	))
+}
+
+// Level re-exports the two bus levels for advanced use.
+type Level = bitstream.Level
+
+// Bus levels.
+const (
+	Dominant  = bitstream.Dominant
+	Recessive = bitstream.Recessive
+)

@@ -1,0 +1,226 @@
+package majorcan_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/majorcan"
+)
+
+func TestBusBroadcast(t *testing.T) {
+	for _, proto := range []majorcan.Protocol{
+		majorcan.StandardCAN(), majorcan.MinorCAN(), majorcan.MajorCAN(5),
+	} {
+		t.Run(proto.Name(), func(t *testing.T) {
+			bus, err := majorcan.NewBus(majorcan.BusConfig{Nodes: 4, Protocol: proto})
+			if err != nil {
+				t.Fatal(err)
+			}
+			msg := majorcan.Message{ID: 0x42, Data: []byte{1, 2, 3}}
+			if err := bus.Send(0, msg); err != nil {
+				t.Fatal(err)
+			}
+			if !bus.Run(majorcan.DefaultSlotBudget) {
+				t.Fatal("no quiescence")
+			}
+			if bus.TxSuccesses(0) != 1 {
+				t.Errorf("tx successes = %d, want 1", bus.TxSuccesses(0))
+			}
+			for i := 1; i < bus.Nodes(); i++ {
+				if n := bus.DeliveryCount(i, msg); n != 1 {
+					t.Errorf("station %d delivered %d, want 1", i, n)
+				}
+			}
+		})
+	}
+}
+
+func TestBusValidation(t *testing.T) {
+	if _, err := majorcan.NewBus(majorcan.BusConfig{Nodes: 4}); err == nil {
+		t.Error("unset protocol must be rejected")
+	}
+	if _, err := majorcan.NewBus(majorcan.BusConfig{Nodes: 1, Protocol: majorcan.StandardCAN()}); err == nil {
+		t.Error("single node must be rejected")
+	}
+	if _, err := majorcan.NewMajorCAN(2); err == nil {
+		t.Error("m=2 must be rejected")
+	}
+	bus, err := majorcan.NewBus(majorcan.BusConfig{Nodes: 3, Protocol: majorcan.StandardCAN()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Send(9, majorcan.Message{ID: 1}); err == nil {
+		t.Error("out-of-range station must be rejected")
+	}
+	if err := bus.Send(0, majorcan.Message{ID: 0x900}); err == nil {
+		t.Error("invalid message must be rejected")
+	}
+}
+
+func TestBusDisturbView(t *testing.T) {
+	// Reproduce Fig. 3a through the public API: disturb the receivers' view
+	// at the last-but-one EOF bit and the transmitter's at the last bit.
+	bus, err := majorcan.NewBus(majorcan.BusConfig{Nodes: 5, Protocol: majorcan.StandardCAN()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.DisturbView(1, 6, 1)
+	bus.DisturbView(2, 6, 1)
+	bus.DisturbView(0, 7, 1)
+	msg := majorcan.Message{ID: 0x100, Data: []byte{0xA5}}
+	if err := bus.Send(0, msg); err != nil {
+		t.Fatal(err)
+	}
+	if !bus.Run(majorcan.DefaultSlotBudget) {
+		t.Fatal("no quiescence")
+	}
+	if bus.DeliveryCount(1, msg) != 0 || bus.DeliveryCount(3, msg) != 1 {
+		t.Errorf("expected the Fig. 3a omission, got %d/%d at stations 1/3",
+			bus.DeliveryCount(1, msg), bus.DeliveryCount(3, msg))
+	}
+}
+
+func TestBusCrashAndState(t *testing.T) {
+	bus, err := majorcan.NewBus(majorcan.BusConfig{Nodes: 3, Protocol: majorcan.MajorCAN(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bus.State(2); got != majorcan.ErrorActive {
+		t.Errorf("initial state = %v, want error-active", got)
+	}
+	bus.Crash(2)
+	if got := bus.State(2); got != majorcan.SwitchedOff {
+		t.Errorf("state after crash = %v, want switched-off", got)
+	}
+	msg := majorcan.Message{ID: 7, Data: []byte{7}}
+	if err := bus.Send(0, msg); err != nil {
+		t.Fatal(err)
+	}
+	if !bus.Run(majorcan.DefaultSlotBudget) {
+		t.Fatal("no quiescence")
+	}
+	if bus.DeliveryCount(1, msg) != 1 || bus.DeliveryCount(2, msg) != 0 {
+		t.Error("crashed station must not deliver; healthy station must")
+	}
+}
+
+func TestRandomErrorsOnPublicBus(t *testing.T) {
+	bus, err := majorcan.NewBus(majorcan.BusConfig{
+		Nodes: 4, Protocol: majorcan.MajorCAN(5), BerStar: 2e-4, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := bus.Send(i%4, majorcan.Message{ID: uint32(0x100 + i), Data: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bus.Run(majorcan.DefaultSlotBudget) {
+		t.Fatal("no quiescence")
+	}
+	// Every message reaches the three receivers exactly once under
+	// MajorCAN despite the random errors.
+	total := 0
+	for i := 0; i < 4; i++ {
+		total += len(bus.DeliveredAt(i))
+	}
+	if total != 20*3 {
+		t.Errorf("total deliveries = %d, want 60", total)
+	}
+}
+
+func TestTable1Public(t *testing.T) {
+	rows := majorcan.Table1()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].NewPerHour < rows[0].OldPerHour {
+		t.Error("the new scenario must dominate")
+	}
+}
+
+func TestRequiredTolerancePublic(t *testing.T) {
+	m, err := majorcan.RequiredTolerance(1e-4, majorcan.SafetyReference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 5 {
+		t.Errorf("required m at ber=1e-4 = %d, want 5 (the paper's proposal)", m)
+	}
+}
+
+func TestReplayFigurePublic(t *testing.T) {
+	res, err := majorcan.ReplayFigure("3a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Inconsistent {
+		t.Error("Fig. 3a must be inconsistent")
+	}
+	if !strings.Contains(res.Timeline, "D") {
+		t.Error("timeline must show driven flags")
+	}
+	if _, err := majorcan.ReplayFigure("9z"); err == nil {
+		t.Error("unknown figure must error")
+	}
+	res5, err := majorcan.ReplayFigure("5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res5.Inconsistent || res5.DoubleReception {
+		t.Error("Fig. 5 must be consistent")
+	}
+}
+
+func TestReplayNewScenarioPublic(t *testing.T) {
+	bad, err := majorcan.ReplayNewScenario(majorcan.MinorCAN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bad.Inconsistent {
+		t.Error("MinorCAN must fail the new scenario")
+	}
+	good, err := majorcan.ReplayNewScenario(majorcan.MajorCAN(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.Inconsistent {
+		t.Error("MajorCAN must pass the new scenario")
+	}
+	if _, err := majorcan.ReplayNewScenario(majorcan.Protocol{}); err == nil {
+		t.Error("zero protocol must error")
+	}
+}
+
+func TestVerifyExhaustivePublic(t *testing.T) {
+	report, ok, err := majorcan.VerifyExhaustive(majorcan.MajorCAN(5), 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("MajorCAN_5 single-flip space must be consistent:\n%s", report)
+	}
+	_, ok, err = majorcan.VerifyExhaustive(majorcan.StandardCAN(), 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("standard CAN single-flip space must contain violations")
+	}
+}
+
+func TestMessageEqualAndString(t *testing.T) {
+	a := majorcan.Message{ID: 5, Data: []byte{1}}
+	b := majorcan.Message{ID: 5, Data: []byte{1}}
+	if !a.Equal(b) {
+		t.Error("identical messages must be equal")
+	}
+	b.Data = []byte{2}
+	if a.Equal(b) {
+		t.Error("different payloads must not be equal")
+	}
+	if !strings.Contains(a.String(), "0x5") {
+		t.Errorf("String() = %q", a.String())
+	}
+}
