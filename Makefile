@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench repro verify-envelope clean
+.PHONY: all build test race bench repro chaos verify-envelope clean
 
 all: build test
 
@@ -25,6 +25,12 @@ repro:
 	$(GO) run ./cmd/tolerance
 	$(GO) run ./cmd/mcsim -policy can -frames 2500 -berstar 0.02 -seed 7
 	$(GO) run ./cmd/mcsim -policy majorcan_5 -frames 2500 -berstar 0.02 -seed 7
+
+# Fault-injection campaign: rediscover the Fig. 3a counterexample on
+# standard CAN, shrink it, and verify the replay artifact bit-for-bit.
+chaos:
+	$(GO) run ./cmd/chaos -policy can -trials 200 -kinds view-flip -probes agreement -seed 12 -stopfirst -out findings/
+	$(GO) run ./cmd/chaos -replay findings/finding_000.json
 
 # Exhaustive verification of MajorCAN_5 over its complete design envelope
 # (all <=5-flip patterns; ~25.7M simulations, ~27 min single-threaded).

@@ -1,0 +1,278 @@
+// Command chaos runs declarative fault-injection campaigns on the
+// bit-level simulator, shrinks counterexamples to minimal disturbance
+// scripts, and replays recorded artifacts bit-for-bit.
+//
+// Modes:
+//
+//	chaos -trials 500 -policy can -nodes 5 -out findings/   # campaign
+//	chaos -script script.json                               # run one script
+//	chaos -replay findings/finding_0.json                   # verify artifact
+//
+// Replay exits 0 exactly when the artifact reproduces its recorded
+// verdict (a recorded violation that replays identically is a success);
+// any digest or verdict mismatch exits 1.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/abcheck"
+	"repro/internal/chaos"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "chaos: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// parseProbes maps a comma-separated probe list onto the campaign probe
+// set. "all" is the default set; AB properties may be selected
+// individually to narrow the search (e.g. -probes agreement to hunt for
+// the paper's inconsistency scenarios only).
+func parseProbes(csv string) ([]chaos.Probe, error) {
+	if csv == "" || csv == "all" {
+		return nil, nil
+	}
+	var probes []chaos.Probe
+	var props []abcheck.Property
+	for _, s := range strings.Split(csv, ",") {
+		switch strings.TrimSpace(s) {
+		case "ab":
+			probes = append(probes, chaos.AB())
+		case "validity":
+			props = append(props, abcheck.Validity)
+		case "agreement":
+			props = append(props, abcheck.Agreement)
+		case "at-most-once":
+			props = append(props, abcheck.AtMostOnce)
+		case "non-triviality":
+			props = append(props, abcheck.NonTriviality)
+		case "total-order":
+			props = append(props, abcheck.TotalOrder)
+		case "liveness":
+			probes = append(probes, chaos.Liveness())
+		case "confinement":
+			probes = append(probes, chaos.Confinement())
+		default:
+			return nil, fmt.Errorf("unknown probe %q (known: ab, validity, agreement, at-most-once, non-triviality, total-order, liveness, confinement)", s)
+		}
+	}
+	if len(props) > 0 {
+		probes = append(probes, chaos.AB(props...))
+	}
+	return probes, nil
+}
+
+func parseKinds(csv string) ([]chaos.FaultKind, error) {
+	if csv == "" || csv == "all" {
+		return nil, nil
+	}
+	known := make(map[chaos.FaultKind]bool)
+	for _, k := range chaos.Kinds() {
+		known[k] = true
+	}
+	var out []chaos.FaultKind
+	for _, s := range strings.Split(csv, ",") {
+		k := chaos.FaultKind(strings.TrimSpace(s))
+		if !known[k] {
+			return nil, fmt.Errorf("unknown fault kind %q (known: %v)", k, chaos.Kinds())
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+func main() {
+	policy := flag.String("policy", "can", "protocol: can, minorcan or majorcan_<m>")
+	nodes := flag.Int("nodes", 5, "number of stations")
+	frames := flag.Int("frames", 1, "frames broadcast per trial")
+	trials := flag.Int("trials", 200, "random scripts to execute")
+	maxFaults := flag.Int("maxfaults", 4, "maximum faults per trial")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	kindsCSV := flag.String("kinds", "all", "comma-separated fault kinds (view-flip, stuck-dominant, mute, crash, bus-off, clock-glitch)")
+	probesCSV := flag.String("probes", "all", "comma-separated probes (ab, validity, agreement, at-most-once, non-triviality, total-order, liveness, confinement)")
+	rotate := flag.Bool("rotate", false, "rotate the transmitting station")
+	autoRecover := flag.Bool("autorecover", false, "enable bus-off recovery on every node")
+	warningOff := flag.Bool("warnoff", false, "enable the switch-off-at-warning-limit policy")
+	stopFirst := flag.Bool("stopfirst", false, "stop the campaign at the first finding")
+	outDir := flag.String("out", "", "directory to write finding artifacts into")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")
+	scriptPath := flag.String("script", "", "run one script file and print its verdict")
+	replayPath := flag.String("replay", "", "replay an artifact and verify it reproduces")
+	flag.Parse()
+
+	switch {
+	case *replayPath != "":
+		replay(*replayPath, *jsonOut)
+	case *scriptPath != "":
+		runScript(*scriptPath, *jsonOut)
+	default:
+		kinds, err := parseKinds(*kindsCSV)
+		if err != nil {
+			fail("%v", err)
+		}
+		probes, err := parseProbes(*probesCSV)
+		if err != nil {
+			fail("%v", err)
+		}
+		campaign(chaos.Campaign{
+			Name: "cli",
+			Base: chaos.Script{
+				Version:          chaos.ScriptVersion,
+				Protocol:         *policy,
+				Nodes:            *nodes,
+				Frames:           *frames,
+				RotateOrigins:    *rotate,
+				AutoRecover:      *autoRecover,
+				WarningSwitchOff: *warningOff,
+			},
+			Trials:      *trials,
+			MaxFaults:   *maxFaults,
+			FaultKinds:  kinds,
+			Seed:        *seed,
+			Probes:      probes,
+			StopAtFirst: *stopFirst,
+		}, *outDir, *jsonOut)
+	}
+}
+
+func replay(path string, jsonOut bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	a, err := chaos.DecodeArtifact(data)
+	if err != nil {
+		fail("%v", err)
+	}
+	rr, err := chaos.Replay(a)
+	if err != nil {
+		fail("%v", err)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			DigestMatch  bool          `json:"digestMatch"`
+			VerdictMatch bool          `json:"verdictMatch"`
+			Verdict      chaos.Verdict `json:"verdict"`
+		}{rr.DigestMatch, rr.VerdictMatch, rr.Verdict}); err != nil {
+			fail("%v", err)
+		}
+	} else {
+		fmt.Printf("replayed %s: digest %s over %d slots\n", path, rr.Verdict.Digest, rr.Verdict.Slots)
+		for _, v := range rr.Verdict.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+		fmt.Printf("digest match: %v, verdict match: %v\n", rr.DigestMatch, rr.VerdictMatch)
+	}
+	if !rr.Matches() {
+		os.Exit(1)
+	}
+}
+
+func runScript(path string, jsonOut bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	var s chaos.Script
+	if err := json.Unmarshal(data, &s); err != nil {
+		fail("bad script: %v", err)
+	}
+	if s.Version == 0 {
+		s.Version = chaos.ScriptVersion
+	}
+	r, err := chaos.Run(s)
+	if err != nil {
+		fail("%v", err)
+	}
+	verdict := chaos.VerdictOf(r, chaos.DefaultProbes())
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(verdict); err != nil {
+			fail("%v", err)
+		}
+	} else {
+		fmt.Printf("script %s: %d faults, digest %s over %d slots\n",
+			path, len(s.Faults), verdict.Digest, verdict.Slots)
+		fmt.Printf("IMOs=%d duplicates=%d orderInversions=%d quiet=%v\n",
+			verdict.IMOs, verdict.Duplicates, verdict.OrderInversions, verdict.Quiet)
+		if len(verdict.Violations) == 0 {
+			fmt.Println("no violations")
+		}
+		for _, v := range verdict.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+	}
+	if len(verdict.Violations) > 0 {
+		os.Exit(2)
+	}
+}
+
+func campaign(c chaos.Campaign, outDir string, jsonOut bool) {
+	res, err := c.Run()
+	if err != nil {
+		fail("%v", err)
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			fail("%v", err)
+		}
+		for i, f := range res.Findings {
+			data, err := f.Artifact(c.Name).Encode()
+			if err != nil {
+				fail("%v", err)
+			}
+			path := filepath.Join(outDir, fmt.Sprintf("finding_%03d.json", i))
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				fail("%v", err)
+			}
+		}
+	}
+	if jsonOut {
+		type finding struct {
+			Trial          int           `json:"trial"`
+			OriginalFaults int           `json:"originalFaults"`
+			ShrunkFaults   []chaos.Fault `json:"shrunkFaults"`
+			Verdict        chaos.Verdict `json:"verdict"`
+		}
+		out := struct {
+			Trials     int       `json:"trials"`
+			Executions int       `json:"executions"`
+			Findings   []finding `json:"findings"`
+		}{Trials: res.Trials, Executions: res.Executions, Findings: []finding{}}
+		for _, f := range res.Findings {
+			out.Findings = append(out.Findings, finding{
+				Trial:          f.Trial,
+				OriginalFaults: len(f.Original.Faults),
+				ShrunkFaults:   f.Shrunk.Faults,
+				Verdict:        f.Verdict,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
+	fmt.Printf("campaign: %d trials, %d simulator executions, %d findings\n",
+		res.Trials, res.Executions, len(res.Findings))
+	for i, f := range res.Findings {
+		fmt.Printf("finding %d (trial %d): %d faults shrunk to %d\n",
+			i, f.Trial, len(f.Original.Faults), len(f.Shrunk.Faults))
+		for _, fault := range f.Shrunk.Faults {
+			fmt.Printf("  %s\n", fault)
+		}
+		for _, v := range f.Violations {
+			fmt.Printf("  -> %s\n", v)
+		}
+	}
+}

@@ -5,38 +5,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+	"os/signal"
+	"syscall"
 
-	"repro/internal/core"
-	"repro/internal/node"
+	"repro/internal/chaos"
 	"repro/internal/sim"
 )
-
-func parsePolicy(s string) (node.EOFPolicy, error) {
-	switch {
-	case strings.EqualFold(s, "can"):
-		return core.NewStandard(), nil
-	case strings.EqualFold(s, "minorcan"):
-		return core.NewMinorCAN(), nil
-	case strings.HasPrefix(strings.ToLower(s), "majorcan"):
-		m := core.DefaultM
-		if i := strings.IndexByte(s, '_'); i >= 0 {
-			v, err := strconv.Atoi(s[i+1:])
-			if err != nil {
-				return nil, fmt.Errorf("invalid m in %q: %v", s, err)
-			}
-			m = v
-		}
-		return core.NewMajorCAN(m)
-	default:
-		return nil, fmt.Errorf("unknown policy %q (use can, minorcan, majorcan_<m>)", s)
-	}
-}
 
 func main() {
 	policyName := flag.String("policy", "can", "protocol: can, minorcan or majorcan_<m>")
@@ -52,7 +32,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	flag.Parse()
 
-	policy, err := parsePolicy(*policyName)
+	policy, err := chaos.ParseProtocol(*policyName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcsim: %v\n", err)
 		os.Exit(1)
@@ -69,20 +49,31 @@ func main() {
 	}
 
 	if *sweep > 0 {
+		// SIGINT/SIGTERM cancel the sweep gracefully: running points
+		// finish, unstarted points are skipped, and the partial aggregate
+		// is flushed instead of dying silently.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
 		seeds := make([]int64, *sweep)
 		for i := range seeds {
 			seeds[i] = *seed + int64(i)
 		}
-		points := sim.SweepSeeds(cfg, seeds, *parallel)
+		points := sim.SweepSeedsContext(ctx, cfg, seeds, *parallel)
+		summary := sim.Summarize(points)
 		for _, p := range points {
-			if p.Err != nil {
+			if p.Err != nil && !errors.Is(p.Err, context.Canceled) && !errors.Is(p.Err, context.DeadlineExceeded) {
 				fmt.Fprintf(os.Stderr, "mcsim: seed %d: %v\n", p.Seed, p.Err)
 				os.Exit(1)
 			}
 		}
 		fmt.Printf("policy=%s nodes=%d frames/seed=%d ber*=%g eofOnly=%v seeds=%d..%d\n",
 			policy.Name(), *nodes, *frames, *berStar, *eofOnly, *seed, *seed+int64(*sweep)-1)
-		fmt.Println(sim.Summarize(points))
+		fmt.Println(summary)
+		if summary.Cancelled > 0 {
+			fmt.Printf("interrupted: %d of %d points skipped; aggregate covers completed points only\n",
+				summary.Cancelled, summary.Points)
+			os.Exit(130)
+		}
 		return
 	}
 

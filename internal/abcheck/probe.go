@@ -1,0 +1,49 @@
+package abcheck
+
+import "strings"
+
+// TraceProbe checks one invariant class over a finished trace. It is the
+// unit of composition for the chaos campaign engine: a campaign attaches a
+// set of probes and a run fails when any probe reports violations.
+type TraceProbe interface {
+	// Name identifies the probe in findings and artifacts.
+	Name() string
+	// Verify returns the violations found in the trace (nil when clean).
+	Verify(tr Trace) []Violation
+}
+
+// Properties returns a TraceProbe verifying the given Atomic Broadcast
+// properties (all five when none are listed) via Check, filtering the
+// report down to the requested subset.
+func Properties(props ...Property) TraceProbe {
+	if len(props) == 0 {
+		props = []Property{Validity, Agreement, AtMostOnce, NonTriviality, TotalOrder}
+	}
+	return propertiesProbe{props: props}
+}
+
+type propertiesProbe struct {
+	props []Property
+}
+
+func (p propertiesProbe) Name() string {
+	parts := make([]string, len(p.props))
+	for i, prop := range p.props {
+		parts[i] = prop.String()
+	}
+	return "ab(" + strings.Join(parts, ",") + ")"
+}
+
+func (p propertiesProbe) Verify(tr Trace) []Violation {
+	report := Check(tr)
+	var out []Violation
+	for _, v := range report.Violations {
+		for _, prop := range p.props {
+			if v.Property == prop {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	return out
+}

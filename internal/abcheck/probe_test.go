@@ -1,0 +1,52 @@
+package abcheck
+
+import "testing"
+
+// imoTrace is a 3-node trace where node 1 delivers m(0,1) but node 2 never
+// does: an Agreement violation (and nothing else).
+func imoTrace() Trace {
+	key := MsgKey{Origin: 0, Seq: 1}
+	return Trace{
+		Nodes:      3,
+		Broadcasts: []Broadcast{{Key: key, Slot: 0}},
+		Deliveries: []Delivery{{Node: 1, Key: key, Slot: 100}},
+		Faulty:     map[int]bool{},
+	}
+}
+
+func TestPropertiesProbeDefaultsToAllFive(t *testing.T) {
+	p := Properties()
+	vs := p.Verify(imoTrace())
+	if len(vs) != 1 || vs[0].Property != Agreement {
+		t.Fatalf("violations = %v, want exactly one Agreement violation", vs)
+	}
+	if p.Name() == "" {
+		t.Error("probe name must not be empty")
+	}
+}
+
+func TestPropertiesProbeFiltersToSubset(t *testing.T) {
+	tr := imoTrace()
+	if vs := Properties(Agreement).Verify(tr); len(vs) != 1 {
+		t.Errorf("Agreement probe: %v, want 1 violation", vs)
+	}
+	if vs := Properties(AtMostOnce, TotalOrder).Verify(tr); len(vs) != 0 {
+		t.Errorf("AB3/AB5 probe must not report the Agreement violation, got %v", vs)
+	}
+}
+
+func TestPropertiesProbeCleanTrace(t *testing.T) {
+	key := MsgKey{Origin: 0, Seq: 1}
+	tr := Trace{
+		Nodes:      3,
+		Broadcasts: []Broadcast{{Key: key, Slot: 0}},
+		Deliveries: []Delivery{
+			{Node: 1, Key: key, Slot: 100},
+			{Node: 2, Key: key, Slot: 100},
+		},
+		Faulty: map[int]bool{},
+	}
+	if vs := Properties().Verify(tr); len(vs) != 0 {
+		t.Errorf("clean trace must have no violations, got %v", vs)
+	}
+}

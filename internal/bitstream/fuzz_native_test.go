@@ -1,0 +1,144 @@
+package bitstream_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/chaos"
+	"repro/internal/frame"
+)
+
+// bytesToLevels expands fuzz bytes into a bit sequence, MSB first.
+func bytesToLevels(raw []byte) bitstream.Sequence {
+	seq := make(bitstream.Sequence, 0, len(raw)*8)
+	for _, b := range raw {
+		for bit := 7; bit >= 0; bit-- {
+			seq = append(seq, bitstream.FromBit(uint8(b>>uint(bit)&1)))
+		}
+	}
+	return seq
+}
+
+func levelsToBytes(seq bitstream.Sequence) []byte {
+	out := make([]byte, 0, len(seq)/8+1)
+	var cur byte
+	for i, l := range seq {
+		cur = cur<<1 | l.Bit()
+		if i%8 == 7 {
+			out = append(out, cur)
+			cur = 0
+		}
+	}
+	if len(seq)%8 != 0 {
+		out = append(out, cur<<uint(8-len(seq)%8))
+	}
+	return out
+}
+
+// chaosSeeds derives fuzz seeds from the checked-in shrunk chaos
+// counterexample: a real frame image with bits flipped at the EOF-relative
+// positions the campaign's minimal disturbance script targets. The fuzzer
+// thus starts exactly at the bit patterns known to break agreement at the
+// protocol layer.
+func chaosSeeds(f *testing.F) [][]byte {
+	data, err := os.ReadFile("../chaos/testdata/fig3a_shrunk.json")
+	if err != nil {
+		f.Logf("no chaos artifact seeds: %v", err)
+		return nil
+	}
+	a, err := chaos.DecodeArtifact(data)
+	if err != nil {
+		f.Fatalf("bad chaos artifact: %v", err)
+	}
+	fr := &frame.Frame{ID: 0x200, Data: []byte{0, 0, 0, 0, 1}}
+	enc, err := frame.Encode(fr, frame.StandardEOFBits)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var seeds [][]byte
+	for _, fault := range a.Script.Faults {
+		if fault.EOFRel <= 0 || fault.EOFRel > enc.Len() {
+			continue
+		}
+		flipped := append(bitstream.Sequence(nil), enc.Bits...)
+		idx := enc.Len() - fault.EOFRel
+		flipped[idx] = flipped[idx].Invert()
+		seeds = append(seeds, levelsToBytes(flipped))
+	}
+	return seeds
+}
+
+// FuzzDestuffIncremental cross-checks the incremental receive-path
+// destuffer against the batch Destuff on arbitrary bit streams: both must
+// agree on whether the stream has a stuff error and, when it is clean, on
+// the extracted data bits; NextIsStuff must predict exactly the bits the
+// destuffer then classifies as stuff bits.
+func FuzzDestuffIncremental(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xFF})
+	f.Add([]byte{0xAA, 0x55})
+	f.Add([]byte{0xF8, 0x07, 0xC0}) // five-bit runs around stuff boundaries
+	for _, seed := range chaosSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 4096 {
+			return
+		}
+		seq := bytesToLevels(raw)
+
+		var ds bitstream.Destuffer
+		var incremental bitstream.Sequence
+		var incErr error
+		for _, l := range seq {
+			predicted := ds.NextIsStuff()
+			kind, err := ds.Push(l)
+			if err != nil {
+				incErr = err
+				break
+			}
+			if predicted != (kind == bitstream.StuffBit) {
+				t.Fatalf("NextIsStuff predicted %v but Push classified %v", predicted, kind)
+			}
+			if kind == bitstream.DataBit {
+				incremental = append(incremental, l)
+			}
+		}
+
+		batch, batchErr := bitstream.Destuff(seq)
+		if (incErr == nil) != (batchErr == nil) {
+			t.Fatalf("incremental error %v vs batch error %v", incErr, batchErr)
+		}
+		if incErr == nil {
+			if incremental.Compact() != batch.Compact() {
+				t.Fatalf("incremental %s != batch %s", incremental.Compact(), batch.Compact())
+			}
+			// A clean stream must never shrink: stuffing only removes bits.
+			if len(batch) > len(seq) {
+				t.Fatalf("destuffed %d bits out of %d", len(batch), len(seq))
+			}
+		}
+
+		// Round trip: the raw bits treated as payload must survive
+		// stuff-then-destuff exactly, and a Reset destuffer is reusable.
+		ds.Reset()
+		stuffed := bitstream.Stuff(seq)
+		var rt bitstream.Sequence
+		for _, l := range stuffed {
+			kind, err := ds.Push(l)
+			if err != nil {
+				t.Fatalf("own stuffing produces stuff error: %v", err)
+			}
+			if kind == bitstream.DataBit {
+				rt = append(rt, l)
+			}
+		}
+		if rt.Compact() != seq.Compact() {
+			t.Fatalf("stuff/destuff round trip: %s != %s", rt.Compact(), seq.Compact())
+		}
+		if bitstream.StuffedLength(seq) != len(stuffed) {
+			t.Fatalf("StuffedLength %d != actual %d", bitstream.StuffedLength(seq), len(stuffed))
+		}
+	})
+}

@@ -132,6 +132,29 @@ type Disturber interface {
 	Disturb(slot uint64, station int, view ViewContext) bool
 }
 
+// OutputFault overrides the level a station actually puts on the wire,
+// after the controller decided what to drive. It models transceiver-level
+// faults the controller cannot see from the inside: a stuck-at-dominant
+// output (babbling idiot jamming the bus) or an output forced recessive
+// (intermittent node, broken driver stage). The controller still believes
+// it drove its own level, so its bit-error detection reacts exactly like a
+// real controller behind a faulty transceiver.
+type OutputFault interface {
+	// Apply returns the level station really drives in this slot, given the
+	// level its controller requested.
+	Apply(slot uint64, station int, level bitstream.Level) bitstream.Level
+}
+
+// SkewFault makes a station sample one bit slot late: when Skew fires, the
+// station latches the previous slot's bus level instead of the current one
+// (a transient clock glitch displacing the sample point by a full bit
+// time). Disturbers still apply on top of the skewed sample.
+type SkewFault interface {
+	// Skew reports whether station's sample in this slot slips to the
+	// previous slot's bus level.
+	Skew(slot uint64, station int) bool
+}
+
 // Probe observes every bit slot, e.g. to record traces.
 type Probe interface {
 	// OnBit is called once per slot after all stations latched. views and
@@ -141,10 +164,13 @@ type Probe interface {
 
 // Network couples stations through the wired-AND medium.
 type Network struct {
-	stations   []Station
-	disturbers []Disturber
-	probes     []Probe
-	slot       uint64
+	stations     []Station
+	disturbers   []Disturber
+	outputFaults []OutputFault
+	skews        []SkewFault
+	probes       []Probe
+	slot         uint64
+	prevLevel    bitstream.Level
 
 	// scratch buffers reused across steps
 	drives  []bitstream.Level
@@ -154,7 +180,7 @@ type Network struct {
 
 // NewNetwork creates an empty network.
 func NewNetwork() *Network {
-	return &Network{}
+	return &Network{prevLevel: bitstream.Recessive}
 }
 
 // Attach adds a station to the bus and returns its station index.
@@ -170,6 +196,18 @@ func (n *Network) Attach(s Station) int {
 // a bit is flipped when an odd number of them fire (each flip inverts).
 func (n *Network) AddDisturber(d Disturber) {
 	n.disturbers = append(n.disturbers, d)
+}
+
+// AddOutputFault registers a transceiver-level output override. Faults
+// compose in registration order: each sees the level produced by the
+// previous one.
+func (n *Network) AddOutputFault(f OutputFault) {
+	n.outputFaults = append(n.outputFaults, f)
+}
+
+// AddSkew registers a sample-point skew fault.
+func (n *Network) AddSkew(f SkewFault) {
+	n.skews = append(n.skews, f)
 }
 
 // AddProbe registers a per-bit observer.
@@ -188,10 +226,19 @@ func (n *Network) Step() bitstream.Level {
 	for i, s := range n.stations {
 		n.views[i] = s.View()
 		n.drives[i] = s.Drive()
+		for _, f := range n.outputFaults {
+			n.drives[i] = f.Apply(n.slot, i, n.drives[i])
+		}
 	}
 	level := bitstream.Wire(n.drives...)
 	for i, s := range n.stations {
 		sample := level
+		for _, sk := range n.skews {
+			if sk.Skew(n.slot, i) {
+				sample = n.prevLevel
+				break
+			}
+		}
 		for _, d := range n.disturbers {
 			if d.Disturb(n.slot, i, n.views[i]) {
 				sample = sample.Invert()
@@ -203,6 +250,7 @@ func (n *Network) Step() bitstream.Level {
 	for _, p := range n.probes {
 		p.OnBit(n.slot, level, n.drives, n.samples, n.views)
 	}
+	n.prevLevel = level
 	n.slot++
 	return level
 }

@@ -138,6 +138,91 @@ func TestRunUntil(t *testing.T) {
 	}
 }
 
+// jamFault forces one station's output dominant inside a slot window.
+type jamFault struct {
+	station  int
+	from, to uint64
+	level    bitstream.Level
+}
+
+func (j jamFault) Apply(slot uint64, station int, level bitstream.Level) bitstream.Level {
+	if station == j.station && slot >= j.from && slot < j.to {
+		return j.level
+	}
+	return level
+}
+
+type skewAt struct {
+	station int
+	slot    uint64
+}
+
+func (s skewAt) Skew(slot uint64, station int) bool {
+	return station == s.station && slot == s.slot
+}
+
+func TestOutputFaultJamsBus(t *testing.T) {
+	n := NewNetwork()
+	a := &fakeStation{out: seq(t, "rrrr")}
+	b := &fakeStation{out: seq(t, "rrrr")}
+	n.Attach(a)
+	n.Attach(b)
+	n.AddOutputFault(jamFault{station: 0, from: 1, to: 3, level: bitstream.Dominant})
+	n.Run(4)
+	// Station 0's transceiver jams slots 1 and 2 dominant; every station
+	// (the jammer included) samples the jammed bus.
+	want := "rddr"
+	if a.samples.Compact() != want || b.samples.Compact() != want {
+		t.Errorf("samples a=%s b=%s, want %s", a.samples.Compact(), b.samples.Compact(), want)
+	}
+}
+
+func TestOutputFaultMutesStation(t *testing.T) {
+	n := NewNetwork()
+	a := &fakeStation{out: seq(t, "dddd")}
+	b := &fakeStation{out: seq(t, "rrrr")}
+	n.Attach(a)
+	n.Attach(b)
+	n.AddOutputFault(jamFault{station: 0, from: 1, to: 3, level: bitstream.Recessive})
+	n.Run(4)
+	// Station 0 drives dominant throughout, but its output is cut for slots
+	// 1 and 2: the bus floats recessive there.
+	want := "drrd"
+	if b.samples.Compact() != want {
+		t.Errorf("samples b=%s, want %s", b.samples.Compact(), want)
+	}
+}
+
+func TestSkewSamplesPreviousSlot(t *testing.T) {
+	n := NewNetwork()
+	a := &fakeStation{out: seq(t, "drdr")}
+	b := &fakeStation{out: seq(t, "rrrr")}
+	n.Attach(a)
+	n.Attach(b)
+	n.AddSkew(skewAt{station: 1, slot: 2})
+	n.Run(4)
+	// Bus is d r d r; at slot 2 station 1 latches the slot-1 level (r)
+	// instead of the slot-2 level (d).
+	if a.samples.Compact() != "drdr" {
+		t.Errorf("unskewed station samples %s, want drdr", a.samples.Compact())
+	}
+	if b.samples.Compact() != "drrr" {
+		t.Errorf("skewed station samples %s, want drrr", b.samples.Compact())
+	}
+}
+
+func TestSkewAtSlotZeroSeesIdleBus(t *testing.T) {
+	n := NewNetwork()
+	a := &fakeStation{out: seq(t, "d")}
+	n.Attach(a)
+	n.AddSkew(skewAt{station: 0, slot: 0})
+	n.Run(1)
+	// Before slot 0 the bus was idle: the skewed sample is recessive.
+	if a.samples.Compact() != "r" {
+		t.Errorf("slot-0 skewed sample = %s, want r", a.samples.Compact())
+	}
+}
+
 func TestPhaseStrings(t *testing.T) {
 	phases := []Phase{
 		PhaseIdle, PhaseFrame, PhaseEOF, PhaseErrorFlag, PhasePassiveErrorFlag,

@@ -1,0 +1,268 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Campaign is a randomised search for invariant violations: Trials random
+// fault scripts are drawn around a base cluster configuration, executed,
+// and probed; every failing script is shrunk to a minimal counterexample.
+type Campaign struct {
+	// Name labels findings and artifacts.
+	Name string
+	// Base is the cluster configuration every trial shares; its Faults are
+	// ignored (trials draw their own).
+	Base Script
+	// Trials is the number of random scripts to execute.
+	Trials int
+	// MaxFaults bounds the faults per trial (>= 1; default 4).
+	MaxFaults int
+	// FaultKinds restricts the fault classes drawn (default: all).
+	FaultKinds []FaultKind
+	// Seed makes the search reproducible.
+	Seed int64
+	// Probes are the invariants checked (default DefaultProbes).
+	Probes []Probe
+	// StopAtFirst ends the campaign at the first finding.
+	StopAtFirst bool
+	// MaxEOFRel bounds view-flip EOF positions (default: the protocol's
+	// EOF length plus 6, covering delimiter and intermission bits).
+	MaxEOFRel int
+	// MaxAttempt bounds view-flip attempt numbers (default 2).
+	MaxAttempt int
+	// WindowMax bounds stuck/mute window lengths in slots (default 200).
+	WindowMax int
+	// Horizon bounds absolute fault slots (default 200 per frame).
+	Horizon uint64
+}
+
+// Finding is one discovered counterexample.
+type Finding struct {
+	// Trial is the index of the failing trial.
+	Trial int
+	// Original is the failing script as drawn.
+	Original Script
+	// Shrunk is the 1-minimal script preserving the violation classes.
+	Shrunk Script
+	// Verdict is the shrunk script's recorded outcome.
+	Verdict Verdict
+	// Violations are the shrunk script's probe findings (same as
+	// Verdict.Violations, kept for direct access).
+	Violations []string
+}
+
+// Artifact packages the finding for replay.
+func (f Finding) Artifact(campaign string) Artifact {
+	return Artifact{
+		Campaign:       campaign,
+		Trial:          f.Trial,
+		OriginalFaults: len(f.Original.Faults),
+		Script:         f.Shrunk,
+		Verdict:        f.Verdict,
+	}
+}
+
+// CampaignResult summarises a campaign.
+type CampaignResult struct {
+	// Name echoes the campaign name.
+	Name string
+	// Trials is the number of random scripts drawn.
+	Trials int
+	// Executions counts simulator runs including shrinking re-executions.
+	Executions int
+	// Findings are the discovered counterexamples in trial order.
+	Findings []Finding
+}
+
+func (c *Campaign) defaults() (Campaign, error) {
+	cc := *c
+	if cc.Base.Version == 0 {
+		cc.Base.Version = ScriptVersion
+	}
+	if err := cc.Base.WithFaults(nil).Validate(); err != nil {
+		return cc, err
+	}
+	policy, err := ParseProtocol(cc.Base.Protocol)
+	if err != nil {
+		return cc, err
+	}
+	if cc.Trials <= 0 {
+		cc.Trials = 100
+	}
+	if cc.MaxFaults <= 0 {
+		cc.MaxFaults = 4
+	}
+	if len(cc.FaultKinds) == 0 {
+		cc.FaultKinds = Kinds()
+	}
+	if len(cc.Probes) == 0 {
+		cc.Probes = DefaultProbes()
+	}
+	if cc.MaxEOFRel <= 0 {
+		cc.MaxEOFRel = policy.EOFBits() + 6
+	}
+	if cc.MaxAttempt <= 0 {
+		cc.MaxAttempt = 2
+	}
+	if cc.WindowMax <= 0 {
+		cc.WindowMax = 200
+	}
+	if cc.Horizon == 0 {
+		cc.Horizon = uint64(cc.Base.Frames) * 200
+	}
+	return cc, nil
+}
+
+// draw generates one random fault for a trial.
+func (c *Campaign) draw(rng *rand.Rand) Fault {
+	f := Fault{
+		Kind:    c.FaultKinds[rng.Intn(len(c.FaultKinds))],
+		Station: rng.Intn(c.Base.Nodes),
+	}
+	switch f.Kind {
+	case ViewFlip:
+		f.EOFRel = 1 + rng.Intn(c.MaxEOFRel)
+		f.Attempt = 1 + rng.Intn(c.MaxAttempt)
+	case StuckDominant, Mute:
+		f.Slot = uint64(rng.Int63n(int64(c.Horizon)))
+		f.Until = f.Slot + 1 + uint64(rng.Intn(c.WindowMax))
+	case Crash, BusOffKind, ClockGlitch:
+		f.Slot = uint64(rng.Int63n(int64(c.Horizon)))
+	}
+	return f
+}
+
+// violationClasses extracts the distinct failure classes ("AB2-Agreement",
+// "liveness", ...) from probe findings; shrinking preserves them so a rich
+// counterexample cannot degrade into a different, weaker failure.
+func violationClasses(violations []string) map[string]bool {
+	classes := make(map[string]bool)
+	for _, v := range violations {
+		if i := strings.IndexByte(v, ':'); i >= 0 {
+			classes[v[:i]] = true
+		} else {
+			classes[v] = true
+		}
+	}
+	return classes
+}
+
+func coversClasses(got []string, want map[string]bool) bool {
+	have := violationClasses(got)
+	for c := range want {
+		if !have[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes the campaign.
+func (c *Campaign) Run() (*CampaignResult, error) {
+	cc, err := c.defaults()
+	if err != nil {
+		return nil, err
+	}
+	res := &CampaignResult{Name: cc.Name, Trials: cc.Trials}
+	// Per-trial RNGs keep trial t reproducible regardless of how many
+	// faults earlier trials drew.
+	const trialStride int64 = 0x5E3779B97F4A7C15 // odd constant decorrelates trials
+	for trial := 0; trial < cc.Trials; trial++ {
+		rng := rand.New(rand.NewSource(cc.Seed*0x1000193 + int64(trial)*trialStride))
+		script := cc.Base.WithFaults(nil)
+		nf := 1 + rng.Intn(cc.MaxFaults)
+		for i := 0; i < nf; i++ {
+			script.Faults = append(script.Faults, cc.draw(rng))
+		}
+		run, err := Run(script)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: trial %d: %w", trial, err)
+		}
+		res.Executions++
+		violations := Violations(run, cc.Probes)
+		if len(violations) == 0 {
+			continue
+		}
+		classes := violationClasses(violations)
+		shrunk := Shrink(script, func(cand Script) bool {
+			r, err := Run(cand)
+			if err != nil {
+				return false
+			}
+			res.Executions++
+			return coversClasses(Violations(r, cc.Probes), classes)
+		})
+		final, err := Run(shrunk)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: trial %d (shrunk): %w", trial, err)
+		}
+		res.Executions++
+		verdict := VerdictOf(final, cc.Probes)
+		res.Findings = append(res.Findings, Finding{
+			Trial:      trial,
+			Original:   script,
+			Shrunk:     shrunk,
+			Verdict:    verdict,
+			Violations: verdict.Violations,
+		})
+		if cc.StopAtFirst {
+			break
+		}
+	}
+	return res, nil
+}
+
+// ReplayResult compares a fresh execution of an artifact's script against
+// its recorded verdict.
+type ReplayResult struct {
+	// Result is the fresh execution.
+	Result *Result
+	// Verdict is the fresh execution's verdict under the given probes.
+	Verdict Verdict
+	// DigestMatch reports bit-for-bit bus equality with the recording.
+	DigestMatch bool
+	// VerdictMatch reports identical violation sets and counts.
+	VerdictMatch bool
+}
+
+// Matches reports full bit-for-bit and verdict agreement.
+func (r *ReplayResult) Matches() bool { return r.DigestMatch && r.VerdictMatch }
+
+// Replay re-executes an artifact's script and checks that it reproduces
+// the recorded verdict exactly. Probes default to DefaultProbes, which is
+// what campaigns record.
+func Replay(a Artifact, probes ...Probe) (*ReplayResult, error) {
+	if len(probes) == 0 {
+		probes = DefaultProbes()
+	}
+	run, err := Run(a.Script)
+	if err != nil {
+		return nil, err
+	}
+	verdict := VerdictOf(run, probes)
+	rr := &ReplayResult{
+		Result:      run,
+		Verdict:     verdict,
+		DigestMatch: verdict.Digest == a.Verdict.Digest && verdict.Slots == a.Verdict.Slots,
+	}
+	rr.VerdictMatch = equalStrings(verdict.Violations, a.Verdict.Violations) &&
+		verdict.IMOs == a.Verdict.IMOs &&
+		verdict.Duplicates == a.Verdict.Duplicates &&
+		verdict.OrderInversions == a.Verdict.OrderInversions &&
+		verdict.Quiet == a.Verdict.Quiet
+	return rr, nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,175 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/abcheck"
+)
+
+// TestCampaignRediscoversFig3a is the headline robustness result: a random
+// fault-injection campaign over standard CAN, restricted to per-station
+// view flips, rediscovers the paper's Fig. 3a inconsistency from scratch
+// and shrinks it to the minimal two-disturbance pattern — one receiver
+// missing the last-but-one EOF bit and the transmitter missing the last.
+func TestCampaignRediscoversFig3a(t *testing.T) {
+	c := Campaign{
+		Name:        "fig3a-rediscovery",
+		Base:        Script{Version: ScriptVersion, Protocol: "CAN", Nodes: 5, Frames: 1},
+		Trials:      200,
+		MaxFaults:   4,
+		FaultKinds:  []FaultKind{ViewFlip},
+		Seed:        12,
+		Probes:      []Probe{AB(abcheck.Agreement)},
+		StopAtFirst: true,
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) == 0 {
+		t.Fatalf("campaign found no Agreement violation in %d trials", res.Trials)
+	}
+	f := res.Findings[0]
+	if len(f.Shrunk.Faults) > 3 {
+		t.Errorf("shrunk to %d faults, want <= 3", len(f.Shrunk.Faults))
+	}
+	agreement := false
+	for _, v := range f.Violations {
+		if strings.HasPrefix(v, abcheck.Agreement.String()) {
+			agreement = true
+		}
+	}
+	if !agreement {
+		t.Errorf("finding violations %v lack Agreement", f.Violations)
+	}
+	// The minimal pattern is the paper's: a transmitter-side flip of the
+	// last EOF bit plus a receiver-side flip of the last-but-one.
+	hasTx, hasRx := false, false
+	for _, fault := range f.Shrunk.Faults {
+		if fault.Kind == ViewFlip && fault.Station == 0 && fault.EOFRel == 7 {
+			hasTx = true
+		}
+		if fault.Kind == ViewFlip && fault.Station != 0 && fault.EOFRel == 6 {
+			hasRx = true
+		}
+	}
+	if !hasTx || !hasRx {
+		t.Errorf("shrunk faults %v are not the Fig. 3a pattern", f.Shrunk.Faults)
+	}
+
+	// The finding must replay bit-for-bit from its artifact.
+	rr, err := Replay(f.Artifact(c.Name), c.Probes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Matches() {
+		t.Errorf("replay mismatch: digest=%v verdict=%v", rr.DigestMatch, rr.VerdictMatch)
+	}
+}
+
+func TestCampaignCleanOnMajorCAN(t *testing.T) {
+	// The same search space on MajorCAN must come up empty: the protocol
+	// tolerates any single-frame pattern of up to 2 view flips, and the
+	// higher-multiplicity patterns that defeat m=5 need 5 coordinated
+	// disturbances, unreachable with MaxFaults=2.
+	c := Campaign{
+		Base:       Script{Version: ScriptVersion, Protocol: "MajorCAN_5", Nodes: 5, Frames: 1},
+		Trials:     60,
+		MaxFaults:  2,
+		FaultKinds: []FaultKind{ViewFlip},
+		Seed:       12,
+		Probes:     []Probe{AB(abcheck.Agreement, abcheck.AtMostOnce)},
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) != 0 {
+		t.Errorf("MajorCAN campaign found %d violations: %+v", len(res.Findings), res.Findings[0].Violations)
+	}
+	if res.Executions != res.Trials {
+		t.Errorf("executions = %d, want %d (no shrinking on a clean campaign)", res.Executions, res.Trials)
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	c := Campaign{
+		Base:       Script{Version: ScriptVersion, Protocol: "CAN", Nodes: 4, Frames: 2},
+		Trials:     40,
+		Seed:       7,
+		FaultKinds: []FaultKind{ViewFlip, ClockGlitch, Mute},
+	}
+	a, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Findings) != len(b.Findings) || a.Executions != b.Executions {
+		t.Fatalf("campaign not deterministic: %d/%d findings, %d/%d executions",
+			len(a.Findings), len(b.Findings), a.Executions, b.Executions)
+	}
+	for i := range a.Findings {
+		if a.Findings[i].Verdict.Digest != b.Findings[i].Verdict.Digest {
+			t.Errorf("finding %d digests differ", i)
+		}
+	}
+}
+
+// TestReplayCheckedInArtifact is the regression gate for the shrunk
+// counterexample stored in testdata: the artifact must re-execute
+// bit-for-bit and reach the recorded Agreement verdict.
+func TestReplayCheckedInArtifact(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "fig3a_shrunk.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := DecodeArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Script.Faults) > 3 {
+		t.Errorf("checked-in artifact has %d faults, want a shrunk script (<= 3)", len(a.Script.Faults))
+	}
+	rr, err := Replay(a, AB(abcheck.Agreement))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.DigestMatch {
+		t.Errorf("digest %s != recorded %s (slots %d vs %d)",
+			rr.Verdict.Digest, a.Verdict.Digest, rr.Verdict.Slots, a.Verdict.Slots)
+	}
+	if !rr.VerdictMatch {
+		t.Errorf("verdict %+v != recorded %+v", rr.Verdict, a.Verdict)
+	}
+	agreement := false
+	for _, v := range rr.Verdict.Violations {
+		if strings.HasPrefix(v, abcheck.Agreement.String()) {
+			agreement = true
+		}
+	}
+	if !agreement {
+		t.Errorf("replayed violations %v lack Agreement", rr.Verdict.Violations)
+	}
+}
+
+func TestReplayDetectsTamperedVerdict(t *testing.T) {
+	r, err := Run(fig3aScript())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Artifact{Script: fig3aScript(), Verdict: VerdictOf(r, DefaultProbes())}
+	a.Verdict.Digest = "0000000000000000"
+	rr, err := Replay(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.DigestMatch || rr.Matches() {
+		t.Error("tampered digest must not match")
+	}
+}

@@ -1,0 +1,127 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/abcheck"
+	"repro/internal/node"
+)
+
+// Probe checks one invariant class over a finished run. A campaign treats
+// a script as a counterexample when any probe reports violations.
+type Probe interface {
+	// Name identifies the probe in findings.
+	Name() string
+	// Verify returns human-readable violations (nil when clean).
+	Verify(r *Result) []string
+}
+
+// AB returns a probe checking the given Atomic Broadcast properties (all
+// five when none are listed) over the run's trace.
+func AB(props ...abcheck.Property) Probe {
+	return abProbe{inner: abcheck.Properties(props...)}
+}
+
+type abProbe struct {
+	inner abcheck.TraceProbe
+}
+
+func (p abProbe) Name() string { return p.inner.Name() }
+
+func (p abProbe) Verify(r *Result) []string {
+	var out []string
+	for _, v := range p.inner.Verify(r.Trace) {
+		out = append(out, v.String())
+	}
+	return out
+}
+
+// Liveness returns a probe requiring the bus to quiesce within the slot
+// budget: no disturbance pattern may wedge the protocol.
+func Liveness() Probe { return livenessProbe{} }
+
+type livenessProbe struct{}
+
+func (livenessProbe) Name() string { return "liveness" }
+
+func (livenessProbe) Verify(r *Result) []string {
+	var out []string
+	if !r.Quiet {
+		out = append(out, "liveness: bus did not quiesce within the slot budget")
+	}
+	if r.Incomplete > 0 {
+		out = append(out, fmt.Sprintf("liveness: %d frames exhausted their per-frame slot budget", r.Incomplete))
+	}
+	return out
+}
+
+// Confinement returns a probe checking the CAN fault-confinement
+// invariants: a node's mode must be consistent with its error counters at
+// the end of the run (bus-off at TEC >= 256, error-passive at >= 128, and
+// with the switch-off policy no surviving node above the warning limit).
+func Confinement() Probe { return confinementProbe{} }
+
+type confinementProbe struct{}
+
+func (confinementProbe) Name() string { return "confinement" }
+
+func (confinementProbe) Verify(r *Result) []string {
+	var out []string
+	for i, st := range r.NodeStates {
+		if st.Crashed || st.Mode == node.SwitchedOff {
+			continue
+		}
+		switch {
+		case st.TEC >= node.BusOffLimit && st.Mode != node.BusOff:
+			out = append(out, fmt.Sprintf("confinement: node %d has TEC %d >= %d but mode %v",
+				i, st.TEC, node.BusOffLimit, st.Mode))
+		case st.Mode == node.ErrorActive && (st.TEC >= node.PassiveLimit || st.REC >= node.PassiveLimit):
+			out = append(out, fmt.Sprintf("confinement: node %d error-active with counters tec=%d rec=%d",
+				i, st.TEC, st.REC))
+		case st.Mode == node.ErrorPassive && st.TEC < node.PassiveLimit && st.REC < node.PassiveLimit:
+			out = append(out, fmt.Sprintf("confinement: node %d error-passive with counters tec=%d rec=%d below the passive limit",
+				i, st.TEC, st.REC))
+		}
+		if r.Script.WarningSwitchOff && (st.Mode == node.ErrorActive || st.Mode == node.ErrorPassive) &&
+			(st.TEC >= node.WarningLimit || st.REC >= node.WarningLimit) {
+			out = append(out, fmt.Sprintf("confinement: node %d survived the warning limit under switch-off policy (tec=%d rec=%d)",
+				i, st.TEC, st.REC))
+		}
+	}
+	return out
+}
+
+// DefaultProbes is the standard probe set: all five AB properties,
+// liveness and fault confinement.
+func DefaultProbes() []Probe {
+	return []Probe{AB(), Liveness(), Confinement()}
+}
+
+// Violations runs the probes over a result and returns all findings,
+// sorted so verdicts are deterministic (abcheck iterates maps internally).
+func Violations(r *Result, probes []Probe) []string {
+	var out []string
+	for _, p := range probes {
+		out = append(out, p.Verify(r)...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VerdictOf folds a result and its probe findings into the artifact form.
+func VerdictOf(r *Result, probes []Probe) Verdict {
+	v := Verdict{
+		Violations:      Violations(r, probes),
+		IMOs:            r.Report.InconsistentOmissions,
+		Duplicates:      r.Report.DuplicateDeliveries,
+		OrderInversions: r.Report.OrderInversions,
+		Quiet:           r.Quiet,
+		Slots:           r.Slots,
+		Digest:          r.DigestHex,
+	}
+	if v.Violations == nil {
+		v.Violations = []string{}
+	}
+	return v
+}

@@ -1,0 +1,56 @@
+package chaos
+
+// Shrink minimises a failing script's fault list with the ddmin
+// delta-debugging algorithm (complement removal): it repeatedly deletes
+// chunks of faults while the `failing` predicate still holds, converging
+// to a 1-minimal script — removing any single remaining fault makes the
+// failure disappear. The predicate receives candidate scripts sharing the
+// original's cluster configuration.
+//
+// Shrink assumes failing(s) is true for the input; it returns the input
+// unchanged otherwise. Execution is deterministic, so the predicate is a
+// pure function of the fault list and ddmin's guarantees apply.
+func Shrink(s Script, failing func(Script) bool) Script {
+	faults := append([]Fault(nil), s.Faults...)
+	if len(faults) <= 1 || !failing(s.WithFaults(faults)) {
+		return s.WithFaults(faults)
+	}
+	n := 2
+	for len(faults) >= 2 {
+		chunk := len(faults) / n
+		if chunk == 0 {
+			chunk = 1
+		}
+		reduced := false
+		for start := 0; start < len(faults); start += chunk {
+			end := start + chunk
+			if end > len(faults) {
+				end = len(faults)
+			}
+			candidate := make([]Fault, 0, len(faults)-(end-start))
+			candidate = append(candidate, faults[:start]...)
+			candidate = append(candidate, faults[end:]...)
+			if len(candidate) == 0 {
+				continue
+			}
+			if failing(s.WithFaults(candidate)) {
+				faults = candidate
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(faults) {
+				break // 1-minimal: no single removal keeps the failure
+			}
+			n *= 2
+			if n > len(faults) {
+				n = len(faults)
+			}
+		}
+	}
+	return s.WithFaults(faults)
+}

@@ -10,6 +10,7 @@ package errmodel
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bus"
 )
@@ -17,11 +18,17 @@ import (
 // Random is a bus.Disturber that flips each (slot, station) sample
 // independently with probability BerStar, the per-node bit error rate
 // ber* = ber/N of the paper (expression 3).
+//
+// A Random must be driven from a single goroutine (one bus.Network), like
+// the network itself; there is no per-sample locking. For parallel sweeps,
+// Fork derives an independent per-worker disturber whose flips also
+// accumulate into this instance's counter, so Flips on the parent reports
+// the lineage-wide total and can be read concurrently while workers run.
 type Random struct {
-	mu      sync.Mutex
 	rng     *rand.Rand
 	berStar float64
-	flips   uint64
+	flips   atomic.Uint64
+	parent  *Random
 }
 
 var _ bus.Disturber = (*Random)(nil)
@@ -32,22 +39,36 @@ func NewRandom(berStar float64, seed int64) *Random {
 	return &Random{rng: rand.New(rand.NewSource(seed)), berStar: berStar}
 }
 
+// Fork returns an independent disturber with the same error rate and its
+// own deterministic stream, for per-worker use in parallel sweeps. A fork
+// seeded with s draws the same stream as NewRandom(berStar, s). Flips
+// injected by the fork count towards both the fork's and every ancestor's
+// counter.
+func (r *Random) Fork(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed)), berStar: r.berStar, parent: r}
+}
+
 // Disturb implements bus.Disturber.
 func (r *Random) Disturb(_ uint64, _ int, _ bus.ViewContext) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.rng.Float64() < r.berStar {
-		r.flips++
+		for p := r; p != nil; p = p.parent {
+			p.flips.Add(1)
+		}
 		return true
 	}
 	return false
 }
 
-// Flips returns the number of bit flips injected so far.
+// Flips returns the number of bit flips injected so far by this disturber
+// and all disturbers forked from it. It is safe to call concurrently with
+// forks running on other goroutines.
 func (r *Random) Flips() uint64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.flips
+	return r.flips.Load()
+}
+
+// FlipCounter is implemented by disturbers that count injected flips.
+type FlipCounter interface {
+	Flips() uint64
 }
 
 // GlobalRandom models the alternative "global ber" interpretation in which

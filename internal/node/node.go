@@ -207,6 +207,16 @@ func (c *Controller) Crash() {
 // Crashed reports whether the node was crashed by fault injection.
 func (c *Controller) Crashed() bool { return c.crashed }
 
+// ForceBusOff drives the transmit error counter to the bus-off limit,
+// disconnecting the node immediately (fault injection for
+// crash-then-restart schedules). With AutoRecover the node rejoins after
+// monitoring 128 occurrences of 11 consecutive recessive bits; without it
+// the disconnection is permanent.
+func (c *Controller) ForceBusOff() {
+	c.tec = BusOffLimit
+	c.refreshMode()
+}
+
 // Mode returns the fault confinement mode.
 func (c *Controller) Mode() Mode { return c.mode }
 

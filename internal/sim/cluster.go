@@ -34,6 +34,10 @@ type ClusterOptions struct {
 	// WarningSwitchOff enables the paper's switch-off-at-warning-limit
 	// policy on every node.
 	WarningSwitchOff bool
+	// AutoRecover enables bus-off recovery (128 x 11 recessive bits) on
+	// every node, so fault-injection schedules can exercise the
+	// crash-then-restart path.
+	AutoRecover bool
 	// NodeHooks, if non-nil, is called for every node so callers can add
 	// extra instrumentation; the returned hooks are merged with the
 	// cluster's own recording hooks.
@@ -100,6 +104,7 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		}
 		ctrl := node.New(fmt.Sprintf("n%d", i), opts.Policy, node.Options{
 			WarningSwitchOff: opts.WarningSwitchOff,
+			AutoRecover:      opts.AutoRecover,
 			Hooks:            hooks,
 		})
 		c.Nodes[i] = ctrl

@@ -55,6 +55,11 @@ type MCConfig struct {
 	// the same bit simultaneously (the ablation of the paper's ber*
 	// assumption). BerStar is then the per-bit whole-bus error rate.
 	GlobalModel bool
+	// Disturber, if non-nil, replaces the built-in random error model
+	// (BerStar and GlobalModel are then ignored). Parallel sweeps use it to
+	// hand each worker a fork of one shared errmodel.Random. BitFlips is
+	// reported when the disturber implements errmodel.FlipCounter.
+	Disturber bus.Disturber
 }
 
 // MCResult aggregates a Monte Carlo run.
@@ -97,9 +102,11 @@ func (r *MCResult) DuplicateRate() float64 {
 	return float64(r.Duplicates) / float64(r.FramesSent)
 }
 
-// mcPayload stamps origin and sequence into the frame payload so that
-// deliveries can be attributed to messages.
-func mcPayload(origin int, seq uint32, size int) []byte {
+// Payload stamps origin and sequence into a frame payload so that
+// deliveries can be attributed to messages (the key PayloadKey recovers).
+// Harnesses across the repo — Monte Carlo, workloads, chaos campaigns —
+// share this stamping so their traces feed abcheck uniformly.
+func Payload(origin int, seq uint32, size int) []byte {
 	if size < 5 {
 		size = 5
 	}
@@ -115,7 +122,9 @@ func mcPayload(origin int, seq uint32, size int) []byte {
 	return data
 }
 
-func mcKey(f *frame.Frame) (abcheck.MsgKey, bool) {
+// PayloadKey recovers the message key stamped by Payload, or ok=false for
+// frames that do not carry one.
+func PayloadKey(f *frame.Frame) (abcheck.MsgKey, bool) {
 	if len(f.Data) < 5 {
 		return abcheck.MsgKey{}, false
 	}
@@ -163,11 +172,17 @@ func MonteCarlo(cfg MCConfig) (*MCResult, error) {
 		return nil, err
 	}
 	var inner bus.Disturber
-	var flips func() uint64
-	if cfg.GlobalModel {
+	flips := func() uint64 { return 0 }
+	switch {
+	case cfg.Disturber != nil:
+		inner = cfg.Disturber
+		if fc, ok := cfg.Disturber.(errmodel.FlipCounter); ok {
+			flips = fc.Flips
+		}
+	case cfg.GlobalModel:
 		g := errmodel.NewGlobalRandom(cfg.BerStar, cfg.Seed)
 		inner, flips = g, g.Flips
-	} else {
+	default:
 		r := errmodel.NewRandom(cfg.BerStar, cfg.Seed)
 		inner, flips = r, r.Flips
 	}
@@ -199,7 +214,7 @@ func MonteCarlo(cfg MCConfig) (*MCResult, error) {
 		key := abcheck.MsgKey{Origin: origin, Seq: uint32(i + 1)}
 		f := &frame.Frame{
 			ID:   uint32(0x200 | origin),
-			Data: mcPayload(origin, key.Seq, payload),
+			Data: Payload(origin, key.Seq, payload),
 		}
 		if err := ctrl.Enqueue(f); err != nil {
 			return nil, err
@@ -226,7 +241,7 @@ func MonteCarlo(cfg MCConfig) (*MCResult, error) {
 			correct := mode == node.ErrorActive || mode == node.ErrorPassive
 			count := 0
 			for _, d := range cluster.Deliveries[n][before[n]:] {
-				if k, ok := mcKey(d.Frame); ok && k == key {
+				if k, ok := PayloadKey(d.Frame); ok && k == key {
 					count++
 					tr.Deliveries = append(tr.Deliveries, abcheck.Delivery{Node: n, Key: k, Slot: d.Slot})
 				}

@@ -1,8 +1,12 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+
+	"repro/internal/errmodel"
 )
 
 // SweepPoint is one Monte Carlo run of a sweep.
@@ -11,7 +15,8 @@ type SweepPoint struct {
 	Seed int64
 	// Result is the run's outcome (nil if Err is set).
 	Result *MCResult
-	// Err reports a configuration failure for this point.
+	// Err reports a configuration failure for this point, or the context's
+	// error for points skipped after cancellation.
 	Err error
 }
 
@@ -21,21 +26,49 @@ type SweepPoint struct {
 // is fully independent — the simulator shares no mutable state between
 // clusters — so the sweep is deterministic regardless of scheduling.
 func SweepSeeds(cfg MCConfig, seeds []int64, parallelism int) []SweepPoint {
+	return SweepSeedsContext(context.Background(), cfg, seeds, parallelism)
+}
+
+// SweepSeedsContext is SweepSeeds with cancellation: points not yet started
+// when ctx is cancelled are skipped and carry ctx's error, while running
+// points complete normally, so a partial aggregate remains valid.
+//
+// When cfg.Disturber is nil and cfg.GlobalModel is false, each point gets a
+// per-worker fork of one shared errmodel.Random seeded with the point's
+// seed — the same stream MonteCarlo would construct itself — so the shared
+// parent's Flips() can be read live while the sweep runs.
+func SweepSeedsContext(ctx context.Context, cfg MCConfig, seeds []int64, parallelism int) []SweepPoint {
 	if parallelism < 1 {
 		parallelism = 1
+	}
+	var parent *errmodel.Random
+	if cfg.Disturber == nil && !cfg.GlobalModel {
+		parent = errmodel.NewRandom(cfg.BerStar, cfg.Seed)
 	}
 	points := make([]SweepPoint, len(seeds))
 	sem := make(chan struct{}, parallelism)
 	var wg sync.WaitGroup
 	for i, seed := range seeds {
 		i, seed := i, seed
+		if ctx.Err() != nil {
+			points[i] = SweepPoint{Seed: seed, Err: ctx.Err()}
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			points[i] = SweepPoint{Seed: seed, Err: ctx.Err()}
+			continue
+		case sem <- struct{}{}:
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
 			c := cfg
 			c.Seed = seed
+			if parent != nil {
+				c.Disturber = parent.Fork(seed)
+			}
 			res, err := MonteCarlo(c)
 			points[i] = SweepPoint{Seed: seed, Result: res, Err: err}
 		}()
@@ -50,7 +83,9 @@ type SweepSummary struct {
 	Frames     int
 	IMOs       int
 	Duplicates int
+	Flips      uint64
 	Errors     int // points that failed to run
+	Cancelled  int // points skipped because the sweep was cancelled
 }
 
 // IMORate returns IMOs per frame across the sweep.
@@ -74,18 +109,25 @@ func (s SweepSummary) String() string {
 		s.Points, s.Frames, s.IMOs, s.IMORate(), s.Duplicates, s.DuplicateRate())
 }
 
-// Summarize folds sweep points into totals.
+// Summarize folds sweep points into totals. Cancelled points count towards
+// Cancelled, not Errors, so a partial aggregate after an interrupt is
+// distinguishable from a broken configuration.
 func Summarize(points []SweepPoint) SweepSummary {
 	var s SweepSummary
 	for _, p := range points {
 		s.Points++
 		if p.Err != nil || p.Result == nil {
-			s.Errors++
+			if errors.Is(p.Err, context.Canceled) || errors.Is(p.Err, context.DeadlineExceeded) {
+				s.Cancelled++
+			} else {
+				s.Errors++
+			}
 			continue
 		}
 		s.Frames += p.Result.FramesSent
 		s.IMOs += p.Result.IMOs
 		s.Duplicates += p.Result.Duplicates
+		s.Flips += p.Result.BitFlips
 	}
 	return s
 }

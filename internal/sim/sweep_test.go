@@ -1,9 +1,11 @@
 package sim_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/errmodel"
 	"repro/internal/sim"
 )
 
@@ -72,5 +74,43 @@ func TestSweepParallelismClamp(t *testing.T) {
 	points := sim.SweepSeeds(sweepConfig(), []int64{1}, 0) // clamped to 1
 	if len(points) != 1 || points[0].Err != nil {
 		t.Fatalf("points %+v", points)
+	}
+}
+
+func TestSweepCancelledContextSkipsPoints(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	seeds := []int64{1, 2, 3}
+	points := sim.SweepSeedsContext(ctx, sweepConfig(), seeds, 2)
+	if len(points) != len(seeds) {
+		t.Fatalf("got %d points, want %d", len(points), len(seeds))
+	}
+	s := sim.Summarize(points)
+	if s.Cancelled != len(seeds) || s.Errors != 0 {
+		t.Errorf("summary %+v, want all %d points cancelled", s, len(seeds))
+	}
+}
+
+func TestSweepSharedFlipCounter(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4}
+	points := sim.SweepSeeds(sweepConfig(), seeds, 2)
+	s := sim.Summarize(points)
+	if s.Flips == 0 {
+		t.Fatal("sweep at ber*=0.02 must record bit flips")
+	}
+	// The per-point flips come from forks of one shared parent; they must
+	// match what a dedicated disturber per point produces.
+	for _, p := range points {
+		cfg := sweepConfig()
+		cfg.Seed = p.Seed
+		cfg.Disturber = errmodel.NewRandom(cfg.BerStar, p.Seed)
+		solo, err := sim.MonteCarlo(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if solo.BitFlips != p.Result.BitFlips || solo.IMOs != p.Result.IMOs {
+			t.Errorf("seed %d: solo (%d flips, %d IMOs) != sweep (%d flips, %d IMOs)",
+				p.Seed, solo.BitFlips, solo.IMOs, p.Result.BitFlips, p.Result.IMOs)
+		}
 	}
 }

@@ -133,7 +133,7 @@ func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) {
 					seqs[i]++
 					f := &frame.Frame{
 						ID:   uint32(0x200 + i),
-						Data: mcPayload(i, seqs[i], payload),
+						Data: Payload(i, seqs[i], payload),
 					}
 					if err := ctrl.Enqueue(f); err != nil {
 						return nil, err
@@ -154,7 +154,7 @@ func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) {
 	for i := 0; i < cfg.Nodes; i++ {
 		res.TxSuccess += int(cluster.Nodes[i].TxSuccesses())
 		for _, d := range cluster.Deliveries[i] {
-			k, ok := mcKey(d.Frame)
+			k, ok := PayloadKey(d.Frame)
 			if !ok {
 				continue
 			}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/bus"
+)
+
+// Digest is a bus.Probe that folds the complete per-slot bus history —
+// resolved level, every station's drive and every station's (possibly
+// disturbed) sample — into one FNV-1a hash. Two runs with equal digests
+// over the same number of slots are bit-for-bit identical at the wire,
+// which is how chaos replay artifacts prove they re-executed a
+// counterexample exactly.
+type Digest struct {
+	sum   uint64
+	slots uint64
+}
+
+var _ bus.Probe = (*Digest)(nil)
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// NewDigest creates an empty digest (FNV-1a offset basis).
+func NewDigest() *Digest {
+	return &Digest{sum: fnvOffset}
+}
+
+func (d *Digest) fold(b byte) {
+	d.sum ^= uint64(b)
+	d.sum *= fnvPrime
+}
+
+// OnBit implements bus.Probe.
+func (d *Digest) OnBit(_ uint64, level bitstream.Level, drives, samples []bitstream.Level, _ []bus.ViewContext) {
+	d.fold(byte(level))
+	for _, l := range drives {
+		d.fold(byte(l))
+	}
+	for _, l := range samples {
+		d.fold(byte(l))
+	}
+	d.slots++
+}
+
+// Sum64 returns the current hash value.
+func (d *Digest) Sum64() uint64 { return d.sum }
+
+// Slots returns how many slots have been folded in.
+func (d *Digest) Slots() uint64 { return d.slots }
+
+// String renders the digest as 16 hex digits.
+func (d *Digest) String() string { return fmt.Sprintf("%016x", d.sum) }

@@ -1,0 +1,67 @@
+package trace_test
+
+import (
+	"testing"
+
+	"repro/internal/bus"
+	"repro/internal/core"
+	"repro/internal/errmodel"
+	"repro/internal/frame"
+	"repro/internal/node"
+	"repro/internal/trace"
+)
+
+// runDigest broadcasts one frame over a 3-node bus and returns the digest,
+// optionally with a scripted disturbance attached.
+func runDigest(t *testing.T, disturb bus.Disturber) *trace.Digest {
+	t.Helper()
+	net := bus.NewNetwork()
+	var nodes []*node.Controller
+	for i := 0; i < 3; i++ {
+		c := node.New("", core.NewStandard(), node.Options{})
+		nodes = append(nodes, c)
+		net.Attach(c)
+	}
+	d := trace.NewDigest()
+	net.AddProbe(d)
+	if disturb != nil {
+		net.AddDisturber(disturb)
+	}
+	if err := nodes[0].Enqueue(&frame.Frame{ID: 0x123, Data: []byte{0xAB}}); err != nil {
+		t.Fatal(err)
+	}
+	net.RunUntil(func() bool { return nodes[0].Idle() }, 2000)
+	net.Run(4)
+	return d
+}
+
+func TestDigestDeterministic(t *testing.T) {
+	a := runDigest(t, nil)
+	b := runDigest(t, nil)
+	if a.Sum64() != b.Sum64() || a.Slots() != b.Slots() {
+		t.Errorf("identical runs digest %s/%d vs %s/%d", a, a.Slots(), b, b.Slots())
+	}
+	if a.Slots() == 0 {
+		t.Error("digest must have folded some slots")
+	}
+	if len(a.String()) != 16 {
+		t.Errorf("String() = %q, want 16 hex digits", a.String())
+	}
+}
+
+func TestDigestSeesViewDisturbance(t *testing.T) {
+	clean := runDigest(t, nil)
+	// Flip one station's view of one EOF bit: the bus level is unchanged
+	// but the disturbed sample must still change the digest.
+	dirty := runDigest(t, errmodel.NewScript(errmodel.AtEOFBit([]int{1}, 3, 1)))
+	if clean.Sum64() == dirty.Sum64() {
+		t.Error("digest must distinguish a run with a disturbed sample")
+	}
+}
+
+func TestDigestEmpty(t *testing.T) {
+	d := trace.NewDigest()
+	if d.Slots() != 0 {
+		t.Errorf("fresh digest slots = %d", d.Slots())
+	}
+}

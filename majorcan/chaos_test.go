@@ -1,0 +1,55 @@
+package majorcan_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/majorcan"
+)
+
+func TestChaosCampaignFindsCANInconsistency(t *testing.T) {
+	findings, err := majorcan.RunChaosCampaign(majorcan.ChaosCampaignConfig{
+		Protocol:    majorcan.StandardCAN(),
+		Nodes:       5,
+		Trials:      200,
+		MaxFaults:   4,
+		Seed:        12,
+		FaultKinds:  []string{"view-flip"},
+		StopAtFirst: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("standard CAN campaign must find a violation")
+	}
+	f := findings[0]
+	if len(f.Faults) == 0 || len(f.Violations) == 0 {
+		t.Fatalf("finding incomplete: %+v", f)
+	}
+	if len(f.Faults) > 3 {
+		t.Errorf("shrunk script has %d faults, want <= 3", len(f.Faults))
+	}
+	violations, matches, err := majorcan.ReplayChaosArtifact(f.Artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matches {
+		t.Error("artifact must replay bit-for-bit")
+	}
+	if strings.Join(violations, "\n") != strings.Join(f.Violations, "\n") {
+		t.Errorf("replayed violations %v != recorded %v", violations, f.Violations)
+	}
+}
+
+func TestChaosCampaignRejectsMissingProtocol(t *testing.T) {
+	if _, err := majorcan.RunChaosCampaign(majorcan.ChaosCampaignConfig{Nodes: 5}); err == nil {
+		t.Error("missing protocol must be rejected")
+	}
+}
+
+func TestReplayChaosArtifactRejectsGarbage(t *testing.T) {
+	if _, _, err := majorcan.ReplayChaosArtifact([]byte("not json")); err == nil {
+		t.Error("garbage artifact must be rejected")
+	}
+}
