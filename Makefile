@@ -14,8 +14,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# BENCHTIME=1x gives a fast smoke pass (the CI default); raise it for
+# stable numbers (e.g. BENCHTIME=2s). Results land in BENCH_pr2.json as
+# test2json lines for machine consumption.
+BENCHTIME ?= 1x
+
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -json ./... | tee BENCH_pr2.json
 
 # Regenerate every table and figure of the paper.
 repro:

@@ -1,0 +1,141 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// benchPolicies are the three protocol variants the paper compares.
+func benchPolicies(b *testing.B) map[string]node.EOFPolicy {
+	b.Helper()
+	return map[string]node.EOFPolicy{
+		"can":        core.NewStandard(),
+		"minorcan":   core.NewMinorCAN(),
+		"majorcan_5": core.MustMajorCAN(5),
+	}
+}
+
+// BenchmarkSingleFrameBroadcast measures one undisturbed broadcast on a
+// 5-node bus: cluster construction, bit-level simulation to quiescence.
+func BenchmarkSingleFrameBroadcast(b *testing.B) {
+	for name, policy := range benchPolicies(b) {
+		b.Run(name, func(b *testing.B) {
+			cfg := sim.MCConfig{Policy: policy, Nodes: 5, Frames: 1, ResetCounters: true}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.MonteCarlo(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.FramesSent != 1 {
+					b.Fatal("frame not sent")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMonteCarlo1k measures a 1000-frame Monte Carlo run per policy
+// under the spatial error model, the workhorse of the paper's Table 1
+// reproduction.
+func BenchmarkMonteCarlo1k(b *testing.B) {
+	for name, policy := range benchPolicies(b) {
+		b.Run(name, func(b *testing.B) {
+			cfg := sim.MCConfig{
+				Policy: policy, Nodes: 5, Frames: 1000,
+				BerStar: 0.02, EOFOnly: true, Seed: 7, ResetCounters: true,
+			}
+			var slots uint64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.MonteCarlo(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				slots = res.Slots
+			}
+			b.ReportMetric(float64(slots)*float64(b.N)/b.Elapsed().Seconds(), "bitslots/s")
+		})
+	}
+}
+
+// discardSink counts events without retaining them, isolating emission
+// cost from sink cost.
+type discardSink struct{ n int }
+
+func (d *discardSink) Emit(obs.Event) { d.n++ }
+
+// BenchmarkEventOverhead measures the full simulation with event
+// emission disabled (nil sink — the acceptance criterion requires this
+// within 5% of no telemetry at all), against a counting sink and an
+// in-memory sink, on the same 200-frame disturbed workload.
+func BenchmarkEventOverhead(b *testing.B) {
+	base := sim.MCConfig{
+		Policy: core.MustMajorCAN(5), Nodes: 5, Frames: 200,
+		BerStar: 0.02, EOFOnly: true, Seed: 7, ResetCounters: true,
+	}
+	run := func(b *testing.B, cfg sim.MCConfig) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.MonteCarlo(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// nil-sink: no telemetry attached, so every emission site hits the
+	// controller's nil-sink early return — the hot-path cost every
+	// un-instrumented simulation pays after this PR.
+	b.Run("nil-sink", func(b *testing.B) { run(b, base) })
+	b.Run("discard", func(b *testing.B) {
+		cfg := base
+		cfg.Events = &discardSink{}
+		run(b, cfg)
+	})
+	b.Run("memory", func(b *testing.B) {
+		cfg := base
+		cfg.Events = obs.NewMemory()
+		run(b, cfg)
+	})
+	b.Run("metrics", func(b *testing.B) {
+		cfg := base
+		cfg.Metrics = obs.NewMetrics()
+		run(b, cfg)
+	})
+}
+
+// BenchmarkEmit measures the raw cost of one event through the ring
+// buffer, the per-bit upper bound of the telemetry layer.
+func BenchmarkEmit(b *testing.B) {
+	ring := obs.NewRing(1 << 12)
+	mem := obs.NewMemory()
+	e := obs.Event{Slot: 1, Kind: obs.KindRetransmit, Station: 3}
+	b.Run("ring", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ring.Emit(e)
+			if i%1024 == 1023 {
+				ring.Drain(obs.SinkFunc(func(obs.Event) {}))
+			}
+		}
+	})
+	b.Run("memory", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			mem.Emit(e)
+			if i%4096 == 4095 {
+				mem.Reset()
+			}
+		}
+	})
+	metrics := obs.NewMetrics()
+	b.Run("metrics", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			metrics.Emit(e)
+		}
+	})
+}

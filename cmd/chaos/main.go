@@ -20,14 +20,89 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/abcheck"
 	"repro/internal/chaos"
+	"repro/internal/obs"
 )
+
+// stopProf finalises profiling; exit routes every termination through it.
+var stopProf = func() error { return nil }
+
+func exit(code int) {
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+	}
+	os.Exit(code)
+}
 
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "chaos: "+format+"\n", args...)
-	os.Exit(1)
+	exit(1)
+}
+
+// telemetry bundles the CLI's observability outputs.
+type telemetry struct {
+	eventsPath  string
+	metricsPath string
+	events      *obs.Memory
+	metrics     *obs.Metrics
+	start       time.Time
+}
+
+func newTelemetry(eventsPath, metricsPath, label string) *telemetry {
+	t := &telemetry{eventsPath: eventsPath, metricsPath: metricsPath, start: time.Now()}
+	if eventsPath != "" {
+		t.events = obs.NewMemory()
+	}
+	if metricsPath != "" {
+		t.metrics = obs.NewMetrics()
+		t.metrics.SetLabel(label)
+	}
+	return t
+}
+
+func (t *telemetry) chaosTelemetry() chaos.Telemetry {
+	var sink obs.Sink
+	if t.events != nil {
+		sink = t.events
+	}
+	return chaos.Telemetry{Events: sink, Metrics: t.metrics}
+}
+
+// flush writes the collected event log (canonically sorted, run-tagged
+// with the given id) and the metrics snapshot.
+func (t *telemetry) flush(run int64) {
+	if t.events != nil {
+		f, err := os.Create(t.eventsPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := obs.WriteJSONL(f, run, t.events.Events()); err != nil {
+			f.Close()
+			fail("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+	}
+	if t.metrics != nil {
+		f, err := os.Create(t.metricsPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(t.metrics.Snapshot(time.Since(t.start))); err != nil {
+			f.Close()
+			fail("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+	}
 }
 
 // parseProbes maps a comma-separated probe list onto the campaign probe
@@ -104,14 +179,29 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")
 	scriptPath := flag.String("script", "", "run one script file and print its verdict")
 	replayPath := flag.String("replay", "", "replay an artifact and verify it reproduces")
+	eventsPath := flag.String("events", "", "write the protocol event stream as JSONL (script and replay modes)")
+	metricsPath := flag.String("metrics", "", "write a metrics snapshot as JSON")
+	progress := flag.Bool("progress", false, "live trial progress on stderr (campaign mode)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	sp, err := obs.StartProfiling(*cpuProfile, *memProfile, *pprofAddr)
+	if err != nil {
+		fail("%v", err)
+	}
+	stopProf = sp
 
 	switch {
 	case *replayPath != "":
-		replay(*replayPath, *jsonOut)
+		replay(*replayPath, *jsonOut, newTelemetry(*eventsPath, *metricsPath, *policy))
 	case *scriptPath != "":
-		runScript(*scriptPath, *jsonOut)
+		runScript(*scriptPath, *jsonOut, newTelemetry(*eventsPath, *metricsPath, *policy))
 	default:
+		if *eventsPath != "" {
+			fail("-events applies to -script and -replay modes only (a campaign's event stream is unbounded)")
+		}
 		kinds, err := parseKinds(*kindsCSV)
 		if err != nil {
 			fail("%v", err)
@@ -137,11 +227,11 @@ func main() {
 			Seed:        *seed,
 			Probes:      probes,
 			StopAtFirst: *stopFirst,
-		}, *outDir, *jsonOut)
+		}, *outDir, *jsonOut, *progress, newTelemetry("", *metricsPath, *policy), *trials)
 	}
 }
 
-func replay(path string, jsonOut bool) {
+func replay(path string, jsonOut bool, t *telemetry) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fail("%v", err)
@@ -150,10 +240,11 @@ func replay(path string, jsonOut bool) {
 	if err != nil {
 		fail("%v", err)
 	}
-	rr, err := chaos.Replay(a)
+	rr, err := chaos.ReplayObserved(a, t.chaosTelemetry())
 	if err != nil {
 		fail("%v", err)
 	}
+	t.flush(int64(a.Trial))
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -172,11 +263,12 @@ func replay(path string, jsonOut bool) {
 		fmt.Printf("digest match: %v, verdict match: %v\n", rr.DigestMatch, rr.VerdictMatch)
 	}
 	if !rr.Matches() {
-		os.Exit(1)
+		exit(1)
 	}
+	exit(0)
 }
 
-func runScript(path string, jsonOut bool) {
+func runScript(path string, jsonOut bool, t *telemetry) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fail("%v", err)
@@ -188,10 +280,11 @@ func runScript(path string, jsonOut bool) {
 	if s.Version == 0 {
 		s.Version = chaos.ScriptVersion
 	}
-	r, err := chaos.Run(s)
+	r, err := chaos.RunObserved(s, t.chaosTelemetry())
 	if err != nil {
 		fail("%v", err)
 	}
+	t.flush(0)
 	verdict := chaos.VerdictOf(r, chaos.DefaultProbes())
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -212,15 +305,27 @@ func runScript(path string, jsonOut bool) {
 		}
 	}
 	if len(verdict.Violations) > 0 {
-		os.Exit(2)
+		exit(2)
 	}
+	exit(0)
 }
 
-func campaign(c chaos.Campaign, outDir string, jsonOut bool) {
+func campaign(c chaos.Campaign, outDir string, jsonOut bool, progress bool, t *telemetry, trials int) {
+	c.Metrics = t.metrics
+	var prog *obs.Progress
+	if progress {
+		var done atomic.Uint64
+		c.OnTrial = func(n int) { done.Store(uint64(n)) }
+		prog = obs.StartProgress(os.Stderr, uint64(trials), done.Load, 0, "trials")
+	}
 	res, err := c.Run()
+	if prog != nil {
+		prog.Stop()
+	}
 	if err != nil {
 		fail("%v", err)
 	}
+	t.flush(0)
 	if outDir != "" {
 		if err := os.MkdirAll(outDir, 0o755); err != nil {
 			fail("%v", err)
@@ -261,7 +366,7 @@ func campaign(c chaos.Campaign, outDir string, jsonOut bool) {
 		if err := enc.Encode(out); err != nil {
 			fail("%v", err)
 		}
-		return
+		exit(0)
 	}
 	fmt.Printf("campaign: %d trials, %d simulator executions, %d findings\n",
 		res.Trials, res.Executions, len(res.Findings))
@@ -275,4 +380,5 @@ func campaign(c chaos.Campaign, outDir string, jsonOut bool) {
 			fmt.Printf("  -> %s\n", v)
 		}
 	}
+	exit(0)
 }

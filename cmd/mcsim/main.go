@@ -13,8 +13,10 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -30,12 +32,33 @@ func main() {
 	sweep := flag.Int("sweep", 0, "run this many seeds (seed, seed+1, ...) in parallel and aggregate")
 	parallel := flag.Int("parallel", 4, "concurrent simulations during a sweep")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	eventsPath := flag.String("events", "", "write the protocol event stream as JSONL to this file")
+	metricsPath := flag.String("metrics", "", "write a metrics snapshot as JSON to this file")
+	progress := flag.Bool("progress", false, "live frames/sec and ETA on stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
-	policy, err := chaos.ParseProtocol(*policyName)
+	stopProf, err := obs.StartProfiling(*cpuProfile, *memProfile, *pprofAddr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcsim: %v\n", err)
 		os.Exit(1)
+	}
+	exit := func(code int) {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "mcsim: %v\n", err)
+		}
+		os.Exit(code)
+	}
+	fatalf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "mcsim: "+format+"\n", args...)
+		exit(1)
+	}
+
+	policy, err := chaos.ParseProtocol(*policyName)
+	if err != nil {
+		fatalf("%v", err)
 	}
 	cfg := sim.MCConfig{
 		Policy:        policy,
@@ -48,6 +71,20 @@ func main() {
 		ResetCounters: *reset,
 	}
 
+	var metrics *obs.Metrics
+	if *metricsPath != "" || *progress {
+		metrics = obs.NewMetrics()
+		metrics.SetLabel(policy.Name())
+	}
+	start := time.Now()
+	finishTelemetry := func() {
+		if *metricsPath != "" {
+			if err := writeMetrics(*metricsPath, metrics, time.Since(start)); err != nil {
+				fatalf("%v", err)
+			}
+		}
+	}
+
 	if *sweep > 0 {
 		// SIGINT/SIGTERM cancel the sweep gracefully: running points
 		// finish, unstarted points are skipped, and the partial aggregate
@@ -58,30 +95,83 @@ func main() {
 		for i := range seeds {
 			seeds[i] = *seed + int64(i)
 		}
-		points := sim.SweepSeedsContext(ctx, cfg, seeds, *parallel)
+
+		// Per-point telemetry: an in-memory event sink per seed (merged in
+		// seed order afterwards, so the JSONL output is byte-identical for
+		// any -parallel value) and a fork of the shared metrics registry
+		// (so -progress can read live totals while workers run).
+		var mems []*obs.Memory
+		var tel sim.PointTelemetry
+		if *eventsPath != "" || metrics != nil {
+			mems = make([]*obs.Memory, len(seeds))
+			for i := range mems {
+				mems[i] = obs.NewMemory()
+			}
+			tel = func(i int, _ int64) (obs.Sink, *obs.Metrics) {
+				var m *obs.Metrics
+				if metrics != nil {
+					m = metrics.Fork()
+				}
+				if *eventsPath == "" {
+					return nil, m
+				}
+				return mems[i], m
+			}
+		}
+		var prog *obs.Progress
+		if *progress {
+			prog = obs.StartProgress(os.Stderr, uint64(*sweep)*uint64(*frames), metrics.FramesSent, 0, "frames")
+		}
+		points := sim.SweepSeedsObserved(ctx, cfg, seeds, *parallel, tel)
+		if prog != nil {
+			prog.Stop()
+		}
 		summary := sim.Summarize(points)
 		for _, p := range points {
 			if p.Err != nil && !errors.Is(p.Err, context.Canceled) && !errors.Is(p.Err, context.DeadlineExceeded) {
-				fmt.Fprintf(os.Stderr, "mcsim: seed %d: %v\n", p.Seed, p.Err)
-				os.Exit(1)
+				fatalf("seed %d: %v", p.Seed, p.Err)
 			}
 		}
+		if *eventsPath != "" {
+			if err := writeSweepEvents(*eventsPath, seeds, mems); err != nil {
+				fatalf("%v", err)
+			}
+		}
+		finishTelemetry()
 		fmt.Printf("policy=%s nodes=%d frames/seed=%d ber*=%g eofOnly=%v seeds=%d..%d\n",
 			policy.Name(), *nodes, *frames, *berStar, *eofOnly, *seed, *seed+int64(*sweep)-1)
 		fmt.Println(summary)
 		if summary.Cancelled > 0 {
 			fmt.Printf("interrupted: %d of %d points skipped; aggregate covers completed points only\n",
 				summary.Cancelled, summary.Points)
-			os.Exit(130)
+			exit(130)
 		}
-		return
+		exit(0)
 	}
 
-	res, err := sim.MonteCarlo(cfg)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "mcsim: %v\n", err)
-		os.Exit(1)
+	var events *obs.Memory
+	if *eventsPath != "" {
+		events = obs.NewMemory()
+		cfg.Events = events
 	}
+	cfg.Metrics = metrics
+	var prog *obs.Progress
+	if *progress {
+		prog = obs.StartProgress(os.Stderr, uint64(*frames), metrics.FramesSent, 0, "frames")
+	}
+	res, err := sim.MonteCarlo(cfg)
+	if prog != nil {
+		prog.Stop()
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *eventsPath != "" {
+		if err := writeSweepEvents(*eventsPath, []int64{*seed}, []*obs.Memory{events}); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	finishTelemetry()
 
 	if *jsonOut {
 		type out struct {
@@ -109,10 +199,9 @@ func main() {
 			LostEverywhere: res.LostEverywhere, Incomplete: res.Incomplete,
 			AtomicBroadcast: res.Report.AtomicBroadcast(),
 		}); err != nil {
-			fmt.Fprintf(os.Stderr, "mcsim: %v\n", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
-		return
+		exit(0)
 	}
 
 	fmt.Printf("policy=%s nodes=%d frames=%d ber*=%g eofOnly=%v seed=%d\n",
@@ -125,4 +214,40 @@ func main() {
 	fmt.Printf("incomplete frames:      %d\n", res.Incomplete)
 	fmt.Println()
 	fmt.Println(res.Report.Summary())
+	exit(0)
+}
+
+// writeMetrics writes a registry snapshot as indented JSON.
+func writeMetrics(path string, m *obs.Metrics, elapsed time.Duration) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m.Snapshot(elapsed)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeSweepEvents serialises per-point event logs to one JSONL file in
+// seed order, each point's events canonically sorted and tagged with its
+// seed, so the merged log is byte-identical for any worker count.
+func writeSweepEvents(path string, seeds []int64, mems []*obs.Memory) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for i, mem := range mems {
+		if mem == nil {
+			continue
+		}
+		if err := obs.WriteJSONL(f, seeds[i], mem.Events()); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
 }

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/verify"
 )
 
@@ -45,12 +46,27 @@ func main() {
 	positions := flag.Int("positions", 0, "EOF-relative positions to disturb (0 = the policy's full decision region)")
 	parallel := flag.Int("parallel", 4, "concurrent simulations")
 	crash := flag.Bool("crash", false, "also crash each station at its first flag, per pattern")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	stopProf, err := obs.StartProfiling(*cpuProfile, *memProfile, *pprofAddr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+		os.Exit(1)
+	}
+	exit := func(code int) {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+		}
+		os.Exit(code)
+	}
 
 	policy, err := parsePolicy(*policyName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "verify: %v\n", err)
-		os.Exit(1)
+		exit(1)
 	}
 	start := time.Now()
 	rep, err := verify.Exhaustive(verify.Config{
@@ -63,7 +79,7 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "verify: %v\n", err)
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Println(rep.Summary())
 	fmt.Printf("elapsed: %s\n", time.Since(start).Round(time.Millisecond))
@@ -73,6 +89,7 @@ func main() {
 			byOutcome[v.Outcome]++
 		}
 		fmt.Printf("violations by outcome: %v\n", byOutcome)
-		os.Exit(2)
+		exit(2)
 	}
+	exit(0)
 }

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/bitstream"
 	"repro/internal/frame"
+	"repro/internal/obs"
 )
 
 // Phase describes what a station is doing during a bit slot, for
@@ -169,6 +170,7 @@ type Network struct {
 	outputFaults []OutputFault
 	skews        []SkewFault
 	probes       []Probe
+	emitter      obs.Sink
 	slot         uint64
 	prevLevel    bitstream.Level
 
@@ -215,6 +217,12 @@ func (n *Network) AddProbe(p Probe) {
 	n.probes = append(n.probes, p)
 }
 
+// SetEmitter attaches a telemetry sink for bus-level events (frame
+// starts). A nil sink turns emission off.
+func (n *Network) SetEmitter(sink obs.Sink) {
+	n.emitter = sink
+}
+
 // Stations returns the number of attached stations.
 func (n *Network) Stations() int { return len(n.stations) }
 
@@ -231,6 +239,11 @@ func (n *Network) Step() bitstream.Level {
 		}
 	}
 	level := bitstream.Wire(n.drives...)
+	if n.emitter != nil && level == bitstream.Dominant && n.prevLevel == bitstream.Recessive {
+		// A dominant edge after a recessive bit: if any station is driving
+		// its SOF this slot, a frame is starting on the wire.
+		n.emitFrameStart()
+	}
 	for i, s := range n.stations {
 		sample := level
 		for _, sk := range n.skews {
@@ -253,6 +266,32 @@ func (n *Network) Step() bitstream.Level {
 	n.prevLevel = level
 	n.slot++
 	return level
+}
+
+// emitFrameStart reports a start-of-frame bit on the wire: Station is the
+// lowest-indexed transmitting contender, Aux the number of simultaneous
+// contenders (arbitration follows when it exceeds one).
+func (n *Network) emitFrameStart() {
+	first, contenders, attempts := -1, 0, 0
+	for i, v := range n.views {
+		if v.Transmitter && v.Phase == PhaseFrame && v.Field == frame.FieldSOF {
+			if first < 0 {
+				first, attempts = i, v.Attempts
+			}
+			contenders++
+		}
+	}
+	if first < 0 {
+		return
+	}
+	n.emitter.Emit(obs.Event{
+		Slot:    n.slot,
+		Kind:    obs.KindFrameStart,
+		Station: int16(first),
+		Flags:   obs.FlagTransmitter,
+		Attempt: uint16(attempts),
+		Aux:     uint32(contenders),
+	})
 }
 
 // Run simulates the given number of bit slots.

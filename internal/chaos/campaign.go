@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Campaign is a randomised search for invariant violations: Trials random
@@ -36,6 +38,13 @@ type Campaign struct {
 	WindowMax int
 	// Horizon bounds absolute fault slots (default 200 per frame).
 	Horizon uint64
+	// Metrics, if non-nil, aggregates every simulator execution of the
+	// campaign — trials, shrink candidates and final verification runs —
+	// into one registry (bits simulated, error flags, retransmissions).
+	Metrics *obs.Metrics
+	// OnTrial, if non-nil, is called after each trial completes with the
+	// number of trials finished so far, for progress display.
+	OnTrial func(done int)
 }
 
 // Finding is one discovered counterexample.
@@ -176,25 +185,28 @@ func (c *Campaign) Run() (*CampaignResult, error) {
 		for i := 0; i < nf; i++ {
 			script.Faults = append(script.Faults, cc.draw(rng))
 		}
-		run, err := Run(script)
+		run, err := RunObserved(script, Telemetry{Metrics: cc.Metrics})
 		if err != nil {
 			return nil, fmt.Errorf("chaos: trial %d: %w", trial, err)
 		}
 		res.Executions++
 		violations := Violations(run, cc.Probes)
 		if len(violations) == 0 {
+			if cc.OnTrial != nil {
+				cc.OnTrial(trial + 1)
+			}
 			continue
 		}
 		classes := violationClasses(violations)
 		shrunk := Shrink(script, func(cand Script) bool {
-			r, err := Run(cand)
+			r, err := RunObserved(cand, Telemetry{Metrics: cc.Metrics})
 			if err != nil {
 				return false
 			}
 			res.Executions++
 			return coversClasses(Violations(r, cc.Probes), classes)
 		})
-		final, err := Run(shrunk)
+		final, err := RunObserved(shrunk, Telemetry{Metrics: cc.Metrics})
 		if err != nil {
 			return nil, fmt.Errorf("chaos: trial %d (shrunk): %w", trial, err)
 		}
@@ -207,6 +219,9 @@ func (c *Campaign) Run() (*CampaignResult, error) {
 			Verdict:    verdict,
 			Violations: verdict.Violations,
 		})
+		if cc.OnTrial != nil {
+			cc.OnTrial(trial + 1)
+		}
 		if cc.StopAtFirst {
 			break
 		}
@@ -234,10 +249,17 @@ func (r *ReplayResult) Matches() bool { return r.DigestMatch && r.VerdictMatch }
 // the recorded verdict exactly. Probes default to DefaultProbes, which is
 // what campaigns record.
 func Replay(a Artifact, probes ...Probe) (*ReplayResult, error) {
+	return ReplayObserved(a, Telemetry{}, probes...)
+}
+
+// ReplayObserved is Replay with telemetry attached to the re-execution,
+// so a checked-in counterexample can be turned into a readable event
+// sequence and a metrics snapshot.
+func ReplayObserved(a Artifact, t Telemetry, probes ...Probe) (*ReplayResult, error) {
 	if len(probes) == 0 {
 		probes = DefaultProbes()
 	}
-	run, err := Run(a.Script)
+	run, err := RunObserved(a.Script, t)
 	if err != nil {
 		return nil, err
 	}

@@ -8,9 +8,25 @@ import (
 	"repro/internal/errmodel"
 	"repro/internal/frame"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
+
+// Telemetry is optional observability for a script execution. Any field
+// may be nil/zero; a zero Telemetry makes RunObserved identical to Run.
+type Telemetry struct {
+	// Events receives the protocol event stream, including the
+	// harness-level IMO classification events.
+	Events obs.Sink
+	// Metrics aggregates the run into a metrics registry.
+	Metrics *obs.Metrics
+	// Recorder, if non-nil, is attached as a bus probe so events can be
+	// correlated with the recorded per-bit trace (see trace.Correlate).
+	Recorder *trace.Recorder
+}
+
+func (t Telemetry) enabled() bool { return t.Events != nil || t.Metrics != nil }
 
 // NodeState is one station's fault-confinement state at the end of a run.
 type NodeState struct {
@@ -72,6 +88,14 @@ func (g glitchFault) Skew(slot uint64, station int) bool {
 
 // Run executes a script deterministically and returns its full outcome.
 func Run(s Script) (*Result, error) {
+	return RunObserved(s, Telemetry{})
+}
+
+// RunObserved is Run with telemetry attached. Event emission goes through
+// a ring buffer drained between frames, so the sinks never sit on the
+// per-bit hot path and the simulated outcome (digest included) is
+// identical with and without telemetry.
+func RunObserved(s Script, t Telemetry) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -89,7 +113,7 @@ func Run(s Script) (*Result, error) {
 	}
 
 	everOff := make([]bool, s.Nodes)
-	cluster, err := sim.NewCluster(sim.ClusterOptions{
+	clusterOpts := sim.ClusterOptions{
 		Nodes:            s.Nodes,
 		Policy:           policy,
 		WarningSwitchOff: s.WarningSwitchOff,
@@ -103,9 +127,35 @@ func Run(s Script) (*Result, error) {
 				},
 			}
 		},
-	})
+	}
+	var (
+		ring *obs.Ring
+		tel  obs.Sink
+	)
+	if t.enabled() {
+		ring = obs.NewRing(1 << 12)
+		tel = obs.Multi(t.Events, t.Metrics)
+		clusterOpts.Events = ring
+	}
+	cluster, err := sim.NewCluster(clusterOpts)
 	if err != nil {
 		return nil, err
+	}
+	if t.Recorder != nil {
+		cluster.Net.AddProbe(t.Recorder)
+	}
+	drainEvents := func() uint64 {
+		if ring == nil {
+			return 0
+		}
+		var retrans uint64
+		ring.Drain(obs.SinkFunc(func(e obs.Event) {
+			if e.Kind == obs.KindRetransmit {
+				retrans++
+			}
+			tel.Emit(e)
+		}))
+		return retrans
 	}
 
 	// Wire the fault sources. View flips become an errmodel script;
@@ -201,10 +251,17 @@ func Run(s Script) (*Result, error) {
 		if err := ctrl.Enqueue(f); err != nil {
 			return nil, err
 		}
-		tr.Broadcasts = append(tr.Broadcasts, abcheck.Broadcast{Key: key, Slot: cluster.Net.Slot()})
+		broadcastSlot := cluster.Net.Slot()
+		tr.Broadcasts = append(tr.Broadcasts, abcheck.Broadcast{Key: key, Slot: broadcastSlot})
 		res.FramesSent++
 		if !runUntilQuiet(slotsPerFrame) {
 			res.Incomplete++
+		}
+		frameRetrans := drainEvents()
+		if t.Metrics != nil {
+			t.Metrics.AddFramesSent(1)
+			t.Metrics.ObserveFrameRetransmits(frameRetrans)
+			t.Metrics.ObserveSettleLatency(cluster.Net.Slot() - broadcastSlot)
 		}
 	}
 
@@ -245,9 +302,51 @@ func Run(s Script) (*Result, error) {
 		}
 	}
 
+	drainEvents()
 	res.Trace = tr
 	res.Report = abcheck.Check(tr)
 	res.Slots = cluster.Net.Slot()
+	if tel != nil {
+		// Harness-level IMO classification per broadcast, mirroring
+		// abcheck's agreement analysis: a frame delivered by some correct
+		// station and never by another correct receiver.
+		deliveredBy := make(map[abcheck.MsgKey]map[int]bool)
+		for _, d := range tr.Deliveries {
+			if tr.Faulty[d.Node] {
+				continue
+			}
+			set := deliveredBy[d.Key]
+			if set == nil {
+				set = make(map[int]bool)
+				deliveredBy[d.Key] = set
+			}
+			set[d.Node] = true
+		}
+		for _, b := range tr.Broadcasts {
+			got, missing := 0, 0
+			for n := 0; n < s.Nodes; n++ {
+				if n == b.Key.Origin || tr.Faulty[n] {
+					continue
+				}
+				if deliveredBy[b.Key][n] {
+					got++
+				} else {
+					missing++
+				}
+			}
+			if got > 0 && missing > 0 {
+				tel.Emit(obs.Event{
+					Slot:    b.Slot,
+					Kind:    obs.KindIMO,
+					Station: -1,
+					Aux:     b.Key.Seq,
+				})
+			}
+		}
+	}
+	if t.Metrics != nil {
+		t.Metrics.AddBits(res.Slots)
+	}
 	res.Digest = digest.Sum64()
 	res.DigestHex = digest.String()
 	res.NodeStates = make([]NodeState, s.Nodes)

@@ -208,6 +208,8 @@ func (e *majorEpisode) Latch(level bitstream.Level) node.EpisodeStatus {
 				// Majority of the 2m-1 samples dominant: some node is
 				// notifying acceptance.
 				st.Verdict = node.VerdictAccept
+				st.VoteCorrected = true
+				st.Votes = e.votes
 			} else {
 				st.Verdict = node.VerdictReject
 			}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bitstream"
 	"repro/internal/frame"
+	"repro/internal/obs"
 )
 
 // flagBits is the length of active error and overload flags.
@@ -61,6 +62,7 @@ func (c *Controller) latchFrame(level bitstream.Level) {
 				// Lost arbitration: continue as a receiver; the sampled bit
 				// belongs to the winner's frame and flows into the receive
 				// pipeline below.
+				c.emit(obs.KindArbitrationLoss, true, 0, uint32(c.txPos))
 				c.transmitter = false
 			case sent == bitstream.Recessive && ref.Field == frame.FieldACKSlot:
 				// Receivers asserting the acknowledgement.
@@ -157,6 +159,10 @@ func (c *Controller) latchEpisode(level bitstream.Level) {
 		// A RejectAtStart error was already recorded when it was detected.
 		c.recordError(st.Kind)
 	}
+	if st.VoteCorrected {
+		// MajorCAN's majority vote overturned the signalled error.
+		c.emit(obs.KindEOFVoteCorrected, c.transmitter, uint8(st.Kind), uint32(st.Votes))
+	}
 	if h := c.opts.Hooks.OnVerdict; h != nil {
 		h(c.now, st.Verdict, c.transmitter)
 	}
@@ -168,6 +174,7 @@ func (c *Controller) latchEpisode(level bitstream.Level) {
 			f := c.queue.pop()
 			c.txOK++
 			c.creditSuccess(true)
+			c.emit(obs.KindFrameAccepted, true, 0, 0)
 			if h := c.opts.Hooks.OnTxSuccess; h != nil {
 				h(c.now, f)
 			}
@@ -175,6 +182,7 @@ func (c *Controller) latchEpisode(level bitstream.Level) {
 			f := c.asm.Frame()
 			c.delivered++
 			c.creditSuccess(false)
+			c.emit(obs.KindFrameAccepted, false, 0, 0)
 			if h := c.opts.Hooks.OnDeliver; h != nil {
 				h(c.now, f)
 			}
@@ -185,6 +193,8 @@ func (c *Controller) latchEpisode(level bitstream.Level) {
 			c.tec += 8
 			if c.opts.DisableRetransmission {
 				c.queue.pop()
+			} else {
+				c.emit(obs.KindRetransmit, true, uint8(st.Kind), 0)
 			}
 		} else {
 			c.rec++
@@ -222,6 +232,8 @@ func (c *Controller) signalError(kind ErrorKind) {
 		}
 		if c.opts.DisableRetransmission {
 			c.queue.pop()
+		} else {
+			c.emit(obs.KindRetransmit, true, uint8(kind), 0)
 		}
 	} else {
 		c.rec++
@@ -241,6 +253,20 @@ func (c *Controller) signalError(kind ErrorKind) {
 
 func (c *Controller) recordError(kind ErrorKind) {
 	c.errCount[kind]++
+	if kind == ErrStuff {
+		c.emit(obs.KindStuffError, c.transmitter, uint8(kind), 0)
+	}
+	// Every recorded error precedes a signalled flag (overload conditions
+	// raise overload flags, which are bit-identical bursts): primary when
+	// the station itself detected the error in the frame body or a
+	// delimiter, secondary when the decision fell out of the end-of-frame
+	// episode (a corrupted EOF bit, or another station's flag reaching
+	// this station's EOF window — Fig. 3's reactive flags).
+	flag := obs.KindErrorFlagPrimary
+	if c.state == stEpisode {
+		flag = obs.KindErrorFlagSecondary
+	}
+	c.emit(flag, c.transmitter, uint8(kind), 0)
 	if h := c.opts.Hooks.OnError; h != nil {
 		h(c.now, kind, c.transmitter)
 	}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/bitstream"
 	"repro/internal/bus"
 	"repro/internal/frame"
+	"repro/internal/obs"
 )
 
 // Mode is the fault confinement state of a controller.
@@ -158,6 +159,10 @@ type Controller struct {
 	// recessive bits re-enable the node.
 	recovRun int
 	recovSeq int
+
+	// telemetry (nil when uninstrumented)
+	ev      obs.Sink
+	station int16
 }
 
 var _ bus.Station = (*Controller)(nil)
@@ -179,6 +184,37 @@ func New(name string, policy EOFPolicy, opts Options) *Controller {
 
 // Name returns the controller's name.
 func (c *Controller) Name() string { return c.name }
+
+// Instrument attaches a telemetry sink; protocol events carry the given
+// station index. A nil sink turns emission off; an uninstrumented
+// controller pays only a nil check per potential event.
+func (c *Controller) Instrument(sink obs.Sink, station int) {
+	c.ev = sink
+	c.station = int16(station)
+}
+
+// emit sends one protocol event. The transmitter flag is explicit because
+// several call sites clear c.transmitter before the emission point.
+func (c *Controller) emit(kind obs.Kind, tx bool, cause uint8, aux uint32) {
+	if c.ev == nil {
+		return
+	}
+	e := obs.Event{
+		Slot:    c.now,
+		Kind:    kind,
+		Station: c.station,
+		Cause:   cause,
+		Attempt: uint16(c.attempts),
+		Aux:     aux,
+	}
+	if tx {
+		e.Flags |= obs.FlagTransmitter
+	}
+	if c.mode == ErrorPassive {
+		e.Flags |= obs.FlagPassive
+	}
+	c.ev.Emit(e)
+}
 
 // Policy returns the end-of-frame policy in use.
 func (c *Controller) Policy() EOFPolicy { return c.policy }
@@ -254,6 +290,12 @@ func (c *Controller) setMode(m Mode) {
 	}
 	old := c.mode
 	c.mode = m
+	switch {
+	case m == BusOff || m == SwitchedOff:
+		c.emit(obs.KindBusOff, false, 0, uint32(m))
+	case old == BusOff && m == ErrorActive:
+		c.emit(obs.KindRecover, false, 0, 0)
+	}
 	if h := c.opts.Hooks.OnModeChange; h != nil {
 		h(c.now, old, m)
 	}

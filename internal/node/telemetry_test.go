@@ -1,0 +1,91 @@
+package node_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/errmodel"
+	"repro/internal/frame"
+	"repro/internal/node"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestCauseNamesMatchErrorKinds pins the cross-package contract: the
+// obs layer renders event causes by numeric code, and those names must
+// stay in lockstep with node.ErrorKind.String.
+func TestCauseNamesMatchErrorKinds(t *testing.T) {
+	kinds := []node.ErrorKind{
+		node.ErrBit, node.ErrStuff, node.ErrCRC,
+		node.ErrForm, node.ErrAck, node.ErrOverload,
+	}
+	for _, k := range kinds {
+		if got, want := obs.CauseName(uint8(k)), k.String(); got != want {
+			t.Errorf("obs.CauseName(%d) = %q, want %q (node.ErrorKind naming drifted)", uint8(k), got, want)
+		}
+	}
+	if obs.CauseName(0) != "" {
+		t.Errorf("CauseName(0) = %q, want empty (no cause)", obs.CauseName(0))
+	}
+}
+
+// TestInstrumentedScenario runs a small disturbed broadcast with every
+// controller instrumented and checks the emitted event sequence: the
+// disturbed receiver's error flag, the transmitter's retransmission, and
+// the eventual acceptances all appear with the right attribution.
+func TestInstrumentedScenario(t *testing.T) {
+	c := sim.MustCluster(sim.ClusterOptions{Nodes: 3, Policy: core.NewStandard()})
+	mem := obs.NewMemory()
+	for i, n := range c.Nodes {
+		n.Instrument(mem, i)
+	}
+	// Flip station 1's view of the first EOF bit on the first attempt:
+	// station 1 signals a form error, everyone rejects, the transmitter
+	// retransmits, and the second attempt goes through.
+	c.Net.AddDisturber(errmodel.NewScript(errmodel.AtEOFBit([]int{1}, 1, 1)))
+	f := &frame.Frame{ID: 0x42, Data: []byte{7}}
+	if err := c.Nodes[0].Enqueue(f); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntilQuiet(4000) {
+		t.Fatal("no quiescence")
+	}
+	for i := 1; i < 3; i++ {
+		if n := c.DeliveryCount(i, f); n != 1 {
+			t.Fatalf("station %d delivered %d copies, want 1", i, n)
+		}
+	}
+
+	flags := mem.Count(obs.KindErrorFlagPrimary) + mem.Count(obs.KindErrorFlagSecondary)
+	if flags == 0 {
+		t.Error("no error-flag events emitted for a disturbed broadcast")
+	}
+	if n := mem.Count(obs.KindRetransmit); n != 1 {
+		t.Errorf("retransmit events = %d, want 1", n)
+	}
+	// The transmitter accepts once, both receivers deliver once.
+	if n := mem.Count(obs.KindFrameAccepted); n != 3 {
+		t.Errorf("frame-accepted events = %d, want 3", n)
+	}
+	var sawDisturbedFlag, txRetransmit bool
+	for _, e := range mem.Events() {
+		if e.Kind.ErrorFlag() && e.Station == 1 {
+			sawDisturbedFlag = true
+		}
+		if e.Kind == obs.KindRetransmit {
+			if e.Station != 0 || !e.Transmitter() {
+				t.Errorf("retransmit attributed to station %d (tx=%v), want transmitter 0", e.Station, e.Transmitter())
+			}
+			txRetransmit = true
+		}
+		if e.Kind == obs.KindFrameAccepted && e.Station == 0 && !e.Transmitter() {
+			t.Error("transmitter's acceptance not marked with the transmitter flag")
+		}
+	}
+	if !sawDisturbedFlag {
+		t.Error("disturbed station 1 emitted no error-flag event")
+	}
+	if !txRetransmit {
+		t.Error("no retransmit event from the transmitter")
+	}
+}

@@ -111,6 +111,12 @@ type EpisodeStatus struct {
 	Signalled bool
 	// Kind is the error kind that triggered the signalling.
 	Kind ErrorKind
+	// VoteCorrected reports that the node signalled an error and the
+	// protocol's acceptance sampling (MajorCAN's majority vote) still
+	// accepted the frame; Votes is the number of dominant samples that
+	// carried the vote.
+	VoteCorrected bool
+	Votes         int
 }
 
 // EpisodeEnv describes the node's situation at the start of the

@@ -1,0 +1,340 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync/atomic"
+	"time"
+)
+
+// histSlots bounds the bucket count of a Histogram; bounds beyond
+// histSlots-1 are ignored (the last slot is the overflow bucket).
+const histSlots = 12
+
+// Histogram is a fixed-bucket, allocation-free histogram of uint64
+// samples. Bucket i counts samples <= bounds[i]; the final bucket counts
+// the overflow. All updates are atomic.
+type Histogram struct {
+	bounds []uint64
+	counts [histSlots]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64
+}
+
+func newHistogram(bounds []uint64) Histogram {
+	if len(bounds) > histSlots-1 {
+		bounds = bounds[:histSlots-1]
+	}
+	return Histogram{bounds: bounds}
+}
+
+func (h *Histogram) bucket(v uint64) int {
+	for i, b := range h.bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(h.bounds)
+}
+
+func (h *Histogram) observe(v uint64) {
+	h.counts[h.bucket(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+func (h *Histogram) merge(o *Histogram) {
+	for i := range o.bounds {
+		h.counts[i].Add(o.counts[i].Load())
+	}
+	h.counts[len(h.bounds)].Add(o.counts[len(o.bounds)].Load())
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+}
+
+// HistogramBucket is one bucket of a histogram snapshot. Le is the
+// inclusive upper bound rendered as a decimal string, "+inf" for the
+// overflow bucket.
+type HistogramBucket struct {
+	Le    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is the serialisable state of a Histogram.
+type HistogramSnapshot struct {
+	Count   uint64            `json:"count"`
+	Sum     uint64            `json:"sum"`
+	Buckets []HistogramBucket `json:"buckets"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		Buckets: make([]HistogramBucket, 0, len(h.bounds)+1),
+	}
+	for i, b := range h.bounds {
+		s.Buckets = append(s.Buckets, HistogramBucket{
+			Le:    formatUint(b),
+			Count: h.counts[i].Load(),
+		})
+	}
+	s.Buckets = append(s.Buckets, HistogramBucket{
+		Le:    "+inf",
+		Count: h.counts[len(h.bounds)].Load(),
+	})
+	return s
+}
+
+func formatUint(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Default histogram bounds: retransmissions per frame (small counts) and
+// frame settling latency in bit slots (an error-free 8-byte frame settles
+// in ~130 slots; each retransmission round adds roughly a frame time).
+var (
+	retransmitBounds = []uint64{0, 1, 2, 3, 4, 6, 8, 16, 32, 64}
+	settleBounds     = []uint64{128, 160, 192, 256, 384, 512, 1024, 2048, 4096, 8192}
+)
+
+// Metrics is the protocol metrics registry: atomic counters plus two
+// fixed-bucket histograms. A registry forks per sweep worker like
+// errmodel.Random: every update on a fork also propagates to its
+// ancestors atomically, so the parent's live totals can be read (for
+// progress display) while workers run, and no merge step is needed at
+// completion. Merge remains available for combining independent
+// registries.
+//
+// Metrics implements Sink: attached to an event stream it derives the
+// event counters (error flags by cause, retransmissions, vote
+// corrections, ...); the harness feeds the non-event quantities (bits
+// simulated, frames sent, per-frame histograms) directly.
+type Metrics struct {
+	parent *Metrics
+	label  string
+
+	bits           atomic.Uint64
+	framesSent     atomic.Uint64
+	framesStarted  atomic.Uint64
+	framesAccepted atomic.Uint64
+	arbLosses      atomic.Uint64
+	stuffErrors    atomic.Uint64
+	flagsPrimary   atomic.Uint64
+	flagsSecondary atomic.Uint64
+	errorFlags     [8]atomic.Uint64 // indexed by cause code
+	voteCorrected  atomic.Uint64
+	retransmits    atomic.Uint64
+	imos           atomic.Uint64
+	busOffs        atomic.Uint64
+	recoveries     atomic.Uint64
+
+	retransHist Histogram // retransmissions per frame
+	settleHist  Histogram // frame settling latency in slots
+}
+
+var _ Sink = (*Metrics)(nil)
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		retransHist: newHistogram(retransmitBounds),
+		settleHist:  newHistogram(settleBounds),
+	}
+}
+
+// Fork derives a per-worker registry. Updates on the fork propagate to
+// this registry (and its ancestors) atomically, mirroring
+// errmodel.Random.Fork, so the parent's totals stay live while workers
+// run concurrently.
+func (m *Metrics) Fork() *Metrics {
+	c := NewMetrics()
+	c.parent = m
+	return c
+}
+
+// SetLabel attaches a label (typically the policy name) rendered into
+// snapshots.
+func (m *Metrics) SetLabel(label string) { m.label = label }
+
+func (m *Metrics) bump(field func(*Metrics) *atomic.Uint64, n uint64) {
+	for p := m; p != nil; p = p.parent {
+		field(p).Add(n)
+	}
+}
+
+// AddBits records simulated bit slots.
+func (m *Metrics) AddBits(n uint64) {
+	m.bump(func(p *Metrics) *atomic.Uint64 { return &p.bits }, n)
+}
+
+// AddFramesSent records application frames handed to the bus.
+func (m *Metrics) AddFramesSent(n uint64) {
+	m.bump(func(p *Metrics) *atomic.Uint64 { return &p.framesSent }, n)
+}
+
+// ObserveFrameRetransmits records one frame's retransmission count.
+func (m *Metrics) ObserveFrameRetransmits(n uint64) {
+	for p := m; p != nil; p = p.parent {
+		p.retransHist.observe(n)
+	}
+}
+
+// ObserveSettleLatency records one frame's settling latency: the bit
+// slots from its broadcast until the bus quiesced again.
+func (m *Metrics) ObserveSettleLatency(slots uint64) {
+	for p := m; p != nil; p = p.parent {
+		p.settleHist.observe(slots)
+	}
+}
+
+// BitsSimulated returns the live total of simulated bit slots, including
+// those of running forks.
+func (m *Metrics) BitsSimulated() uint64 { return m.bits.Load() }
+
+// FramesSent returns the live total of frames sent, including those of
+// running forks.
+func (m *Metrics) FramesSent() uint64 { return m.framesSent.Load() }
+
+// EOFVoteCorrected returns the live count of MajorCAN majority-vote
+// corrections.
+func (m *Metrics) EOFVoteCorrected() uint64 { return m.voteCorrected.Load() }
+
+// Emit implements Sink, deriving event counters from the stream.
+func (m *Metrics) Emit(e Event) {
+	var field func(*Metrics) *atomic.Uint64
+	switch e.Kind {
+	case KindFrameStart:
+		field = func(p *Metrics) *atomic.Uint64 { return &p.framesStarted }
+	case KindArbitrationLoss:
+		field = func(p *Metrics) *atomic.Uint64 { return &p.arbLosses }
+	case KindStuffError:
+		field = func(p *Metrics) *atomic.Uint64 { return &p.stuffErrors }
+	case KindErrorFlagPrimary:
+		m.bump(func(p *Metrics) *atomic.Uint64 { return &p.flagsPrimary }, 1)
+		cause := int(e.Cause) % len(m.errorFlags)
+		field = func(p *Metrics) *atomic.Uint64 { return &p.errorFlags[cause] }
+	case KindErrorFlagSecondary:
+		m.bump(func(p *Metrics) *atomic.Uint64 { return &p.flagsSecondary }, 1)
+		cause := int(e.Cause) % len(m.errorFlags)
+		field = func(p *Metrics) *atomic.Uint64 { return &p.errorFlags[cause] }
+	case KindEOFVoteCorrected:
+		field = func(p *Metrics) *atomic.Uint64 { return &p.voteCorrected }
+	case KindRetransmit:
+		field = func(p *Metrics) *atomic.Uint64 { return &p.retransmits }
+	case KindFrameAccepted:
+		field = func(p *Metrics) *atomic.Uint64 { return &p.framesAccepted }
+	case KindIMO:
+		field = func(p *Metrics) *atomic.Uint64 { return &p.imos }
+	case KindBusOff:
+		field = func(p *Metrics) *atomic.Uint64 { return &p.busOffs }
+	case KindRecover:
+		field = func(p *Metrics) *atomic.Uint64 { return &p.recoveries }
+	default:
+		return
+	}
+	m.bump(field, 1)
+}
+
+// Merge adds another registry's totals into this one, for combining
+// registries that were not forked from a common parent (e.g. per-policy
+// runs aggregated by a CLI).
+func (m *Metrics) Merge(o *Metrics) {
+	m.bits.Add(o.bits.Load())
+	m.framesSent.Add(o.framesSent.Load())
+	m.framesStarted.Add(o.framesStarted.Load())
+	m.framesAccepted.Add(o.framesAccepted.Load())
+	m.arbLosses.Add(o.arbLosses.Load())
+	m.stuffErrors.Add(o.stuffErrors.Load())
+	m.flagsPrimary.Add(o.flagsPrimary.Load())
+	m.flagsSecondary.Add(o.flagsSecondary.Load())
+	for i := range m.errorFlags {
+		m.errorFlags[i].Add(o.errorFlags[i].Load())
+	}
+	m.voteCorrected.Add(o.voteCorrected.Load())
+	m.retransmits.Add(o.retransmits.Load())
+	m.imos.Add(o.imos.Load())
+	m.busOffs.Add(o.busOffs.Load())
+	m.recoveries.Add(o.recoveries.Load())
+	m.retransHist.merge(&o.retransHist)
+	m.settleHist.merge(&o.settleHist)
+}
+
+// Snapshot is the serialisable state of a registry. The JSON field names
+// are a stable contract consumed by EXPERIMENTS.md recipes and CI
+// artifact checks.
+type Snapshot struct {
+	Policy              string            `json:"policy,omitempty"`
+	ElapsedSeconds      float64           `json:"elapsed_seconds,omitempty"`
+	BitsSimulated       uint64            `json:"bits_simulated"`
+	BitsPerSecond       float64           `json:"bits_per_second,omitempty"`
+	FramesSent          uint64            `json:"frames_sent"`
+	FramesPerSecond     float64           `json:"frames_per_second,omitempty"`
+	FramesStarted       uint64            `json:"frames_started"`
+	FramesAccepted      uint64            `json:"frames_accepted"`
+	ArbitrationLosses   uint64            `json:"arbitration_losses"`
+	StuffErrors         uint64            `json:"stuff_errors"`
+	ErrorFlagsPrimary   uint64            `json:"error_flags_primary"`
+	ErrorFlagsSecondary uint64            `json:"error_flags_secondary"`
+	ErrorFlagsByCause   map[string]uint64 `json:"error_flags_by_cause"`
+	EOFVoteCorrected    uint64            `json:"eof_vote_corrected"`
+	Retransmits         uint64            `json:"retransmits"`
+	IMOs                uint64            `json:"imos"`
+	BusOffs             uint64            `json:"bus_offs"`
+	Recoveries          uint64            `json:"recoveries"`
+	RetransmitsPerFrame HistogramSnapshot `json:"retransmits_per_frame"`
+	SettleLatencySlots  HistogramSnapshot `json:"settle_latency_slots"`
+}
+
+// Snapshot captures the registry. A positive elapsed duration fills the
+// rate fields (frames/sec, bits/sec).
+func (m *Metrics) Snapshot(elapsed time.Duration) Snapshot {
+	s := Snapshot{
+		Policy:              m.label,
+		BitsSimulated:       m.bits.Load(),
+		FramesSent:          m.framesSent.Load(),
+		FramesStarted:       m.framesStarted.Load(),
+		FramesAccepted:      m.framesAccepted.Load(),
+		ArbitrationLosses:   m.arbLosses.Load(),
+		StuffErrors:         m.stuffErrors.Load(),
+		ErrorFlagsPrimary:   m.flagsPrimary.Load(),
+		ErrorFlagsSecondary: m.flagsSecondary.Load(),
+		ErrorFlagsByCause:   make(map[string]uint64),
+		EOFVoteCorrected:    m.voteCorrected.Load(),
+		Retransmits:         m.retransmits.Load(),
+		IMOs:                m.imos.Load(),
+		BusOffs:             m.busOffs.Load(),
+		Recoveries:          m.recoveries.Load(),
+		RetransmitsPerFrame: m.retransHist.snapshot(),
+		SettleLatencySlots:  m.settleHist.snapshot(),
+	}
+	for code, name := range causeNames {
+		if name == "" {
+			continue
+		}
+		if n := m.errorFlags[code].Load(); n > 0 {
+			s.ErrorFlagsByCause[name] = n
+		}
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		s.ElapsedSeconds = sec
+		s.FramesPerSecond = float64(s.FramesSent) / sec
+		s.BitsPerSecond = float64(s.BitsSimulated) / sec
+	}
+	return s
+}
+
+// MarshalJSON renders the snapshot form, so a *Metrics can be passed to
+// json encoders directly.
+func (m *Metrics) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.Snapshot(0))
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiling wires the standard Go profilers from CLI flag values:
+// cpuProfile/memProfile name output files (empty to skip), pprofAddr
+// starts a net/http/pprof listener (empty to skip). It returns a stop
+// function that finalises the profiles; callers should defer it and also
+// invoke it explicitly before os.Exit paths.
+func StartProfiling(cpuProfile, memProfile, pprofAddr string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuProfile != "" {
+		cpuFile, err = os.Create(cpuProfile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	if pprofAddr != "" {
+		ln := pprofAddr
+		go func() {
+			// DefaultServeMux already has the pprof handlers from the
+			// blank import. Serve errors are non-fatal to the run.
+			if err := http.ListenAndServe(ln, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			}
+		}()
+	}
+	var stopped bool
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memProfile != "" {
+			f, err := os.Create(memProfile)
+			if err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

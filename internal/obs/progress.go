@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress renders a live progress line (frames done, frames/sec, ETA) to
+// a writer on a fixed interval, reading the current count from a
+// callback — typically the live FramesSent total of a parent Metrics
+// registry while forked workers run. Lines are terminated with \r so a
+// terminal shows a single updating line; Stop prints a final newline-
+// terminated summary.
+type Progress struct {
+	w        io.Writer
+	total    uint64
+	read     func() uint64
+	interval time.Duration
+	unit     string
+
+	start time.Time
+	stop  chan struct{}
+	done  sync.WaitGroup
+	once  sync.Once
+}
+
+// StartProgress begins rendering progress lines. total is the expected
+// final count (0 if unknown: the ETA is then omitted); read returns the
+// live count; unit names the counted thing ("frames", "trials"; empty
+// defaults to "frames"). Callers must call Stop when the work finishes.
+func StartProgress(w io.Writer, total uint64, read func() uint64, interval time.Duration, unit string) *Progress {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	if unit == "" {
+		unit = "frames"
+	}
+	p := &Progress{
+		w:        w,
+		total:    total,
+		read:     read,
+		interval: interval,
+		unit:     unit,
+		start:    time.Now(),
+		stop:     make(chan struct{}),
+	}
+	p.done.Add(1)
+	go p.loop()
+	return p
+}
+
+func (p *Progress) loop() {
+	defer p.done.Done()
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			fmt.Fprintf(p.w, "\r%s   ", p.line())
+		}
+	}
+}
+
+func (p *Progress) line() string {
+	n := p.read()
+	elapsed := time.Since(p.start)
+	rate := 0.0
+	if sec := elapsed.Seconds(); sec > 0 {
+		rate = float64(n) / sec
+	}
+	if p.total == 0 {
+		return fmt.Sprintf("%d %s  %.0f %s/s  %s", n, p.unit, rate, p.unit, elapsed.Round(time.Second))
+	}
+	s := fmt.Sprintf("%d/%d %s  %.0f %s/s", n, p.total, p.unit, rate, p.unit)
+	if rate > 0 && n < p.total {
+		eta := time.Duration(float64(p.total-n)/rate*float64(time.Second)) + time.Second/2
+		s += fmt.Sprintf("  ETA %s", eta.Round(time.Second))
+	}
+	return s
+}
+
+// Stop halts the ticker and prints a final summary line. Safe to call
+// more than once.
+func (p *Progress) Stop() {
+	p.once.Do(func() {
+		close(p.stop)
+		p.done.Wait()
+		fmt.Fprintf(p.w, "\r%s\n", p.line())
+	})
+}

@@ -1,0 +1,65 @@
+package obs
+
+import "sync/atomic"
+
+// Ring is a bounded single-producer single-consumer event ring buffer.
+// The simulation goroutine emits into it lock-free; a consumer (the same
+// goroutine between frames, or a live reader on another goroutine) drains
+// it into sinks. When the ring is full, Emit drops the event and counts
+// the drop, so a producer can never block the simulation; size the ring
+// for the drain cadence (one frame's worth of events is tens, not
+// thousands) and assert Dropped() == 0 where completeness matters.
+type Ring struct {
+	buf  []Event
+	mask uint64
+	head atomic.Uint64 // next slot the consumer reads
+	tail atomic.Uint64 // next slot the producer writes
+	drop atomic.Uint64
+}
+
+// NewRing creates a ring with at least the given capacity (rounded up to
+// a power of two, minimum 64).
+func NewRing(capacity int) *Ring {
+	n := 64
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring{buf: make([]Event, n), mask: uint64(n - 1)}
+}
+
+var _ Sink = (*Ring)(nil)
+
+// Emit implements Sink. It must be called from a single producer
+// goroutine. A full ring drops the event (see Dropped).
+func (r *Ring) Emit(e Event) {
+	t := r.tail.Load()
+	if t-r.head.Load() >= uint64(len(r.buf)) {
+		r.drop.Add(1)
+		return
+	}
+	r.buf[t&r.mask] = e
+	r.tail.Store(t + 1)
+}
+
+// Drain delivers every buffered event to sink in emission order and
+// returns the number delivered. It must be called from a single consumer
+// goroutine (which may be the producer goroutine between emissions).
+func (r *Ring) Drain(sink Sink) int {
+	h, t := r.head.Load(), r.tail.Load()
+	n := 0
+	for ; h < t; h++ {
+		e := r.buf[h&r.mask]
+		r.head.Store(h + 1)
+		sink.Emit(e)
+		n++
+	}
+	return n
+}
+
+// Len returns the number of buffered events.
+func (r *Ring) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// Dropped returns the number of events lost to a full ring.
+func (r *Ring) Dropped() uint64 { return r.drop.Load() }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/bus"
 	"repro/internal/frame"
 	"repro/internal/node"
+	"repro/internal/obs"
 )
 
 // Delivery records one frame handed to a node's upper layer.
@@ -42,6 +43,10 @@ type ClusterOptions struct {
 	// extra instrumentation; the returned hooks are merged with the
 	// cluster's own recording hooks.
 	NodeHooks func(station int) node.Hooks
+	// Events, if non-nil, receives the protocol event stream: every
+	// controller and the bus emit obs events into it. A nil sink costs one
+	// nil check per potential event.
+	Events obs.Sink
 }
 
 // Cluster is a set of CAN controllers on one simulated bus with recorded
@@ -108,7 +113,13 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 			Hooks:            hooks,
 		})
 		c.Nodes[i] = ctrl
-		c.Net.Attach(ctrl)
+		station := c.Net.Attach(ctrl)
+		if opts.Events != nil {
+			ctrl.Instrument(opts.Events, station)
+		}
+	}
+	if opts.Events != nil {
+		c.Net.SetEmitter(opts.Events)
 	}
 	return c, nil
 }

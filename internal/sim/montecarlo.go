@@ -9,6 +9,7 @@ import (
 	"repro/internal/errmodel"
 	"repro/internal/frame"
 	"repro/internal/node"
+	"repro/internal/obs"
 )
 
 // MCConfig configures a Monte Carlo consistency run: a stream of frames is
@@ -60,6 +61,15 @@ type MCConfig struct {
 	// hand each worker a fork of one shared errmodel.Random. BitFlips is
 	// reported when the disturber implements errmodel.FlipCounter.
 	Disturber bus.Disturber
+	// Events, if non-nil, receives the run's protocol event stream,
+	// including the harness-level IMO classification events. Emission goes
+	// through an internal ring buffer drained between frames, so the sink
+	// is called from the run's goroutine only.
+	Events obs.Sink
+	// Metrics, if non-nil, aggregates the run into a metrics registry
+	// (counters from the event stream plus per-frame retransmission and
+	// settling-latency histograms). Parallel sweeps pass a fork per worker.
+	Metrics *obs.Metrics
 }
 
 // MCResult aggregates a Monte Carlo run.
@@ -163,13 +173,41 @@ func MonteCarlo(cfg MCConfig) (*MCResult, error) {
 		slotsPerFrame = 4000
 	}
 
-	cluster, err := NewCluster(ClusterOptions{
+	// Telemetry: controllers and the bus emit into a ring buffer drained
+	// between frames, so downstream sinks (files, registries) are called
+	// from this goroutine only and never sit on the per-bit hot path.
+	var (
+		ring *obs.Ring
+		tel  obs.Sink
+	)
+	clusterOpts := ClusterOptions{
 		Nodes:            cfg.Nodes,
 		Policy:           cfg.Policy,
 		WarningSwitchOff: cfg.WarningSwitchOff,
-	})
+	}
+	if cfg.Events != nil || cfg.Metrics != nil {
+		ring = obs.NewRing(1 << 12)
+		tel = obs.Multi(cfg.Events, cfg.Metrics)
+		clusterOpts.Events = ring
+	}
+	cluster, err := NewCluster(clusterOpts)
 	if err != nil {
 		return nil, err
+	}
+	// drain forwards buffered events to the sinks and returns how many
+	// retransmissions the batch contained.
+	drain := func() uint64 {
+		if ring == nil {
+			return 0
+		}
+		var retrans uint64
+		ring.Drain(obs.SinkFunc(func(e obs.Event) {
+			if e.Kind == obs.KindRetransmit {
+				retrans++
+			}
+			tel.Emit(e)
+		}))
+		return retrans
 	}
 	var inner bus.Disturber
 	flips := func() uint64 { return 0 }
@@ -219,7 +257,8 @@ func MonteCarlo(cfg MCConfig) (*MCResult, error) {
 		if err := ctrl.Enqueue(f); err != nil {
 			return nil, err
 		}
-		tr.Broadcasts = append(tr.Broadcasts, abcheck.Broadcast{Key: key, Slot: cluster.Net.Slot()})
+		broadcastSlot := cluster.Net.Slot()
+		tr.Broadcasts = append(tr.Broadcasts, abcheck.Broadcast{Key: key, Slot: broadcastSlot})
 		res.FramesSent++
 
 		// Track deliveries of this frame by counting cluster deliveries.
@@ -229,6 +268,12 @@ func MonteCarlo(cfg MCConfig) (*MCResult, error) {
 		}
 		if !cluster.RunUntilQuiet(slotsPerFrame) {
 			res.Incomplete++
+		}
+		frameRetrans := drain()
+		if cfg.Metrics != nil {
+			cfg.Metrics.AddFramesSent(1)
+			cfg.Metrics.ObserveFrameRetransmits(frameRetrans)
+			cfg.Metrics.ObserveSettleLatency(cluster.Net.Slot() - broadcastSlot)
 		}
 
 		// Classify the frame's fate per receiver.
@@ -262,10 +307,19 @@ func MonteCarlo(cfg MCConfig) (*MCResult, error) {
 		switch {
 		case got > 0 && missing > 0:
 			res.IMOs++
+			if tel != nil {
+				tel.Emit(obs.Event{
+					Slot:    broadcastSlot,
+					Kind:    obs.KindIMO,
+					Station: -1,
+					Aux:     key.Seq,
+				})
+			}
 		case got == 0 && missing > 0:
 			res.LostEverywhere++
 		}
 	}
+	drain()
 
 	for n := 0; n < cfg.Nodes; n++ {
 		mode := cluster.Nodes[n].Mode()
@@ -276,5 +330,8 @@ func MonteCarlo(cfg MCConfig) (*MCResult, error) {
 	res.Slots = cluster.Net.Slot()
 	res.BitFlips = flips()
 	res.Report = abcheck.Check(tr)
+	if cfg.Metrics != nil {
+		cfg.Metrics.AddBits(res.Slots)
+	}
 	return res, nil
 }

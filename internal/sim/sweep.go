@@ -7,7 +7,15 @@ import (
 	"sync"
 
 	"repro/internal/errmodel"
+	"repro/internal/obs"
 )
+
+// PointTelemetry hands each sweep point its telemetry: an event sink
+// (typically a per-point obs.Memory, serialised in seed order after the
+// sweep for deterministic merged logs) and a metrics registry (typically
+// a Fork of one shared parent, whose totals then stay live-readable for
+// progress display). Either return value may be nil.
+type PointTelemetry func(index int, seed int64) (obs.Sink, *obs.Metrics)
 
 // SweepPoint is one Monte Carlo run of a sweep.
 type SweepPoint struct {
@@ -38,6 +46,14 @@ func SweepSeeds(cfg MCConfig, seeds []int64, parallelism int) []SweepPoint {
 // seed — the same stream MonteCarlo would construct itself — so the shared
 // parent's Flips() can be read live while the sweep runs.
 func SweepSeedsContext(ctx context.Context, cfg MCConfig, seeds []int64, parallelism int) []SweepPoint {
+	return SweepSeedsObserved(ctx, cfg, seeds, parallelism, nil)
+}
+
+// SweepSeedsObserved is SweepSeedsContext with per-point telemetry: when
+// tel is non-nil it is called once per point (before the point starts)
+// and the returned sink/registry replace cfg.Events/cfg.Metrics for that
+// point's run.
+func SweepSeedsObserved(ctx context.Context, cfg MCConfig, seeds []int64, parallelism int, tel PointTelemetry) []SweepPoint {
 	if parallelism < 1 {
 		parallelism = 1
 	}
@@ -68,6 +84,9 @@ func SweepSeedsContext(ctx context.Context, cfg MCConfig, seeds []int64, paralle
 			c.Seed = seed
 			if parent != nil {
 				c.Disturber = parent.Fork(seed)
+			}
+			if tel != nil {
+				c.Events, c.Metrics = tel(i, seed)
 			}
 			res, err := MonteCarlo(c)
 			points[i] = SweepPoint{Seed: seed, Result: res, Err: err}

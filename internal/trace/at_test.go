@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/bus"
+	"repro/internal/obs"
+)
+
+// atLinear is the reference implementation At replaced: a full scan.
+func atLinear(r *Recorder, slot uint64) (Record, bool) {
+	for _, rec := range r.records {
+		if rec.Slot == slot {
+			return rec, true
+		}
+	}
+	return Record{}, false
+}
+
+// TestAtGappyHistory is the regression test for the binary-search At: a
+// recorder attached mid-run (or probing selectively) holds a history with
+// slot gaps and an offset start, and At must agree with a linear scan on
+// every slot in and around the recorded range.
+func TestAtGappyHistory(t *testing.T) {
+	r := NewRecorder("a", "b")
+	rng := rand.New(rand.NewSource(11))
+	slot := uint64(1000) // offset start: records don't begin at slot 0
+	var recorded []uint64
+	for i := 0; i < 300; i++ {
+		r.OnBit(slot, bitstream.Recessive,
+			[]bitstream.Level{bitstream.Recessive, bitstream.Recessive},
+			[]bitstream.Level{bitstream.Recessive, bitstream.Recessive},
+			[]bus.ViewContext{{}, {}})
+		recorded = append(recorded, slot)
+		slot += 1 + uint64(rng.Intn(5)) // gaps of 0..4 missing slots
+	}
+	for probe := uint64(990); probe < slot+10; probe++ {
+		want, wantOK := atLinear(r, probe)
+		got, gotOK := r.At(probe)
+		if gotOK != wantOK {
+			t.Fatalf("At(%d) ok=%v, linear scan ok=%v", probe, gotOK, wantOK)
+		}
+		if gotOK && got.Slot != want.Slot {
+			t.Fatalf("At(%d) returned slot %d, want %d", probe, got.Slot, want.Slot)
+		}
+	}
+	// Spot-check every recorded slot is found.
+	for _, s := range recorded {
+		if _, ok := r.At(s); !ok {
+			t.Fatalf("At(%d) missed a recorded slot", s)
+		}
+	}
+	if _, ok := r.At(0); ok {
+		t.Error("At(0) found a record before the history start")
+	}
+}
+
+func TestCorrelate(t *testing.T) {
+	r := NewRecorder("a", "b")
+	for s := uint64(10); s < 20; s++ {
+		level := bitstream.Recessive
+		if s == 12 {
+			level = bitstream.Dominant
+		}
+		r.OnBit(s, level,
+			[]bitstream.Level{level, bitstream.Recessive},
+			[]bitstream.Level{level, level},
+			[]bus.ViewContext{{Phase: bus.PhaseFrame}, {Phase: bus.PhaseEOF, EOFRel: 3}})
+	}
+	events := []obs.Event{
+		{Slot: 15, Kind: obs.KindErrorFlagPrimary, Station: 1, Cause: 4},
+		{Slot: 12, Kind: obs.KindFrameStart, Station: 0, Flags: obs.FlagTransmitter},
+		{Slot: 99, Kind: obs.KindIMO, Station: -1},
+	}
+	out := r.Correlate(events)
+	if len(out) != 3 {
+		t.Fatalf("got %d correlated events", len(out))
+	}
+	// Canonical order: slot 12 first.
+	if out[0].Event.Slot != 12 || !out[0].Found {
+		t.Fatalf("first correlated event = %+v", out[0])
+	}
+	if out[0].Record.Bus != bitstream.Dominant {
+		t.Errorf("slot 12 record bus = %v, want dominant", out[0].Record.Bus)
+	}
+	if out[1].Event.Slot != 15 || !out[1].Found {
+		t.Fatalf("second correlated event = %+v", out[1])
+	}
+	if got := out[1].String(); got == "" || !strings.Contains(got, "phase=eof") || !strings.Contains(got, "eofRel=3") {
+		t.Errorf("correlated string missing phase context: %q", got)
+	}
+	if out[2].Found {
+		t.Error("event outside the history must report Found=false")
+	}
+	if got := out[2].String(); !strings.Contains(got, "not recorded") {
+		t.Errorf("unrecorded event string = %q", got)
+	}
+	if f := FormatCorrelated(out); len(f) == 0 {
+		t.Error("FormatCorrelated returned empty output")
+	}
+}

@@ -1,0 +1,63 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// CorrelatedEvent links one protocol event to the recorded bus state of
+// its slot. Found is false when the recorder has no record for the
+// event's slot (e.g. a harness-level event stamped outside the recorded
+// window); Record is then the zero value.
+type CorrelatedEvent struct {
+	Event  obs.Event
+	Record Record
+	Found  bool
+}
+
+// Correlate links a batch of protocol events to the recorder's per-bit
+// history, in canonical (slot, station) order. Each lookup is a binary
+// search over the history, so correlating a full run is O(E log S).
+func (r *Recorder) Correlate(events []obs.Event) []CorrelatedEvent {
+	sorted := append([]obs.Event(nil), events...)
+	obs.SortEvents(sorted)
+	out := make([]CorrelatedEvent, len(sorted))
+	for i, e := range sorted {
+		rec, ok := r.At(e.Slot)
+		out[i] = CorrelatedEvent{Event: e, Record: rec, Found: ok}
+	}
+	return out
+}
+
+// String renders the event alongside the bus level and the emitting
+// station's protocol phase at that slot, e.g.
+//
+//	[192] n2 error-flag-secondary cause=form  bus=d phase=sampling
+func (c CorrelatedEvent) String() string {
+	s := c.Event.String()
+	if !c.Found {
+		return s + "  (slot not recorded)"
+	}
+	s += fmt.Sprintf("  bus=%s", c.Record.Bus)
+	if i := int(c.Event.Station); i >= 0 && i < len(c.Record.Views) {
+		v := c.Record.Views[i]
+		s += fmt.Sprintf(" phase=%s", v.Phase)
+		if v.EOFRel > 0 {
+			s += fmt.Sprintf(" eofRel=%d", v.EOFRel)
+		}
+	}
+	return s
+}
+
+// FormatCorrelated renders one correlated event per line — the "readable
+// event sequence" view of a replayed counterexample.
+func FormatCorrelated(events []CorrelatedEvent) string {
+	var b strings.Builder
+	for _, c := range events {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

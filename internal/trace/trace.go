@@ -4,6 +4,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/bitstream"
@@ -52,11 +53,14 @@ func (r *Recorder) Len() int { return len(r.records) }
 func (r *Recorder) Records() []Record { return r.records }
 
 // At returns the record of the given slot, or false if not recorded.
+// Records arrive from the bus in strictly increasing slot order, so the
+// lookup is a binary search.
 func (r *Recorder) At(slot uint64) (Record, bool) {
-	for _, rec := range r.records {
-		if rec.Slot == slot {
-			return rec, true
-		}
+	i := sort.Search(len(r.records), func(i int) bool {
+		return r.records[i].Slot >= slot
+	})
+	if i < len(r.records) && r.records[i].Slot == slot {
+		return r.records[i], true
 	}
 	return Record{}, false
 }

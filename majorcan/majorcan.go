@@ -140,6 +140,12 @@ type BusConfig struct {
 	// WarningSwitchOff disconnects nodes at the warning limit (96), the
 	// paper's recommended policy against the error-passive state.
 	WarningSwitchOff bool
+	// Events, if non-nil, receives every protocol event (frame starts,
+	// error flags, retransmissions, verdicts) as the simulation advances.
+	Events Sink
+	// Metrics, if non-nil, accumulates protocol counters and histograms;
+	// it is labelled with the protocol name when the bus is built.
+	Metrics *Metrics
 }
 
 // Bus is a simulated CAN bus with recorded deliveries.
@@ -152,11 +158,13 @@ func NewBus(cfg BusConfig) (*Bus, error) {
 	if !cfg.Protocol.valid() {
 		return nil, fmt.Errorf("majorcan: BusConfig.Protocol not set (use StandardCAN, MinorCAN or MajorCAN)")
 	}
-	cluster, err := sim.NewCluster(sim.ClusterOptions{
+	opts := sim.ClusterOptions{
 		Nodes:            cfg.Nodes,
 		Policy:           cfg.Protocol.policy,
 		WarningSwitchOff: cfg.WarningSwitchOff,
-	})
+	}
+	busTelemetry(cfg, &opts)
+	cluster, err := sim.NewCluster(opts)
 	if err != nil {
 		return nil, err
 	}

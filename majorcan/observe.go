@@ -1,0 +1,85 @@
+package majorcan
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Telemetry re-exports the observability layer so applications can watch
+// a Bus without importing internal packages. Events flow synchronously
+// into the configured Sink as the simulation advances (a Bus runs on one
+// goroutine, so no ring buffer is involved); metrics accumulate into a
+// Metrics registry that snapshots to JSON.
+
+// Event is one protocol-level occurrence on the bus: a frame starting,
+// an error flag, a retransmission, a delivery verdict.
+type Event = obs.Event
+
+// Kind enumerates event types (EventFrameStart, EventErrorFlagPrimary, ...).
+type Kind = obs.Kind
+
+// Event kinds, re-exported under the public API's naming.
+const (
+	EventFrameStart         = obs.KindFrameStart
+	EventArbitrationLoss    = obs.KindArbitrationLoss
+	EventStuffError         = obs.KindStuffError
+	EventErrorFlagPrimary   = obs.KindErrorFlagPrimary
+	EventErrorFlagSecondary = obs.KindErrorFlagSecondary
+	EventEOFVoteCorrected   = obs.KindEOFVoteCorrected
+	EventRetransmit         = obs.KindRetransmit
+	EventFrameAccepted      = obs.KindFrameAccepted
+	EventIMO                = obs.KindIMO
+	EventBusOff             = obs.KindBusOff
+	EventRecover            = obs.KindRecover
+)
+
+// Sink consumes events; SinkFunc adapts a function.
+type Sink = obs.Sink
+
+// SinkFunc adapts a plain function to a Sink.
+type SinkFunc = obs.SinkFunc
+
+// EventLog is an in-memory event sink (obs.Memory).
+type EventLog = obs.Memory
+
+// NewEventLog returns an empty in-memory event sink.
+func NewEventLog() *EventLog { return obs.NewMemory() }
+
+// Metrics is an allocation-free registry of protocol counters and
+// histograms; snapshot it with SnapshotMetrics or json.Marshal.
+type Metrics = obs.Metrics
+
+// NewMetrics returns an empty metrics registry labelled with the
+// protocol name once attached to a bus.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// WriteEventsJSONL serialises events to the writer as canonical JSONL
+// (sorted by slot, then station), tagging each line with the run id.
+func WriteEventsJSONL(w io.Writer, run int64, events []Event) error {
+	return obs.WriteJSONL(w, run, events)
+}
+
+// MetricsSnapshot is the JSON-ready view of a Metrics registry.
+type MetricsSnapshot = obs.Snapshot
+
+// SnapshotMetrics captures the registry's current totals; elapsed scales
+// the throughput rates (pass 0 to omit them).
+func SnapshotMetrics(m *Metrics, elapsed time.Duration) MetricsSnapshot {
+	return m.Snapshot(elapsed)
+}
+
+// busTelemetry wires cfg's telemetry into cluster options. Kept separate
+// from NewBus so the zero BusConfig pays nothing.
+func busTelemetry(cfg BusConfig, opts *sim.ClusterOptions) {
+	sink := obs.Multi(cfg.Events, cfg.Metrics)
+	if sink == nil {
+		return
+	}
+	opts.Events = sink
+	if cfg.Metrics != nil && cfg.Protocol.valid() {
+		cfg.Metrics.SetLabel(cfg.Protocol.Name())
+	}
+}

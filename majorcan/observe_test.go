@@ -1,0 +1,86 @@
+package majorcan_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/majorcan"
+)
+
+// TestBusTelemetry drives a bus with an event log and a metrics registry
+// attached and checks the public observability surface end to end.
+func TestBusTelemetry(t *testing.T) {
+	log := majorcan.NewEventLog()
+	metrics := majorcan.NewMetrics()
+	bus, err := majorcan.NewBus(majorcan.BusConfig{
+		Nodes:    4,
+		Protocol: majorcan.MajorCAN(5),
+		Events:   log,
+		Metrics:  metrics,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := majorcan.Message{ID: 0x123, Data: []byte("hi")}
+	if err := bus.Send(0, msg); err != nil {
+		t.Fatal(err)
+	}
+	if !bus.Run(majorcan.DefaultSlotBudget) {
+		t.Fatal("bus did not quiesce")
+	}
+
+	if got := log.Count(majorcan.EventFrameStart); got != 1 {
+		t.Errorf("frame-start events = %d, want 1", got)
+	}
+	// The transmitter and the three receivers each accept the frame.
+	if got := log.Count(majorcan.EventFrameAccepted); got != 4 {
+		t.Errorf("frame-accepted events = %d, want 4", got)
+	}
+
+	snap := majorcan.SnapshotMetrics(metrics, 0)
+	if snap.Policy != "MajorCAN_5" {
+		t.Errorf("metrics policy = %q, want MajorCAN_5", snap.Policy)
+	}
+	if snap.FramesStarted != 1 || snap.FramesAccepted != 4 {
+		t.Errorf("metrics counters wrong: started=%d accepted=%d", snap.FramesStarted, snap.FramesAccepted)
+	}
+
+	var buf bytes.Buffer
+	if err := majorcan.WriteEventsJSONL(&buf, 7, log.Events()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != log.Len() {
+		t.Errorf("JSONL lines = %d, want %d", len(lines), log.Len())
+	}
+	if !strings.Contains(lines[0], `"run":7`) || !strings.Contains(lines[0], `"kind":"frame-start"`) {
+		t.Errorf("unexpected first JSONL line: %s", lines[0])
+	}
+}
+
+// TestBusTelemetryCustomSink checks that a plain function works as an
+// event sink on the public API.
+func TestBusTelemetryCustomSink(t *testing.T) {
+	var kinds []majorcan.Kind
+	bus, err := majorcan.NewBus(majorcan.BusConfig{
+		Nodes:    2,
+		Protocol: majorcan.StandardCAN(),
+		Events:   majorcan.SinkFunc(func(e majorcan.Event) { kinds = append(kinds, e.Kind) }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Send(1, majorcan.Message{ID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if !bus.Run(majorcan.DefaultSlotBudget) {
+		t.Fatal("bus did not quiesce")
+	}
+	if len(kinds) == 0 {
+		t.Fatal("custom sink saw no events")
+	}
+	if kinds[0] != majorcan.EventFrameStart {
+		t.Errorf("first event = %v, want frame-start", kinds[0])
+	}
+}
