@@ -1,12 +1,19 @@
 GO ?= go
 
-.PHONY: all build test race bench repro chaos verify-envelope clean
+.PHONY: all build lint test race bench fuzz-smoke repro chaos verify-envelope clean
 
-all: build test
+all: build lint test
 
 build:
 	$(GO) build ./...
+
+# Static analysis: go vet plus the majorcanlint multichecker, which
+# enforces the determinism, hot-path, telemetry and atomics contracts
+# (see DESIGN.md §9). The tree must stay at zero findings; intentional
+# exceptions carry `//lint:allow <analyzer> -- <reason>` annotations.
+lint:
 	$(GO) vet ./...
+	$(GO) run ./cmd/majorcanlint ./...
 
 test:
 	$(GO) test ./...
@@ -21,6 +28,13 @@ BENCHTIME ?= 1x
 
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -json ./... | tee BENCH_pr2.json
+
+# Short coverage-guided fuzz pass over the bit-stuffing codec (the CI
+# smoke); raise FUZZTIME locally for a deeper run.
+FUZZTIME ?= 30s
+
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzDestuff -fuzztime=$(FUZZTIME) -run '^$$' ./internal/frame
 
 # Regenerate every table and figure of the paper.
 repro:

@@ -53,6 +53,7 @@ type telemetry struct {
 }
 
 func newTelemetry(eventsPath, metricsPath, label string) *telemetry {
+	//lint:allow determinism -- CLI wall-clock for the metrics snapshot header; not simulation state
 	t := &telemetry{eventsPath: eventsPath, metricsPath: metricsPath, start: time.Now()}
 	if eventsPath != "" {
 		t.events = obs.NewMemory()
@@ -95,6 +96,7 @@ func (t *telemetry) flush(run int64) {
 		}
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
+		//lint:allow determinism -- CLI wall-clock for the metrics snapshot header; not simulation state
 		if err := enc.Encode(t.metrics.Snapshot(time.Since(t.start))); err != nil {
 			f.Close()
 			fail("%v", err)

@@ -76,9 +76,11 @@ func main() {
 		metrics = obs.NewMetrics()
 		metrics.SetLabel(policy.Name())
 	}
+	//lint:allow determinism -- CLI wall-clock for the metrics snapshot header; not simulation state
 	start := time.Now()
 	finishTelemetry := func() {
 		if *metricsPath != "" {
+			//lint:allow determinism -- CLI wall-clock for the metrics snapshot header; not simulation state
 			if err := writeMetrics(*metricsPath, metrics, time.Since(start)); err != nil {
 				fatalf("%v", err)
 			}

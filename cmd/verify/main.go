@@ -68,6 +68,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "verify: %v\n", err)
 		exit(1)
 	}
+	//lint:allow determinism -- CLI elapsed-time display; not simulation state
 	start := time.Now()
 	rep, err := verify.Exhaustive(verify.Config{
 		Policy:      policy,
@@ -82,6 +83,7 @@ func main() {
 		exit(1)
 	}
 	fmt.Println(rep.Summary())
+	//lint:allow determinism -- CLI elapsed-time display; not simulation state
 	fmt.Printf("elapsed: %s\n", time.Since(start).Round(time.Millisecond))
 	if !rep.Consistent() {
 		byOutcome := map[verify.Outcome]int{}

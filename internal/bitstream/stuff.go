@@ -105,6 +105,20 @@ func (e *ErrStuff) Error() string {
 	return fmt.Sprintf("stuff error: six consecutive %s bits", e.Level)
 }
 
+// The two possible stuff errors are preallocated so the per-bit receive
+// path stays allocation-free even while a disturbed frame is rejected.
+var (
+	errStuffDominant  = &ErrStuff{Level: Dominant}
+	errStuffRecessive = &ErrStuff{Level: Recessive}
+)
+
+func stuffError(l Level) *ErrStuff {
+	if l == Dominant {
+		return errStuffDominant
+	}
+	return errStuffRecessive
+}
+
 // Destuffer is an incremental destuffing state machine for the receive
 // path. The zero value is ready to use (as at start of frame).
 type Destuffer struct {
@@ -127,7 +141,7 @@ func (d *Destuffer) Push(l Level) (BitKind, error) {
 		if l == d.last {
 			// Six equal bits in a row: the stuff bit is missing.
 			d.count++
-			return 0, &ErrStuff{Level: l}
+			return 0, stuffError(l)
 		}
 		// Valid stuff bit: starts a new run of one.
 		d.last = l

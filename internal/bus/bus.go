@@ -272,6 +272,9 @@ func (n *Network) Step() bitstream.Level {
 // lowest-indexed transmitting contender, Aux the number of simultaneous
 // contenders (arbitration follows when it exceeds one).
 func (n *Network) emitFrameStart() {
+	if n.emitter == nil {
+		return
+	}
 	first, contenders, attempts := -1, 0, 0
 	for i, v := range n.views {
 		if v.Transmitter && v.Phase == PhaseFrame && v.Field == frame.FieldSOF {

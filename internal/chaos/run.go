@@ -153,7 +153,12 @@ func RunObserved(s Script, t Telemetry) (*Result, error) {
 			if e.Kind == obs.KindRetransmit {
 				retrans++
 			}
-			tel.Emit(e)
+			// tel can be nil with the ring live: Multi drops typed-nil
+			// sinks, so a caller passing e.g. a nil *obs.Memory as Events
+			// enables the ring but leaves no sink behind it.
+			if tel != nil {
+				tel.Emit(e)
+			}
 		}))
 		return retrans
 	}

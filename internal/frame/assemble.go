@@ -1,6 +1,7 @@
 package frame
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/bitstream"
@@ -49,7 +50,8 @@ type Assembler struct {
 	extended bool
 	dlc      uint8
 	dataLen  int
-	data     []byte
+	data     [MaxDataLen]byte // received data bytes; nData are valid
+	nData    int
 	byteAcc  uint8
 	crcRecv  uint16
 	crc      bitstream.CRC15
@@ -75,6 +77,14 @@ func (e *ErrFormat) Error() string {
 	return fmt.Sprintf("form error: %s must not be %s", e.Field, e.Got)
 }
 
+// errFormatSOF is the only form error Push constructs itself (a
+// recessive start-of-frame bit); preallocated so the per-bit receive
+// path never allocates, even while rejecting.
+var errFormatSOF = &ErrFormat{Field: FieldSOF, Got: bitstream.Recessive}
+
+// errPushAfterDone is static for the same reason.
+var errPushAfterDone = errors.New("frame: bit pushed after CRC complete")
+
 // Push feeds one destuffed bit into the assembler.
 func (a *Assembler) Push(l bitstream.Level) (AssemblyState, error) {
 	st := a.stageOrInit()
@@ -84,7 +94,7 @@ func (a *Assembler) Push(l bitstream.Level) (AssemblyState, error) {
 	switch st {
 	case stSOF:
 		if l != bitstream.Dominant {
-			return 0, &ErrFormat{Field: FieldSOF, Got: l}
+			return 0, errFormatSOF
 		}
 		a.stage = stID
 	case stID:
@@ -139,9 +149,10 @@ func (a *Assembler) Push(l bitstream.Level) (AssemblyState, error) {
 		a.byteAcc = a.byteAcc<<1 | l.Bit()
 		a.count++
 		if a.count%8 == 0 {
-			a.data = append(a.data, a.byteAcc)
+			a.data[a.nData] = a.byteAcc
+			a.nData++
 			a.byteAcc = 0
-			if len(a.data) == a.dataLen {
+			if a.nData == a.dataLen {
 				a.stage, a.count = stCRC, 0
 			}
 		}
@@ -153,7 +164,7 @@ func (a *Assembler) Push(l bitstream.Level) (AssemblyState, error) {
 			return AssemblyDone, nil
 		}
 	case stDone:
-		return 0, fmt.Errorf("frame: bit pushed after CRC complete")
+		return 0, errPushAfterDone
 	}
 	return AssemblyInProgress, nil
 }
@@ -177,7 +188,7 @@ func (a *Assembler) Extended() bool { return a.extended }
 
 // Frame returns the parsed frame. Only meaningful once Done.
 func (a *Assembler) Frame() *Frame {
-	f := &Frame{Remote: a.remote, DLC: a.dlc, Data: append([]byte(nil), a.data...)}
+	f := &Frame{Remote: a.remote, DLC: a.dlc, Data: append([]byte(nil), a.data[:a.nData]...)}
 	if a.extended {
 		f.Format = Extended
 		f.ID = a.id<<18 | a.extID

@@ -54,6 +54,74 @@ func FuzzPipeline(f *testing.F) {
 	})
 }
 
+// FuzzDestuff differentially checks the streaming Destuffer against the
+// batch Destuff over arbitrary bit sequences, and pins the
+// Stuff/Destuff round trip: whatever the transmit path stuffs, the
+// receive path must strip back to the original sequence without error.
+func FuzzDestuff(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xFF, 0xFF})
+	f.Add([]byte{0xAA, 0x55, 0x0F, 0xF0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		seq := make(bitstream.Sequence, 0, len(raw)*8)
+		for _, b := range raw {
+			for bit := 7; bit >= 0; bit-- {
+				seq = append(seq, bitstream.FromBit(uint8(b>>uint(bit)&1)))
+			}
+		}
+
+		// Round trip: stuffing then destuffing is the identity and the
+		// stuffed length matches the predicted one.
+		stuffed := bitstream.Stuff(seq)
+		if got := bitstream.StuffedLength(seq); got != len(stuffed) {
+			t.Fatalf("StuffedLength = %d, len(Stuff) = %d", got, len(stuffed))
+		}
+		back, err := bitstream.Destuff(stuffed)
+		if err != nil {
+			t.Fatalf("destuffing our own stuffing fails: %v", err)
+		}
+		if len(back) != len(seq) {
+			t.Fatalf("round trip length %d != %d", len(back), len(seq))
+		}
+		for i := range back {
+			if back[i] != seq[i] {
+				t.Fatalf("round trip bit %d: %v != %v", i, back[i], seq[i])
+			}
+		}
+
+		// Differential: the streaming Destuffer must agree with the batch
+		// Destuff on the raw (not necessarily valid) sequence — same
+		// accepted data bits, same accept/reject verdict at the same bit.
+		var ds bitstream.Destuffer
+		var stream bitstream.Sequence
+		var streamErr error
+		for _, l := range seq {
+			kind, err := ds.Push(l)
+			if err != nil {
+				streamErr = err
+				break
+			}
+			if kind == bitstream.DataBit {
+				stream = append(stream, l)
+			}
+		}
+		batch, batchErr := bitstream.Destuff(seq)
+		if (streamErr == nil) != (batchErr == nil) {
+			t.Fatalf("streaming err %v, batch err %v", streamErr, batchErr)
+		}
+		if streamErr == nil {
+			if len(stream) != len(batch) {
+				t.Fatalf("streaming kept %d bits, batch %d", len(stream), len(batch))
+			}
+			for i := range stream {
+				if stream[i] != batch[i] {
+					t.Fatalf("destuffed bit %d: streaming %v, batch %v", i, stream[i], batch[i])
+				}
+			}
+		}
+	})
+}
+
 // FuzzEncodeDecode round-trips arbitrary frame parameters through the
 // codec: valid inputs must round-trip exactly; invalid ones must be
 // rejected at Encode.

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const allowPrefix = "//lint:allow "
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	analyzers []string // analyzer names the directive suppresses
+	reason    string   // text after " -- "; empty means malformed
+	line      int      // 1-based line the comment starts on
+}
+
+func (d allowDirective) covers(analyzer string) bool {
+	for _, a := range d.analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// parseAllow parses one comment, returning ok=false for non-directives.
+// A directive with a missing or empty reason is returned with reason ""
+// so the driver can report it.
+func parseAllow(fset *token.FileSet, c *ast.Comment) (allowDirective, bool) {
+	text, found := strings.CutPrefix(c.Text, allowPrefix)
+	if !found {
+		return allowDirective{}, false
+	}
+	d := allowDirective{line: fset.Position(c.Pos()).Line}
+	names, reason, hasReason := strings.Cut(text, " -- ")
+	if hasReason {
+		d.reason = strings.TrimSpace(reason)
+	}
+	for _, n := range strings.Split(names, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			d.analyzers = append(d.analyzers, n)
+		}
+	}
+	return d, true
+}
+
+// fileAllows collects every allow directive of a file, keyed by line.
+func fileAllows(fset *token.FileSet, f *ast.File) map[int][]allowDirective {
+	var out map[int][]allowDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			d, ok := parseAllow(fset, c)
+			if !ok {
+				continue
+			}
+			if out == nil {
+				out = make(map[int][]allowDirective)
+			}
+			out[d.line] = append(out[d.line], d)
+		}
+	}
+	return out
+}
+
+// FuncAllowed reports whether a function declaration carries an allow
+// directive for the given analyzer in its doc comment or on the line of
+// the func keyword. The hotpath analyzer uses this to mark a function as
+// cold: it is neither checked nor traversed.
+func FuncAllowed(fset *token.FileSet, decl *ast.FuncDecl, analyzer string) bool {
+	if decl.Doc != nil {
+		for _, c := range decl.Doc.List {
+			if d, ok := parseAllow(fset, c); ok && d.covers(analyzer) && d.reason != "" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,140 @@
+// Package atomicmix reports memory locations accessed both through
+// sync/atomic functions and through plain loads or stores. Mixing the
+// two silently downgrades the atomic sites: the plain access can tear,
+// be reordered, or race undetected when the -race runs happen not to
+// exercise the interleaving. The forked metrics registry and the SPSC
+// event ring make this mistake easy — a counter bumped atomically on the
+// hot path and then read bare in a snapshot path compiles fine and is
+// wrong.
+//
+// The analyzer keys locations by struct field or package-level variable
+// within the analyzed package. Intentional unsynchronised access (e.g.
+// single-goroutine construction before publication) is annotated with
+// `//lint:allow atomicmix -- <reason>`. Typed atomics (atomic.Uint64 and
+// friends) are immune by construction — their value is unexported — and
+// are the preferred fix.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the mixed atomic/plain access check.
+var Analyzer = &lint.Analyzer{
+	Name: "atomicmix",
+	Doc:  "report locations accessed both via sync/atomic and via plain loads/stores",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	atomicSites := collectAtomicSites(pass)
+	if len(atomicSites.objs) == 0 {
+		return nil
+	}
+	reportPlainAccesses(pass, atomicSites)
+	return nil
+}
+
+// siteSet records which objects (struct fields, package-level vars) are
+// operated on by sync/atomic calls, and the &obj expressions that form
+// those calls' arguments (so they are not re-reported as plain reads).
+type siteSet struct {
+	objs     map[types.Object]bool
+	atomicOp map[ast.Node]bool // the &x.f argument nodes inside atomic calls
+}
+
+func collectAtomicSites(pass *lint.Pass) siteSet {
+	s := siteSet{objs: make(map[types.Object]bool), atomicOp: make(map[ast.Node]bool)}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lint.CalleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if obj := addressedObject(pass, un.X); obj != nil {
+					s.objs[obj] = true
+					s.atomicOp[un.X] = true
+				}
+			}
+			return true
+		})
+	}
+	return s
+}
+
+// addressedObject resolves &X's operand to a trackable object: a struct
+// field (via selector) or a package-level variable.
+func addressedObject(pass *lint.Pass, x ast.Expr) types.Object {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		if obj, ok := pass.Info.Uses[x.Sel]; ok {
+			return obj
+		}
+	case *ast.Ident:
+		if obj, ok := pass.Info.Uses[x].(*types.Var); ok && obj.Pkg() == pass.Pkg && !obj.IsField() {
+			if pass.Pkg.Scope().Lookup(obj.Name()) == obj {
+				return obj
+			}
+		}
+	case *ast.IndexExpr:
+		// &arr[i] — track the backing field/var so plain indexing of the
+		// same array is caught too.
+		return addressedObject(pass, x.X)
+	}
+	return nil
+}
+
+func reportPlainAccesses(pass *lint.Pass, sites siteSet) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sites.atomicOp[n] {
+					return false
+				}
+				sel, ok := pass.Info.Selections[n]
+				if !ok || sel.Kind() != types.FieldVal || !sites.objs[sel.Obj()] {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"field %s is accessed via sync/atomic elsewhere in this package but read/written directly here; use the atomic API (or a typed atomic), or annotate with //lint:allow atomicmix -- <reason>",
+					sel.Obj().Name())
+				return false
+			case *ast.Ident:
+				obj, ok := pass.Info.Uses[n]
+				if !ok || !sites.objs[obj] || sites.atomicOp[n] {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"variable %s is accessed via sync/atomic elsewhere in this package but read/written directly here; use the atomic API (or a typed atomic), or annotate with //lint:allow atomicmix -- <reason>",
+					obj.Name())
+				return false
+			case *ast.UnaryExpr:
+				// &x.f handed to an atomic call was already indexed; any
+				// other address-taking is suspicious but not a plain access
+				// (the pointer may feed another atomic call); skip the
+				// operand to avoid double-reporting selectors under &.
+				if n.Op == token.AND && sites.atomicOp[n.X] {
+					return false
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CallGraph is the static intra-package call graph: edges follow direct
+// function calls and method calls that resolve to a function declared in
+// the same package. Calls through interfaces or function values are dead
+// ends (the callee is not statically known), as are cross-package calls;
+// the hot-path roots are chosen so every per-bit function is rooted in
+// its own package instead.
+type CallGraph struct {
+	// Decls maps every declared function or method to its declaration.
+	Decls map[*types.Func]*ast.FuncDecl
+	// Edges lists the statically resolved same-package callees. Calls
+	// inside function literals count as calls of the enclosing function.
+	Edges map[*types.Func][]*types.Func
+}
+
+// NewCallGraph builds the call graph of one package pass.
+func NewCallGraph(pass *Pass) *CallGraph {
+	g := &CallGraph{
+		Decls: make(map[*types.Func]*ast.FuncDecl),
+		Edges: make(map[*types.Func][]*types.Func),
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[decl.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.Decls[fn] = decl
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := CalleeFunc(pass.Info, call)
+				if callee != nil && callee.Pkg() == pass.Pkg {
+					g.Edges[fn] = append(g.Edges[fn], callee)
+				}
+				return true
+			})
+		}
+	}
+	return g
+}
+
+// Roots returns the declared functions whose qualified name appears in
+// the names list.
+func (g *CallGraph) Roots(names []string) []*types.Func {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var roots []*types.Func
+	for fn := range g.Decls {
+		if want[FuncQualifiedName(fn)] {
+			roots = append(roots, fn)
+		}
+	}
+	return roots
+}
+
+// Reachable returns the functions statically reachable from the roots.
+// Functions for which prune returns true are excluded entirely: they are
+// not visited and their callees are not followed through them.
+func (g *CallGraph) Reachable(roots []*types.Func, prune func(*types.Func) bool) map[*types.Func]bool {
+	seen := make(map[*types.Func]bool)
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if seen[fn] || (prune != nil && prune(fn)) {
+			return
+		}
+		if _, declared := g.Decls[fn]; !declared {
+			return
+		}
+		seen[fn] = true
+		for _, callee := range g.Edges[fn] {
+			visit(callee)
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return seen
+}

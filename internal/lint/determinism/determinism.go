@@ -1,0 +1,139 @@
+// Package determinism forbids sources of run-to-run nondeterminism in
+// the simulator's scoped packages (lint.ScopePaths): wall-clock reads,
+// the global math/rand stream, map iteration, and goroutine spawns on
+// the per-bit hot path. These are the conventions behind the chaos
+// engine's digest-verified replays and the byte-identical JSONL event
+// streams: one violation makes a replay digest or an event log depend on
+// when or where a run happened instead of only on its seed.
+//
+// Legitimate wall-clock code (progress display, rate reporting) is
+// annotated with `//lint:allow determinism -- <reason>`.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the determinism contract check.
+var Analyzer = &lint.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock, global math/rand, map iteration and hot-path goroutines in simulator code",
+	Run:  run,
+}
+
+// seededConstructors are the math/rand functions that build explicitly
+// seeded generators — the approved pattern (cf. errmodel's fork lineage).
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *lint.Pass) error {
+	if !lint.InScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			}
+			return true
+		})
+	}
+	checkHotGoroutines(pass)
+	return nil
+}
+
+func checkCall(pass *lint.Pass, call *ast.CallExpr) {
+	fn := lint.CalleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+	switch fn.Pkg().Path() {
+	case "time":
+		if !isMethod && (fn.Name() == "Now" || fn.Name() == "Since" || fn.Name() == "Until") {
+			pass.Reportf(call.Pos(),
+				"wall-clock call time.%s in deterministic simulator code; take timestamps outside the simulation or annotate with //lint:allow determinism -- <reason>",
+				fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !isMethod && !seededConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"global math/rand call rand.%s draws from an unseeded shared stream; use a seeded *rand.Rand (errmodel fork pattern)",
+				fn.Name())
+		}
+	}
+}
+
+func checkRange(pass *lint.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if isKeyCollection(rng) {
+		// The sanctioned fix itself: `for k := range m { keys =
+		// append(keys, k) }` followed by a sort. Order cannot leak out
+		// of a loop that only gathers the keys.
+		return
+	}
+	pass.Reportf(rng.Pos(),
+		"map iteration order is nondeterministic; collect and sort the keys first, or annotate with //lint:allow determinism -- <reason>")
+}
+
+// isKeyCollection recognises a key-only range whose body is exactly
+// `slice = append(slice, key)`.
+func isKeyCollection(rng *ast.RangeStmt) bool {
+	if rng.Value != nil || len(rng.Body.List) != 1 {
+		return false
+	}
+	keyID, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	assign, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	arg, ok := ast.Unparen(call.Args[1]).(*ast.Ident)
+	return ok && arg.Name == keyID.Name
+}
+
+// checkHotGoroutines reports go statements inside functions statically
+// reachable from the per-bit hot-path roots: a goroutine spawned per bit
+// slot makes scheduling part of the simulation.
+func checkHotGoroutines(pass *lint.Pass) {
+	g := lint.NewCallGraph(pass)
+	roots := g.Roots(lint.HotPathRoots)
+	if len(roots) == 0 {
+		return
+	}
+	for fn := range g.Reachable(roots, nil) {
+		decl := g.Decls[fn]
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if stmt, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(stmt.Pos(),
+					"goroutine spawned in %s, which is reachable from the per-bit hot path; the bit loop must stay single-threaded",
+					fn.Name())
+			}
+			return true
+		})
+	}
+}

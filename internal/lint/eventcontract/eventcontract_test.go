@@ -1,0 +1,12 @@
+package eventcontract_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/eventcontract"
+	"repro/internal/lint/linttest"
+)
+
+func TestGolden(t *testing.T) {
+	linttest.Run(t, "../testdata/eventcontract", "repro/internal/sim", eventcontract.Analyzer)
+}

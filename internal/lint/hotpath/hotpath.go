@@ -1,0 +1,137 @@
+// Package hotpath protects the allocation-free claims benchmarked in
+// bench_obs_test.go: every function statically reachable from a per-bit
+// root (lint.HotPathRoots — Network.Step, Controller.Drive/View/Latch,
+// the stuffing/CRC/assembly state machines, the episode engines and the
+// random disturber) must not allocate, call fmt, or convert through
+// interfaces. The simulator's throughput is set by this loop; one stray
+// allocation per bit slot turns into millions of allocations per second
+// at production sweep rates.
+//
+// A function that is reachable but deliberately cold — a per-frame or
+// error-path helper — is excluded by an allow directive in its doc
+// comment: `//lint:allow hotpath -- <reason>`. fmt calls that only build
+// panic messages are exempt (the goroutine is already dying).
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the hot-path allocation check.
+var Analyzer = &lint.Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid allocations, fmt calls and interface conversions reachable from per-bit roots",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	g := lint.NewCallGraph(pass)
+	roots := g.Roots(lint.HotPathRoots)
+	if len(roots) == 0 {
+		return nil
+	}
+	cold := func(fn *types.Func) bool {
+		decl := g.Decls[fn]
+		return decl != nil && lint.FuncAllowed(pass.Fset, decl, "hotpath")
+	}
+	for fn := range g.Reachable(roots, cold) {
+		checkFunc(pass, fn, g.Decls[fn])
+	}
+	return nil
+}
+
+func checkFunc(pass *lint.Pass, fn *types.Func, decl *ast.FuncDecl) {
+	name := fn.Name()
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, name, n, isInPanic(decl.Body, n))
+		case *ast.UnaryExpr:
+			if _, ok := n.X.(*ast.CompositeLit); ok {
+				pass.Reportf(n.Pos(), "composite literal escapes to the heap in hot-path function %s", name)
+			}
+		case *ast.CompositeLit:
+			tv, ok := pass.Info.Types[n]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(n.Pos(), "slice/map literal allocates in hot-path function %s", name)
+			}
+		case *ast.TypeAssertExpr:
+			if n.Type != nil { // exclude the type-switch header form
+				pass.Reportf(n.Pos(), "type assertion in hot-path function %s", name)
+			}
+		}
+		return true
+	})
+}
+
+func checkCall(pass *lint.Pass, fname string, call *ast.CallExpr, panicArg bool) {
+	// Builtin allocators.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch obj.Name() {
+			case "new", "make", "append":
+				pass.Reportf(call.Pos(), "%s allocates in hot-path function %s", obj.Name(), fname)
+			}
+			return
+		}
+	}
+	// Conversions boxing a concrete value into an interface.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if _, toIface := tv.Type.Underlying().(*types.Interface); toIface && len(call.Args) == 1 {
+			if atv, ok := pass.Info.Types[call.Args[0]]; ok {
+				if _, fromIface := atv.Type.Underlying().(*types.Interface); !fromIface {
+					pass.Reportf(call.Pos(), "interface conversion allocates in hot-path function %s", fname)
+				}
+			}
+		}
+		return
+	}
+	// fmt calls (outside panic arguments).
+	fn := lint.CalleeFunc(pass.Info, call)
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && !panicArg {
+		pass.Reportf(call.Pos(), "fmt.%s call in hot-path function %s", fn.Name(), fname)
+	}
+}
+
+// isInPanic reports whether the node sits inside the arguments of a
+// panic() call within body.
+func isInPanic(body *ast.BlockStmt, target ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+			for _, arg := range call.Args {
+				if containsNode(arg, target) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func containsNode(root, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,176 @@
+// Package lint is a self-contained static-analysis framework modelled on
+// golang.org/x/tools/go/analysis, built only on the standard library so
+// the repository carries no external dependency. It machine-checks the
+// conventions the simulator's reproducibility guarantees rest on: the
+// chaos engine's digest-verified replays and the byte-identical JSONL
+// event streams only hold if simulator code never reads the wall clock,
+// never draws from the global math/rand stream, never iterates maps in
+// an order-sensitive way, and never allocates on the per-bit hot path.
+//
+// Four analyzers enforce those contracts (see the determinism, hotpath,
+// eventcontract and atomicmix subpackages); cmd/majorcanlint is the
+// multichecker driver wired into `make lint` and CI.
+//
+// Intentional exceptions are annotated in the source:
+//
+//	//lint:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// placed on the offending line or the line directly above it. The reason
+// is mandatory: an allow directive without one is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named check, mirroring analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow directives.
+	Name string
+	// Doc is a one-line description shown by the driver.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package,
+// mirroring analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at the given position.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// ScopePaths lists the import-path prefixes the determinism contract
+// covers: every package whose path equals an entry or sits below it.
+// The simulator core must be bit-reproducible; the CLIs and the public
+// API are included so stray wall-clock or global-RNG calls there are
+// annotated rather than silent.
+var ScopePaths = []string{
+	"repro/internal/bus",
+	"repro/internal/node",
+	"repro/internal/core",
+	"repro/internal/sim",
+	"repro/internal/chaos",
+	"repro/internal/frame",
+	"repro/internal/bitstream",
+	"repro/internal/errmodel",
+	"repro/internal/trace",
+	"repro/internal/obs",
+	"repro/cmd",
+	"repro/majorcan",
+}
+
+// InScope reports whether the import path falls under ScopePaths.
+func InScope(path string) bool {
+	for _, p := range ScopePaths {
+		if path == p || (len(path) > len(p) && path[:len(p)] == p && path[len(p)] == '/') {
+			return true
+		}
+	}
+	return false
+}
+
+// HotPathRoots names the per-bit-slot entry points, as
+// "pkgpath.Func" or "pkgpath.Receiver.Method". Everything statically
+// reachable from these inside their own package is the hot path: it runs
+// once (or more) per simulated bit and must stay allocation-free.
+var HotPathRoots = []string{
+	"repro/internal/bus.Network.Step",
+	"repro/internal/node.Controller.Drive",
+	"repro/internal/node.Controller.View",
+	"repro/internal/node.Controller.Latch",
+	"repro/internal/bitstream.Wire",
+	"repro/internal/bitstream.Stuffer.Push",
+	"repro/internal/bitstream.Destuffer.Push",
+	"repro/internal/bitstream.CRC15.Push",
+	"repro/internal/frame.Assembler.Push",
+	"repro/internal/errmodel.Random.Disturb",
+	"repro/internal/errmodel.GlobalRandom.Disturb",
+	"repro/internal/core.stdEpisode.Drive",
+	"repro/internal/core.stdEpisode.Latch",
+	"repro/internal/core.stdEpisode.Phase",
+	"repro/internal/core.minorEpisode.Drive",
+	"repro/internal/core.minorEpisode.Latch",
+	"repro/internal/core.minorEpisode.Phase",
+	"repro/internal/core.majorEpisode.Drive",
+	"repro/internal/core.majorEpisode.Latch",
+	"repro/internal/core.majorEpisode.Phase",
+}
+
+// FuncQualifiedName renders a function as "pkgpath.Func" or
+// "pkgpath.Receiver.Method" (pointer receivers are spelled without the
+// star), the form HotPathRoots uses.
+func FuncQualifiedName(f *types.Func) string {
+	if f.Pkg() == nil {
+		return f.Name()
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return f.Pkg().Path() + "." + n.Obj().Name() + "." + f.Name()
+		}
+	}
+	return f.Pkg().Path() + "." + f.Name()
+}
+
+// CalleeFunc resolves the static callee of a call expression, or nil for
+// calls through function values, builtins and type conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}
+
+// IsPkgFunc reports whether f is a package-level function (or method)
+// of the package with the given import path and one of the given names.
+func IsPkgFunc(f *types.Func, pkgPath string, names ...string) bool {
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return true
+		}
+	}
+	return false
+}

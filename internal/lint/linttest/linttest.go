@@ -1,0 +1,99 @@
+// Package linttest is the golden-test harness for the lint analyzers,
+// modelled on golang.org/x/tools/go/analysis/analysistest. A testdata
+// package is type-checked under an import path chosen by the test (so
+// scope- and root-matching behave exactly as on the real tree) and the
+// analyzer's findings are compared against `// want` comments:
+//
+//	rand.Intn(6) // want `global math/rand`
+//
+// Each `// want` comment holds one or more backquoted regular
+// expressions; every diagnostic on that line must match one of them and
+// every expectation must be matched by exactly one diagnostic.
+// Suppression via //lint:allow runs before matching, so golden files
+// also pin the allowlist behaviour.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var wantRE = regexp.MustCompile("// want((?: `[^`]*`)+)")
+var wantArgRE = regexp.MustCompile("`([^`]*)`")
+
+// Run type-checks the package in dir under importPath, runs the
+// analyzers, and compares diagnostics to // want comments.
+func Run(t *testing.T, dir, importPath string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	pkg, err := lint.LoadDir(root, dir, importPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want") {
+						t.Errorf("%s: malformed want comment %q (use // want `re`)",
+							pkg.Fset.Position(c.Pos()), c.Text)
+					}
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(arg[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, arg[1], err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	matched := make(map[string]bool) // "file:line:index" of consumed wants
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		found := false
+		for i, re := range wants[k] {
+			id := fmt.Sprintf("%s:%d:%d", k.file, k.line, i)
+			if matched[id] || !re.MatchString(d.Message) {
+				continue
+			}
+			matched[id] = true
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic %s", d)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			id := fmt.Sprintf("%s:%d:%d", k.file, k.line, i)
+			if !matched[id] {
+				t.Errorf("%s:%d: no diagnostic matched `%s`", k.file, k.line, re)
+			}
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json` in dir and decodes the
+// package stream. -export makes the go command compile dependencies and
+// report their export-data files, which the type checker imports — the
+// same mechanism `go vet` uses, with no dependency beyond the toolchain.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPackage
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding: %v", patterns, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter adapts a map of import path -> export-data file to the
+// lookup function the gc importer accepts.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// LoadPackages loads, parses and type-checks the packages matched by the
+// patterns (relative to moduleRoot), excluding test files. Dependencies
+// are imported from compiler export data, so only the analyzed packages
+// themselves are type-checked from source.
+func LoadPackages(moduleRoot string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(moduleRoot, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard || p.Error != nil || len(p.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := typeCheck(fset, imp, p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// typeCheck parses the given files and type-checks them as one package.
+func typeCheck(fset *token.FileSet, imp types.Importer, importPath, dir string, fileNames []string) (*Package, error) {
+	files := make([]*ast.File, 0, len(fileNames))
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// LoadDir parses and type-checks a single directory of Go files as a
+// package with the given import path, resolving its imports through
+// `go list -export` run in moduleRoot. Test helpers use it to check
+// testdata packages under an import path of their choosing (so scope-
+// and root-matching behave exactly as on the real tree).
+func LoadDir(moduleRoot, dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var fileNames []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			fileNames = append(fileNames, e.Name())
+		}
+	}
+	if len(fileNames) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(fileNames))
+	imports := make(map[string]bool)
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			imports[importPathOf(spec)] = true
+		}
+	}
+	exports := make(map[string]string)
+	if len(imports) > 0 {
+		patterns := make([]string, 0, len(imports))
+		for p := range imports {
+			if p != "unsafe" {
+				patterns = append(patterns, p)
+			}
+		}
+		if len(patterns) > 0 {
+			listed, err := goList(moduleRoot, patterns)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range listed {
+				if p.Export != "" {
+					exports[p.ImportPath] = p.Export
+				}
+			}
+		}
+	}
+	info := newInfo()
+	conf := types.Config{Importer: exportImporter(fset, exports)}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", dir, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+func importPathOf(spec *ast.ImportSpec) string {
+	path := spec.Path.Value
+	return path[1 : len(path)-1] // strip quotes
+}
+
+// ModuleRoot walks up from dir to the directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

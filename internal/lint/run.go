@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+)
+
+// Run executes the analyzers over the packages, drops diagnostics
+// suppressed by well-formed //lint:allow directives, reports malformed
+// directives, and returns the findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allows := make(map[string]map[int][]allowDirective) // filename -> line -> directives
+		for _, f := range pkg.Files {
+			if m := fileAllows(pkg.Fset, f); m != nil {
+				allows[pkg.Fset.Position(f.Pos()).Filename] = m
+			}
+			// A directive without a reason never suppresses anything;
+			// report it so the convention stays documented.
+			for line, ds := range allows[pkg.Fset.Position(f.Pos()).Filename] {
+				for _, d := range ds {
+					if d.reason == "" {
+						diags = append(diags, Diagnostic{
+							Analyzer: "allow",
+							Pos: token.Position{
+								Filename: pkg.Fset.Position(f.Pos()).Filename,
+								Line:     line,
+							},
+							Message: "//lint:allow directive is missing its ` -- <reason>`",
+						})
+					}
+				}
+			}
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				report: func(d Diagnostic) {
+					if suppressed(allows, d) {
+						return
+					}
+					diags = append(diags, d)
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		switch {
+		case a.Pos.Filename != b.Pos.Filename:
+			return a.Pos.Filename < b.Pos.Filename
+		case a.Pos.Line != b.Pos.Line:
+			return a.Pos.Line < b.Pos.Line
+		case a.Pos.Column != b.Pos.Column:
+			return a.Pos.Column < b.Pos.Column
+		case a.Analyzer != b.Analyzer:
+			return a.Analyzer < b.Analyzer
+		default:
+			return a.Message < b.Message
+		}
+	})
+	return diags, nil
+}
+
+// suppressed reports whether a well-formed allow directive on the
+// diagnostic's line or the line directly above covers it.
+func suppressed(allows map[string]map[int][]allowDirective, d Diagnostic) bool {
+	lines := allows[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, dir := range lines[line] {
+			if dir.reason != "" && dir.covers(d.Analyzer) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// jsonDiagnostic is the machine-readable rendering of a Diagnostic for
+// CI annotation.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders diagnostics as a JSON array of findings.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,56 @@
+package lint_test
+
+import (
+	"os/exec"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/atomicmix"
+	"repro/internal/lint/determinism"
+	"repro/internal/lint/eventcontract"
+	"repro/internal/lint/hotpath"
+)
+
+// TestRepoIsClean pins the whole tree at zero findings: every
+// intentional exception carries a reasoned //lint:allow, so any new
+// diagnostic is a regression in either the code or the annotations.
+func TestRepoIsClean(t *testing.T) {
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	pkgs, err := lint.LoadPackages(root, "./...")
+	if err != nil {
+		t.Fatalf("loading packages: %v", err)
+	}
+	diags, err := lint.Run(pkgs, []*lint.Analyzer{
+		atomicmix.Analyzer,
+		determinism.Analyzer,
+		eventcontract.Analyzer,
+		hotpath.Analyzer,
+	})
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestMultichecker runs the installed driver end to end, pinning its
+// exit status and the flag plumbing on a clean tree.
+func TestMultichecker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	root, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	cmd := exec.Command("go", "run", "./cmd/majorcanlint", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("majorcanlint ./... should be clean, got: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,49 @@
+// Package sim is golden data for the atomicmix analyzer: locations
+// touched both through sync/atomic and through plain loads/stores.
+package sim
+
+import "sync/atomic"
+
+type counters struct {
+	hits   uint64
+	misses uint64
+	clean  atomic.Uint64
+}
+
+func (c *counters) bump() {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.AddUint64(&c.misses, 1)
+}
+
+func (c *counters) snapshot() uint64 {
+	return c.hits // want `field hits is accessed via sync/atomic elsewhere`
+}
+
+func (c *counters) atomicSnapshot() uint64 {
+	return atomic.LoadUint64(&c.hits) // atomic read: fine
+}
+
+func (c *counters) allowedRead() uint64 {
+	//lint:allow atomicmix -- golden: single-goroutine read after workers joined
+	return c.misses
+}
+
+// typed atomics cannot be mixed: the value is unexported.
+func (c *counters) typed() uint64 {
+	c.clean.Add(1)
+	return c.clean.Load()
+}
+
+var total uint64
+
+func addTotal(n uint64) {
+	atomic.AddUint64(&total, n)
+}
+
+func readTotal() uint64 {
+	return total // want `variable total is accessed via sync/atomic elsewhere`
+}
+
+func readTotalAtomic() uint64 {
+	return atomic.LoadUint64(&total)
+}

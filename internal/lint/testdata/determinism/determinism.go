@@ -1,0 +1,78 @@
+// Package bus is golden data for the determinism analyzer. The test
+// loads it under the import path repro/internal/bus so the scope gate
+// and the hot-path root matching behave exactly as on the real tree.
+package bus
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clocks() time.Duration {
+	t := time.Now()      // want `wall-clock call time\.Now`
+	return time.Since(t) // want `wall-clock call time\.Since`
+}
+
+func allowedClock() time.Time {
+	//lint:allow determinism -- golden: sanctioned wall-clock site
+	return time.Now()
+}
+
+func malformedAllow() time.Time {
+	//lint:allow determinism // want `missing its`
+	return time.Now() // want `wall-clock call time\.Now`
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `global math/rand call rand\.Intn`
+}
+
+func seededRand() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(6) // method on a seeded generator: fine
+}
+
+func mapIter(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		sum += v
+	}
+	return sum
+}
+
+// keyCollection is the sanctioned fix: gathering the keys for a sort
+// cannot leak iteration order, so the analyzer exempts it.
+func keyCollection(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func allowedMapIter(m map[string]int) int {
+	n := 0
+	//lint:allow determinism -- golden: order-independent count
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Network.Step is a hot-path root under this import path, so bump is on
+// the per-bit hot path while coldSpawn is not.
+type Network struct {
+	counter int
+}
+
+func (n *Network) Step() {
+	n.bump()
+}
+
+func (n *Network) bump() {
+	go func() { n.counter++ }() // want `goroutine spawned in bump`
+}
+
+func (n *Network) coldSpawn(done chan struct{}) {
+	go func() { close(done) }() // unreachable from a root: fine
+}

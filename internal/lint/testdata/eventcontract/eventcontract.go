@@ -1,0 +1,74 @@
+// Package sim is golden data for the eventcontract analyzer: obs.Event
+// literal completeness, cause-code validity, and nil-guarded Emit calls
+// on obs.Sink-typed values. Loaded under the import path
+// repro/internal/sim (any non-obs path exercises the guard rule).
+package sim
+
+import "repro/internal/obs"
+
+type harness struct {
+	events obs.Sink
+	mem    *obs.Memory
+}
+
+func complete(slot uint64) obs.Event {
+	return obs.Event{Kind: obs.KindIMO, Slot: slot, Station: -1}
+}
+
+func missingStation(slot uint64) obs.Event {
+	return obs.Event{Kind: obs.KindIMO, Slot: slot} // want `missing required field\(s\) Station`
+}
+
+func missingKindSlot() obs.Event {
+	return obs.Event{Station: -1} // want `missing required field\(s\) Kind, Slot`
+}
+
+func unkeyed() obs.Event {
+	return obs.Event{1, obs.KindIMO, -1, 0, 0, 0, 0} // want `must use keyed fields`
+}
+
+// zeroValue is a placeholder, not an emission; the empty literal is
+// exempt.
+func zeroValue() obs.Event {
+	return obs.Event{}
+}
+
+func goodCause(slot uint64) obs.Event {
+	return obs.Event{Kind: obs.KindRetransmit, Slot: slot, Station: 0, Cause: 3}
+}
+
+func badCause(slot uint64) obs.Event {
+	return obs.Event{Kind: obs.KindRetransmit, Slot: slot, Station: 0, Cause: 9} // want `Cause code 9 has no entry`
+}
+
+func runtimeCause(slot uint64, c uint8) obs.Event {
+	return obs.Event{Kind: obs.KindRetransmit, Slot: slot, Station: 0, Cause: c} // non-constant: producer's data
+}
+
+func (h *harness) unguarded(e obs.Event) {
+	h.events.Emit(e) // want `Emit on obs\.Sink "h\.events" is not guarded by a nil check`
+}
+
+func (h *harness) guarded(e obs.Event) {
+	if h.events != nil {
+		h.events.Emit(e)
+	}
+}
+
+func (h *harness) earlyReturn(e obs.Event) {
+	if h.events == nil {
+		return
+	}
+	h.events.Emit(e)
+}
+
+// concrete sink types are non-nil by construction; only the Sink
+// interface needs the guard.
+func (h *harness) concrete(e obs.Event) {
+	h.mem.Emit(e)
+}
+
+func (h *harness) allowed(e obs.Event) {
+	//lint:allow eventcontract -- golden: sink is set unconditionally by the constructor
+	h.events.Emit(e)
+}

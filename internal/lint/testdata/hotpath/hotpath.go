@@ -1,0 +1,82 @@
+// Package bus is golden data for the hotpath analyzer. The test loads
+// it under the import path repro/internal/bus, making Network.Step a
+// hot-path root; everything it statically reaches must stay
+// allocation-free.
+package bus
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+type boxer interface{ box() }
+
+type val int
+
+func (val) box() {}
+
+type Network struct {
+	buf     []int
+	item    *int
+	pairPtr *pair
+	scratch []int
+	sink    boxer
+}
+
+func (n *Network) Step(x int, v any) {
+	n.grow(x)
+	n.lits(x)
+	n.dyn(v)
+	n.convert(val(x))
+	n.report()
+	n.guard(x)
+	n.cold(x)
+}
+
+func (n *Network) grow(x int) {
+	n.buf = append(n.buf, x) // want `append allocates in hot-path function grow`
+	n.buf = make([]int, 4)   // want `make allocates in hot-path function grow`
+	n.item = new(int)        // want `new allocates in hot-path function grow`
+}
+
+func (n *Network) lits(x int) {
+	n.pairPtr = &pair{a: x} // want `composite literal escapes to the heap in hot-path function lits`
+	n.scratch = []int{x}    // want `slice/map literal allocates in hot-path function lits`
+}
+
+func (n *Network) dyn(v any) int {
+	i := v.(int) // want `type assertion in hot-path function dyn`
+	return i
+}
+
+func (n *Network) convert(v val) {
+	n.sink = boxer(v) // want `interface conversion allocates in hot-path function convert`
+}
+
+func (n *Network) report() {
+	fmt.Println(len(n.buf)) // want `fmt\.Println call in hot-path function report`
+}
+
+// guard only formats inside a panic argument; the goroutine is already
+// dying, so the fmt call is exempt.
+func (n *Network) guard(x int) {
+	if x < 0 {
+		panic(fmt.Sprintf("negative %d", x))
+	}
+}
+
+//lint:allow hotpath -- golden: per-frame cold helper, pruned from traversal
+func (n *Network) cold(x int) {
+	n.buf = append(n.buf, x) // cold function: not checked
+	n.colder(x)
+}
+
+// colder is only reachable through the cold function, so the prune
+// removes it from the hot set too.
+func (n *Network) colder(x int) {
+	n.scratch = append(n.scratch, x)
+}
+
+// describe is not reachable from any root; allocations are fine here.
+func describe(n *Network) string {
+	return fmt.Sprint(len(n.buf))
+}

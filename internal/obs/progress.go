@@ -43,8 +43,9 @@ func StartProgress(w io.Writer, total uint64, read func() uint64, interval time.
 		read:     read,
 		interval: interval,
 		unit:     unit,
-		start:    time.Now(),
-		stop:     make(chan struct{}),
+		//lint:allow determinism -- wall-clock rate display only; never feeds simulation state
+		start: time.Now(),
+		stop:  make(chan struct{}),
 	}
 	p.done.Add(1)
 	go p.loop()
@@ -67,6 +68,7 @@ func (p *Progress) loop() {
 
 func (p *Progress) line() string {
 	n := p.read()
+	//lint:allow determinism -- wall-clock rate display only; never feeds simulation state
 	elapsed := time.Since(p.start)
 	rate := 0.0
 	if sec := elapsed.Seconds(); sec > 0 {

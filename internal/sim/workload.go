@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/bitstream"
 	"repro/internal/errmodel"
@@ -176,7 +177,21 @@ func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) {
 		m := cluster.Nodes[i].Mode()
 		return m == node.ErrorActive || m == node.ErrorPassive
 	}
-	for kk, nodes := range delivered {
+	// Canonical (origin, seq) order for the aggregation passes below, so
+	// the result is a pure function of the seed even if the accounting
+	// ever grows order-sensitive fields.
+	msgKeys := make([]key, 0, len(delivered))
+	for kk := range delivered {
+		msgKeys = append(msgKeys, kk)
+	}
+	sort.Slice(msgKeys, func(i, j int) bool {
+		if msgKeys[i].origin != msgKeys[j].origin {
+			return msgKeys[i].origin < msgKeys[j].origin
+		}
+		return msgKeys[i].seq < msgKeys[j].seq
+	})
+	for _, kk := range msgKeys {
+		nodes := delivered[kk]
 		got, missing := 0, 0
 		for i := 0; i < cfg.Nodes; i++ {
 			if i == kk.origin || !correct(i) {
@@ -198,7 +213,8 @@ func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) {
 	}
 	// Delivery latency over messages that reached all correct receivers.
 	var latSum, latCount uint64
-	for kk, nodes := range delivered {
+	for _, kk := range msgKeys {
+		nodes := delivered[kk]
 		start, ok := enqueued[kk]
 		if !ok {
 			continue
