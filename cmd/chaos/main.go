@@ -5,8 +5,16 @@
 // Modes:
 //
 //	chaos -trials 500 -policy can -nodes 5 -out findings/   # campaign
+//	chaos -spec job.json                                    # canonical job spec
 //	chaos -script script.json                               # run one script
 //	chaos -replay findings/finding_0.json                   # verify artifact
+//
+// A campaign is one job — the flags build the same canonical
+// chaos.CampaignSpec the simulation service accepts, and -spec runs a
+// service job-spec file (kind campaign or script) directly, so a spec
+// executes identically here and through mcservd. SIGINT/SIGTERM stop a
+// campaign between trials through the job's context — the same path a
+// server drain uses.
 //
 // Replay exits 0 exactly when the artifact reproduces its recorded
 // verdict (a recorded violation that replays identically is a success);
@@ -14,18 +22,22 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
-	"repro/internal/abcheck"
 	"repro/internal/chaos"
 	"repro/internal/obs"
+	"repro/internal/serve"
 )
 
 // stopProf finalises profiling; exit routes every termination through it.
@@ -107,61 +119,20 @@ func (t *telemetry) flush(run int64) {
 	}
 }
 
-// parseProbes maps a comma-separated probe list onto the campaign probe
-// set. "all" is the default set; AB properties may be selected
-// individually to narrow the search (e.g. -probes agreement to hunt for
-// the paper's inconsistency scenarios only).
-func parseProbes(csv string) ([]chaos.Probe, error) {
+// csvList splits a comma-separated flag into trimmed names; "all" (the
+// flag default) and the empty string mean no restriction. Validation
+// lives in the chaos package (ParseProbes, ParseKinds) — the single
+// codec shared with the job-spec layer.
+func csvList(csv string) []string {
 	if csv == "" || csv == "all" {
-		return nil, nil
+		return nil
 	}
-	var probes []chaos.Probe
-	var props []abcheck.Property
-	for _, s := range strings.Split(csv, ",") {
-		switch strings.TrimSpace(s) {
-		case "ab":
-			probes = append(probes, chaos.AB())
-		case "validity":
-			props = append(props, abcheck.Validity)
-		case "agreement":
-			props = append(props, abcheck.Agreement)
-		case "at-most-once":
-			props = append(props, abcheck.AtMostOnce)
-		case "non-triviality":
-			props = append(props, abcheck.NonTriviality)
-		case "total-order":
-			props = append(props, abcheck.TotalOrder)
-		case "liveness":
-			probes = append(probes, chaos.Liveness())
-		case "confinement":
-			probes = append(probes, chaos.Confinement())
-		default:
-			return nil, fmt.Errorf("unknown probe %q (known: ab, validity, agreement, at-most-once, non-triviality, total-order, liveness, confinement)", s)
-		}
+	parts := strings.Split(csv, ",")
+	out := make([]string, 0, len(parts))
+	for _, s := range parts {
+		out = append(out, strings.TrimSpace(s))
 	}
-	if len(props) > 0 {
-		probes = append(probes, chaos.AB(props...))
-	}
-	return probes, nil
-}
-
-func parseKinds(csv string) ([]chaos.FaultKind, error) {
-	if csv == "" || csv == "all" {
-		return nil, nil
-	}
-	known := make(map[chaos.FaultKind]bool)
-	for _, k := range chaos.Kinds() {
-		known[k] = true
-	}
-	var out []chaos.FaultKind
-	for _, s := range strings.Split(csv, ",") {
-		k := chaos.FaultKind(strings.TrimSpace(s))
-		if !known[k] {
-			return nil, fmt.Errorf("unknown fault kind %q (known: %v)", k, chaos.Kinds())
-		}
-		out = append(out, k)
-	}
-	return out, nil
+	return out
 }
 
 func main() {
@@ -179,6 +150,7 @@ func main() {
 	stopFirst := flag.Bool("stopfirst", false, "stop the campaign at the first finding")
 	outDir := flag.String("out", "", "directory to write finding artifacts into")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON")
+	specPath := flag.String("spec", "", "run a canonical job-spec file (kind campaign or script) instead of the flags")
 	scriptPath := flag.String("script", "", "run one script file and print its verdict")
 	replayPath := flag.String("replay", "", "replay an artifact and verify it reproduces")
 	eventsPath := flag.String("events", "", "write the protocol event stream as JSONL (script and replay modes)")
@@ -195,42 +167,61 @@ func main() {
 	}
 	stopProf = sp
 
+	// One cancellation path for every long-running mode: SIGINT/SIGTERM
+	// stop a campaign between trials, exactly as a service drain would.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	switch {
 	case *replayPath != "":
 		replay(*replayPath, *jsonOut, newTelemetry(*eventsPath, *metricsPath, *policy))
 	case *scriptPath != "":
-		runScript(*scriptPath, *jsonOut, newTelemetry(*eventsPath, *metricsPath, *policy))
+		runScriptFile(*scriptPath, *jsonOut, newTelemetry(*eventsPath, *metricsPath, *policy))
+	case *specPath != "":
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		js, err := serve.DecodeSpec(data)
+		if err != nil {
+			fail("%v", err)
+		}
+		switch js.Kind {
+		case serve.KindCampaign:
+			campaign(ctx, *js.Campaign, *outDir, *jsonOut, *progress,
+				newTelemetry("", *metricsPath, js.Campaign.Protocol))
+		case serve.KindScript:
+			runScript(*js.Script, *jsonOut, newTelemetry(*eventsPath, *metricsPath, js.Script.Protocol))
+		default:
+			fail("chaos runs campaign and script jobs; %s is a %q job (use mcsim or the service)", *specPath, js.Kind)
+		}
 	default:
 		if *eventsPath != "" {
 			fail("-events applies to -script and -replay modes only (a campaign's event stream is unbounded)")
 		}
-		kinds, err := parseKinds(*kindsCSV)
-		if err != nil {
-			fail("%v", err)
-		}
-		probes, err := parseProbes(*probesCSV)
-		if err != nil {
-			fail("%v", err)
-		}
-		campaign(chaos.Campaign{
-			Name: "cli",
-			Base: chaos.Script{
-				Version:          chaos.ScriptVersion,
-				Protocol:         *policy,
-				Nodes:            *nodes,
-				Frames:           *frames,
-				RotateOrigins:    *rotate,
-				AutoRecover:      *autoRecover,
-				WarningSwitchOff: *warningOff,
-			},
-			Trials:      *trials,
-			MaxFaults:   *maxFaults,
-			FaultKinds:  kinds,
-			Seed:        *seed,
-			Probes:      probes,
-			StopAtFirst: *stopFirst,
-		}, *outDir, *jsonOut, *progress, newTelemetry("", *metricsPath, *policy), *trials)
+		campaign(ctx, chaos.CampaignSpec{
+			Protocol:         *policy,
+			Nodes:            *nodes,
+			Frames:           *frames,
+			Trials:           *trials,
+			MaxFaults:        *maxFaults,
+			Seed:             *seed,
+			Kinds:            toKinds(csvList(*kindsCSV)),
+			Probes:           csvList(*probesCSV),
+			StopAtFirst:      *stopFirst,
+			RotateOrigins:    *rotate,
+			AutoRecover:      *autoRecover,
+			WarningSwitchOff: *warningOff,
+		}, *outDir, *jsonOut, *progress, newTelemetry("", *metricsPath, *policy))
 	}
+}
+
+func toKinds(names []string) []chaos.FaultKind {
+	out := make([]chaos.FaultKind, 0, len(names))
+	for _, n := range names {
+		out = append(out, chaos.FaultKind(n))
+	}
+	return out
 }
 
 func replay(path string, jsonOut bool, t *telemetry) {
@@ -270,7 +261,7 @@ func replay(path string, jsonOut bool, t *telemetry) {
 	exit(0)
 }
 
-func runScript(path string, jsonOut bool, t *telemetry) {
+func runScriptFile(path string, jsonOut bool, t *telemetry) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fail("%v", err)
@@ -282,6 +273,10 @@ func runScript(path string, jsonOut bool, t *telemetry) {
 	if s.Version == 0 {
 		s.Version = chaos.ScriptVersion
 	}
+	runScript(s, jsonOut, t)
+}
+
+func runScript(s chaos.Script, jsonOut bool, t *telemetry) {
 	r, err := chaos.RunObserved(s, t.chaosTelemetry())
 	if err != nil {
 		fail("%v", err)
@@ -295,8 +290,8 @@ func runScript(path string, jsonOut bool, t *telemetry) {
 			fail("%v", err)
 		}
 	} else {
-		fmt.Printf("script %s: %d faults, digest %s over %d slots\n",
-			path, len(s.Faults), verdict.Digest, verdict.Slots)
+		fmt.Printf("script: %d faults, digest %s over %d slots\n",
+			len(s.Faults), verdict.Digest, verdict.Slots)
 		fmt.Printf("IMOs=%d duplicates=%d orderInversions=%d quiet=%v\n",
 			verdict.IMOs, verdict.Duplicates, verdict.OrderInversions, verdict.Quiet)
 		if len(verdict.Violations) == 0 {
@@ -312,19 +307,28 @@ func runScript(path string, jsonOut bool, t *telemetry) {
 	exit(0)
 }
 
-func campaign(c chaos.Campaign, outDir string, jsonOut bool, progress bool, t *telemetry, trials int) {
-	c.Metrics = t.metrics
+func campaign(ctx context.Context, spec chaos.CampaignSpec, outDir string, jsonOut bool, progress bool, t *telemetry) {
+	spec.Normalize()
 	var prog *obs.Progress
+	var onTrial func(int)
 	if progress {
 		var done atomic.Uint64
-		c.OnTrial = func(n int) { done.Store(uint64(n)) }
-		prog = obs.StartProgress(os.Stderr, uint64(trials), done.Load, 0, "trials")
+		onTrial = func(n int) { done.Store(uint64(n)) }
+		total := spec.Trials
+		if total == 0 {
+			total = 100
+		}
+		prog = obs.StartProgress(os.Stderr, uint64(total), done.Load, 0, "trials")
 	}
-	res, err := c.Run()
+	res, err := chaos.RunCampaignSpec(ctx, spec, chaos.Telemetry{Metrics: t.metrics}, onTrial)
 	if prog != nil {
 		prog.Stop()
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "chaos: campaign interrupted; partial results discarded")
+			exit(130)
+		}
 		fail("%v", err)
 	}
 	t.flush(0)
@@ -332,8 +336,8 @@ func campaign(c chaos.Campaign, outDir string, jsonOut bool, progress bool, t *t
 		if err := os.MkdirAll(outDir, 0o755); err != nil {
 			fail("%v", err)
 		}
-		for i, f := range res.Findings {
-			data, err := f.Artifact(c.Name).Encode()
+		for i, a := range res.Findings {
+			data, err := a.Encode()
 			if err != nil {
 				fail("%v", err)
 			}
@@ -344,41 +348,22 @@ func campaign(c chaos.Campaign, outDir string, jsonOut bool, progress bool, t *t
 		}
 	}
 	if jsonOut {
-		type finding struct {
-			Trial          int           `json:"trial"`
-			OriginalFaults int           `json:"originalFaults"`
-			ShrunkFaults   []chaos.Fault `json:"shrunkFaults"`
-			Verdict        chaos.Verdict `json:"verdict"`
-		}
-		out := struct {
-			Trials     int       `json:"trials"`
-			Executions int       `json:"executions"`
-			Findings   []finding `json:"findings"`
-		}{Trials: res.Trials, Executions: res.Executions, Findings: []finding{}}
-		for _, f := range res.Findings {
-			out.Findings = append(out.Findings, finding{
-				Trial:          f.Trial,
-				OriginalFaults: len(f.Original.Faults),
-				ShrunkFaults:   f.Shrunk.Faults,
-				Verdict:        f.Verdict,
-			})
-		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		if err := enc.Encode(res); err != nil {
 			fail("%v", err)
 		}
 		exit(0)
 	}
 	fmt.Printf("campaign: %d trials, %d simulator executions, %d findings\n",
 		res.Trials, res.Executions, len(res.Findings))
-	for i, f := range res.Findings {
+	for i, a := range res.Findings {
 		fmt.Printf("finding %d (trial %d): %d faults shrunk to %d\n",
-			i, f.Trial, len(f.Original.Faults), len(f.Shrunk.Faults))
-		for _, fault := range f.Shrunk.Faults {
+			i, a.Trial, a.OriginalFaults, len(a.Script.Faults))
+		for _, fault := range a.Script.Faults {
 			fmt.Printf("  %s\n", fault)
 		}
-		for _, v := range f.Violations {
+		for _, v := range a.Verdict.Violations {
 			fmt.Printf("  -> %s\n", v)
 		}
 	}

@@ -1,0 +1,212 @@
+// Command mcctl is the client for the simulation service (mcservd).
+//
+//	mcctl -server http://127.0.0.1:8329 submit sweep.json   # submit, print digest
+//	mcctl submit -wait campaign.json                        # submit and block
+//	mcctl get <digest>                                      # job status + result
+//	mcctl wait <digest>                                     # poll to completion
+//	mcctl watch <digest>                                    # stream NDJSON events
+//	mcctl stats                                             # scheduler statistics
+//	mcctl health                                            # ok | draining
+//
+// Job specs are the canonical JSON format shared with mcsim -spec and
+// chaos -spec: byte-identical resubmits are answered from the service's
+// content-addressed cache without re-simulating.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: mcctl [-server URL] <command> [args]
+
+commands:
+  submit [-wait] [-timeout D] <spec.json|->   submit a job spec (- reads stdin)
+  get <digest>                                fetch job status and result
+  wait [-poll D] <digest>                     poll a job to completion
+  watch <digest>                              stream the job's events as NDJSON
+  stats                                       print scheduler statistics
+  health                                      print service health`)
+}
+
+func run() int {
+	server := flag.String("server", envOr("MCSERVD_URL", "http://127.0.0.1:8329"), "service base URL")
+	flag.Usage = func() { usage() }
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		return 2
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	client := serve.NewClient(*server)
+
+	var err error
+	switch cmd, args := flag.Arg(0), flag.Args()[1:]; cmd {
+	case "submit":
+		err = cmdSubmit(ctx, client, args)
+	case "get":
+		err = cmdGet(ctx, client, args)
+	case "wait":
+		err = cmdWait(ctx, client, args)
+	case "watch":
+		err = cmdWatch(ctx, client, args)
+	case "stats":
+		err = cmdStats(ctx, client)
+	case "health":
+		err = cmdHealth(ctx, client)
+	default:
+		fmt.Fprintf(os.Stderr, "mcctl: unknown command %q\n", cmd)
+		usage()
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcctl: %v\n", err)
+		var ae *serve.APIError
+		if errors.As(err, &ae) && ae.RetryAfter > 0 {
+			fmt.Fprintf(os.Stderr, "mcctl: service busy; retry after %s\n", ae.RetryAfter)
+		}
+		return 1
+	}
+	return 0
+}
+
+func envOr(key, fallback string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return fallback
+}
+
+func readSpec(path string) (*serve.JobSpec, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return serve.DecodeSpec(data)
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func cmdSubmit(ctx context.Context, client *serve.Client, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	wait := fs.Bool("wait", false, "block until the job completes")
+	timeout := fs.Duration("timeout", 0, "bound the wait (0 = unbounded)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("submit needs exactly one spec file (or - for stdin)")
+	}
+	spec, err := readSpec(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	w := time.Duration(0)
+	if *wait {
+		w = -1
+		if *timeout > 0 {
+			w = *timeout
+		}
+	}
+	resp, err := client.Submit(ctx, spec, w)
+	if err != nil {
+		return err
+	}
+	return printJSON(resp)
+}
+
+func parseDigestArg(args []string) (serve.Digest, error) {
+	if len(args) != 1 {
+		return "", errors.New("need exactly one job digest")
+	}
+	return serve.Digest(args[0]), nil
+}
+
+func cmdGet(ctx context.Context, client *serve.Client, args []string) error {
+	d, err := parseDigestArg(args)
+	if err != nil {
+		return err
+	}
+	st, err := client.Job(ctx, d)
+	if err != nil {
+		return err
+	}
+	return printJSON(st)
+}
+
+func cmdWait(ctx context.Context, client *serve.Client, args []string) error {
+	fs := flag.NewFlagSet("wait", flag.ContinueOnError)
+	poll := fs.Duration("poll", 250*time.Millisecond, "poll interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := parseDigestArg(fs.Args())
+	if err != nil {
+		return err
+	}
+	st, err := client.Wait(ctx, d, *poll)
+	if err != nil {
+		return err
+	}
+	if perr := printJSON(st); perr != nil {
+		return perr
+	}
+	if st.State == serve.StateFailed {
+		return fmt.Errorf("job %s failed: %s", d.Short(), st.Error)
+	}
+	return nil
+}
+
+func cmdWatch(ctx context.Context, client *serve.Client, args []string) error {
+	d, err := parseDigestArg(args)
+	if err != nil {
+		return err
+	}
+	return client.Events(ctx, d, func(line []byte) error {
+		_, werr := fmt.Fprintf(os.Stdout, "%s\n", line)
+		return werr
+	})
+}
+
+func cmdStats(ctx context.Context, client *serve.Client) error {
+	st, err := client.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	return printJSON(st)
+}
+
+func cmdHealth(ctx context.Context, client *serve.Client) error {
+	status, err := client.Healthz(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Println(status)
+	return nil
+}

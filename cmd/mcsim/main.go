@@ -2,12 +2,19 @@
 // simulator: a stream of frames is broadcast under the spatial random
 // error model (ber* = ber/N) and every frame's fate at every receiver is
 // classified (delivered, duplicated, omitted).
+//
+// A run is one sweep job — the flags build the same canonical
+// sim.SweepSpec the simulation service accepts, and -spec runs a service
+// job-spec file directly, so a spec executes identically here and through
+// mcservd. A single run is a sweep of one seed. SIGINT/SIGTERM cancel
+// through the job's context — the same path a server drain uses — so
+// running points finish, unstarted points are skipped, and the partial
+// aggregate is flushed instead of dying silently.
 package main
 
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -15,8 +22,8 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/chaos"
 	"repro/internal/obs"
+	"repro/internal/serve"
 	"repro/internal/sim"
 )
 
@@ -30,8 +37,9 @@ func main() {
 	rotate := flag.Bool("rotate", false, "rotate the transmitting station")
 	reset := flag.Bool("reset", true, "reset error counters between frames (keep all nodes error-active)")
 	sweep := flag.Int("sweep", 0, "run this many seeds (seed, seed+1, ...) in parallel and aggregate")
+	specPath := flag.String("spec", "", "run a canonical job-spec file (kind sweep) instead of the flags")
 	parallel := flag.Int("parallel", 4, "concurrent simulations during a sweep")
-	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	jsonOut := flag.Bool("json", false, "emit the machine-readable sweep outcome instead of text")
 	eventsPath := flag.String("events", "", "write the protocol event stream as JSONL to this file")
 	metricsPath := flag.String("metrics", "", "write a metrics snapshot as JSON to this file")
 	progress := flag.Bool("progress", false, "live frames/sec and ETA on stderr")
@@ -56,112 +64,65 @@ func main() {
 		exit(1)
 	}
 
-	policy, err := chaos.ParseProtocol(*policyName)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	cfg := sim.MCConfig{
-		Policy:        policy,
+	// One cancellation path for every mode: SIGINT/SIGTERM cancel the job
+	// context exactly as a service drain timeout would.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	spec, err := resolveSpec(*specPath, sim.SweepSpec{
+		Protocol:      *policyName,
 		Nodes:         *nodes,
 		Frames:        *frames,
 		BerStar:       *berStar,
 		Seed:          *seed,
+		Seeds:         max(*sweep, 1),
 		EOFOnly:       *eofOnly,
-		RotateOrigins: *rotate,
 		ResetCounters: *reset,
+		RotateOrigins: *rotate,
+	})
+	if err != nil {
+		fatalf("%v", err)
 	}
+	if err := spec.Validate(); err != nil {
+		fatalf("%v", err)
+	}
+	seeds := spec.SeedList()
 
 	var metrics *obs.Metrics
 	if *metricsPath != "" || *progress {
 		metrics = obs.NewMetrics()
-		metrics.SetLabel(policy.Name())
+		metrics.SetLabel(spec.Protocol)
 	}
 	//lint:allow determinism -- CLI wall-clock for the metrics snapshot header; not simulation state
 	start := time.Now()
-	finishTelemetry := func() {
-		if *metricsPath != "" {
-			//lint:allow determinism -- CLI wall-clock for the metrics snapshot header; not simulation state
-			if err := writeMetrics(*metricsPath, metrics, time.Since(start)); err != nil {
-				fatalf("%v", err)
+
+	// Per-point telemetry: an in-memory event sink per seed (merged in
+	// seed order afterwards, so the JSONL output is byte-identical for
+	// any -parallel value) and a fork of the shared metrics registry
+	// (so -progress can read live totals while workers run).
+	var mems []*obs.Memory
+	var tel sim.PointTelemetry
+	if *eventsPath != "" || metrics != nil {
+		mems = make([]*obs.Memory, len(seeds))
+		for i := range mems {
+			mems[i] = obs.NewMemory()
+		}
+		tel = func(i int, _ int64) (obs.Sink, *obs.Metrics) {
+			var m *obs.Metrics
+			if metrics != nil {
+				m = metrics.Fork()
 			}
+			if *eventsPath == "" {
+				return nil, m
+			}
+			return mems[i], m
 		}
 	}
-
-	if *sweep > 0 {
-		// SIGINT/SIGTERM cancel the sweep gracefully: running points
-		// finish, unstarted points are skipped, and the partial aggregate
-		// is flushed instead of dying silently.
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-		defer stop()
-		seeds := make([]int64, *sweep)
-		for i := range seeds {
-			seeds[i] = *seed + int64(i)
-		}
-
-		// Per-point telemetry: an in-memory event sink per seed (merged in
-		// seed order afterwards, so the JSONL output is byte-identical for
-		// any -parallel value) and a fork of the shared metrics registry
-		// (so -progress can read live totals while workers run).
-		var mems []*obs.Memory
-		var tel sim.PointTelemetry
-		if *eventsPath != "" || metrics != nil {
-			mems = make([]*obs.Memory, len(seeds))
-			for i := range mems {
-				mems[i] = obs.NewMemory()
-			}
-			tel = func(i int, _ int64) (obs.Sink, *obs.Metrics) {
-				var m *obs.Metrics
-				if metrics != nil {
-					m = metrics.Fork()
-				}
-				if *eventsPath == "" {
-					return nil, m
-				}
-				return mems[i], m
-			}
-		}
-		var prog *obs.Progress
-		if *progress {
-			prog = obs.StartProgress(os.Stderr, uint64(*sweep)*uint64(*frames), metrics.FramesSent, 0, "frames")
-		}
-		points := sim.SweepSeedsObserved(ctx, cfg, seeds, *parallel, tel)
-		if prog != nil {
-			prog.Stop()
-		}
-		summary := sim.Summarize(points)
-		for _, p := range points {
-			if p.Err != nil && !errors.Is(p.Err, context.Canceled) && !errors.Is(p.Err, context.DeadlineExceeded) {
-				fatalf("seed %d: %v", p.Seed, p.Err)
-			}
-		}
-		if *eventsPath != "" {
-			if err := writeSweepEvents(*eventsPath, seeds, mems); err != nil {
-				fatalf("%v", err)
-			}
-		}
-		finishTelemetry()
-		fmt.Printf("policy=%s nodes=%d frames/seed=%d ber*=%g eofOnly=%v seeds=%d..%d\n",
-			policy.Name(), *nodes, *frames, *berStar, *eofOnly, *seed, *seed+int64(*sweep)-1)
-		fmt.Println(summary)
-		if summary.Cancelled > 0 {
-			fmt.Printf("interrupted: %d of %d points skipped; aggregate covers completed points only\n",
-				summary.Cancelled, summary.Points)
-			exit(130)
-		}
-		exit(0)
-	}
-
-	var events *obs.Memory
-	if *eventsPath != "" {
-		events = obs.NewMemory()
-		cfg.Events = events
-	}
-	cfg.Metrics = metrics
 	var prog *obs.Progress
 	if *progress {
-		prog = obs.StartProgress(os.Stderr, uint64(*frames), metrics.FramesSent, 0, "frames")
+		prog = obs.StartProgress(os.Stderr, uint64(spec.Seeds)*uint64(spec.Frames), metrics.FramesSent, 0, "frames")
 	}
-	res, err := sim.MonteCarlo(cfg)
+	outcome, err := sim.RunSweepSpec(ctx, spec, *parallel, tel)
 	if prog != nil {
 		prog.Stop()
 	}
@@ -169,54 +130,85 @@ func main() {
 		fatalf("%v", err)
 	}
 	if *eventsPath != "" {
-		if err := writeSweepEvents(*eventsPath, []int64{*seed}, []*obs.Memory{events}); err != nil {
+		if err := writeSweepEvents(*eventsPath, seeds, mems); err != nil {
 			fatalf("%v", err)
 		}
 	}
-	finishTelemetry()
-
-	if *jsonOut {
-		type out struct {
-			Policy          string  `json:"policy"`
-			Nodes           int     `json:"nodes"`
-			Frames          int     `json:"frames"`
-			BerStar         float64 `json:"berStar"`
-			EOFOnly         bool    `json:"eofOnly"`
-			Seed            int64   `json:"seed"`
-			Slots           uint64  `json:"slots"`
-			BitFlips        uint64  `json:"bitFlips"`
-			IMOs            int     `json:"inconsistentOmissions"`
-			Duplicates      int     `json:"doubleReceptions"`
-			LostEverywhere  int     `json:"lostEverywhere"`
-			Incomplete      int     `json:"incomplete"`
-			AtomicBroadcast bool    `json:"atomicBroadcast"`
+	if *metricsPath != "" {
+		//lint:allow determinism -- CLI wall-clock for the metrics snapshot header; not simulation state
+		if err := writeMetrics(*metricsPath, metrics, time.Since(start)); err != nil {
+			fatalf("%v", err)
 		}
+	}
+
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(out{
-			Policy: policy.Name(), Nodes: *nodes, Frames: res.FramesSent,
-			BerStar: *berStar, EOFOnly: *eofOnly, Seed: *seed,
-			Slots: res.Slots, BitFlips: res.BitFlips,
-			IMOs: res.IMOs, Duplicates: res.Duplicates,
-			LostEverywhere: res.LostEverywhere, Incomplete: res.Incomplete,
-			AtomicBroadcast: res.Report.AtomicBroadcast(),
-		}); err != nil {
+		if err := enc.Encode(outcome); err != nil {
 			fatalf("%v", err)
 		}
-		exit(0)
+	case spec.Seeds == 1 && !outcome.Points[0].Cancelled:
+		printSingle(spec, outcome.Points[0])
+	default:
+		fmt.Printf("policy=%s nodes=%d frames/seed=%d ber*=%g eofOnly=%v seeds=%d..%d\n",
+			spec.Protocol, spec.Nodes, spec.Frames, spec.BerStar, spec.EOFOnly,
+			spec.Seed, spec.Seed+int64(spec.Seeds)-1)
+		fmt.Println(outcome.Summary)
 	}
-
-	fmt.Printf("policy=%s nodes=%d frames=%d ber*=%g eofOnly=%v seed=%d\n",
-		policy.Name(), *nodes, res.FramesSent, *berStar, *eofOnly, *seed)
-	fmt.Printf("slots simulated:        %d\n", res.Slots)
-	fmt.Printf("bit flips injected:     %d\n", res.BitFlips)
-	fmt.Printf("inconsistent omissions: %d (%.3e per frame)\n", res.IMOs, res.IMORate())
-	fmt.Printf("double receptions:      %d (%.3e per frame)\n", res.Duplicates, res.DuplicateRate())
-	fmt.Printf("lost everywhere:        %d\n", res.LostEverywhere)
-	fmt.Printf("incomplete frames:      %d\n", res.Incomplete)
-	fmt.Println()
-	fmt.Println(res.Report.Summary())
+	if outcome.Summary.Cancelled > 0 {
+		fmt.Printf("interrupted: %d of %d points skipped; aggregate covers completed points only\n",
+			outcome.Summary.Cancelled, outcome.Summary.Points)
+		exit(130)
+	}
 	exit(0)
+}
+
+// resolveSpec picks the job description: a canonical job-spec file when
+// -spec is given (the same codec mcservd and mcctl use), the flag-built
+// spec otherwise.
+func resolveSpec(path string, fromFlags sim.SweepSpec) (sim.SweepSpec, error) {
+	if path == "" {
+		fromFlags.Normalize()
+		return fromFlags, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return sim.SweepSpec{}, err
+	}
+	js, err := serve.DecodeSpec(data)
+	if err != nil {
+		return sim.SweepSpec{}, err
+	}
+	if js.Kind != serve.KindSweep {
+		return sim.SweepSpec{}, fmt.Errorf("mcsim runs %q jobs; %s is a %q job (use the chaos CLI or the service)",
+			serve.KindSweep, path, js.Kind)
+	}
+	return *js.Sweep, nil
+}
+
+// printSingle renders a one-seed run in the traditional detailed form.
+func printSingle(spec sim.SweepSpec, p sim.PointOutcome) {
+	fmt.Printf("policy=%s nodes=%d frames=%d ber*=%g eofOnly=%v seed=%d\n",
+		spec.Protocol, spec.Nodes, p.FramesSent, spec.BerStar, spec.EOFOnly, p.Seed)
+	fmt.Printf("slots simulated:        %d\n", p.Slots)
+	fmt.Printf("bit flips injected:     %d\n", p.BitFlips)
+	fmt.Printf("inconsistent omissions: %d (%.3e per frame)\n", p.IMOs, rate(p.IMOs, p.FramesSent))
+	fmt.Printf("double receptions:      %d (%.3e per frame)\n", p.Duplicates, rate(p.Duplicates, p.FramesSent))
+	fmt.Printf("lost everywhere:        %d\n", p.LostEverywhere)
+	fmt.Printf("incomplete frames:      %d\n", p.Incomplete)
+	if p.AtomicBroadcast {
+		fmt.Println("atomic broadcast:       held for every frame")
+	} else {
+		fmt.Println("atomic broadcast:       VIOLATED")
+	}
+}
+
+func rate(n, frames int) float64 {
+	if frames == 0 {
+		return 0
+	}
+	return float64(n) / float64(frames)
 }
 
 // writeMetrics writes a registry snapshot as indented JSON.

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -42,6 +43,11 @@ type Campaign struct {
 	// campaign — trials, shrink candidates and final verification runs —
 	// into one registry (bits simulated, error flags, retransmissions).
 	Metrics *obs.Metrics
+	// Events, if non-nil, receives the protocol event stream of every
+	// simulator execution. The campaign runs trials on one goroutine, so
+	// a single-producer sink (e.g. an obs.Ring drained by a live reader)
+	// is sufficient.
+	Events obs.Sink
 	// OnTrial, if non-nil, is called after each trial completes with the
 	// number of trials finished so far, for progress display.
 	OnTrial func(done int)
@@ -171,22 +177,34 @@ func coversClasses(got []string, want map[string]bool) bool {
 
 // Run executes the campaign.
 func (c *Campaign) Run() (*CampaignResult, error) {
+	return c.RunContext(context.Background())
+}
+
+// RunContext executes the campaign, stopping between trials when ctx is
+// cancelled. A cancelled campaign returns its partial result alongside
+// ctx's error, so callers can flush what completed — the same contract
+// sim.RunSweepSpec gives interrupted sweeps.
+func (c *Campaign) RunContext(ctx context.Context) (*CampaignResult, error) {
 	cc, err := c.defaults()
 	if err != nil {
 		return nil, err
 	}
+	tel := Telemetry{Events: cc.Events, Metrics: cc.Metrics}
 	res := &CampaignResult{Name: cc.Name, Trials: cc.Trials}
 	// Per-trial RNGs keep trial t reproducible regardless of how many
 	// faults earlier trials drew.
 	const trialStride int64 = 0x5E3779B97F4A7C15 // odd constant decorrelates trials
 	for trial := 0; trial < cc.Trials; trial++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		rng := rand.New(rand.NewSource(cc.Seed*0x1000193 + int64(trial)*trialStride))
 		script := cc.Base.WithFaults(nil)
 		nf := 1 + rng.Intn(cc.MaxFaults)
 		for i := 0; i < nf; i++ {
 			script.Faults = append(script.Faults, cc.draw(rng))
 		}
-		run, err := RunObserved(script, Telemetry{Metrics: cc.Metrics})
+		run, err := RunObserved(script, tel)
 		if err != nil {
 			return nil, fmt.Errorf("chaos: trial %d: %w", trial, err)
 		}
@@ -200,14 +218,14 @@ func (c *Campaign) Run() (*CampaignResult, error) {
 		}
 		classes := violationClasses(violations)
 		shrunk := Shrink(script, func(cand Script) bool {
-			r, err := RunObserved(cand, Telemetry{Metrics: cc.Metrics})
+			r, err := RunObserved(cand, tel)
 			if err != nil {
 				return false
 			}
 			res.Executions++
 			return coversClasses(Violations(r, cc.Probes), classes)
 		})
-		final, err := RunObserved(shrunk, Telemetry{Metrics: cc.Metrics})
+		final, err := RunObserved(shrunk, tel)
 		if err != nil {
 			return nil, fmt.Errorf("chaos: trial %d (shrunk): %w", trial, err)
 		}

@@ -12,8 +12,6 @@ package chaos
 import (
 	"encoding/json"
 	"fmt"
-	"strconv"
-	"strings"
 
 	"repro/internal/core"
 	"repro/internal/node"
@@ -152,27 +150,14 @@ func (s Script) WithFaults(faults []Fault) Script {
 // ParseProtocol resolves a protocol name ("can", "minorcan",
 // "majorcan_<m>", case-insensitive; "majorcan" alone uses the default m)
 // to its EOF policy. It accepts exactly the names the policies' Name()
-// methods produce, so scripts round-trip.
+// methods produce, so scripts round-trip. The parsing itself lives in
+// core.ParsePolicy, shared with the job-spec codec and the CLIs.
 func ParseProtocol(name string) (node.EOFPolicy, error) {
-	s := strings.ToLower(strings.TrimSpace(name))
-	switch {
-	case s == "can" || s == "standard":
-		return core.NewStandard(), nil
-	case s == "minorcan":
-		return core.NewMinorCAN(), nil
-	case strings.HasPrefix(s, "majorcan"):
-		m := core.DefaultM
-		if i := strings.IndexByte(s, '_'); i >= 0 {
-			v, err := strconv.Atoi(s[i+1:])
-			if err != nil {
-				return nil, fmt.Errorf("chaos: invalid m in protocol %q", name)
-			}
-			m = v
-		}
-		return core.NewMajorCAN(m)
-	default:
-		return nil, fmt.Errorf("chaos: unknown protocol %q (use can, minorcan, majorcan_<m>)", name)
+	p, err := core.ParsePolicy(name)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
 	}
+	return p, nil
 }
 
 // Verdict is the recorded outcome of executing a script: the probe

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/node"
+)
+
+// ParsePolicy resolves a protocol name ("can", "minorcan",
+// "majorcan_<m>", case-insensitive; "majorcan" alone uses the default m)
+// to its EOF policy. It accepts exactly the names the policies' Name()
+// methods produce, so serialised specs round-trip. It is the single
+// protocol-name codec shared by the chaos engine, the job-spec layer and
+// every CLI.
+func ParsePolicy(name string) (node.EOFPolicy, error) {
+	s := strings.ToLower(strings.TrimSpace(name))
+	switch {
+	case s == "can" || s == "standard":
+		return NewStandard(), nil
+	case s == "minorcan":
+		return NewMinorCAN(), nil
+	case strings.HasPrefix(s, "majorcan"):
+		m := DefaultM
+		if i := strings.IndexByte(s, '_'); i >= 0 {
+			v, err := strconv.Atoi(s[i+1:])
+			if err != nil {
+				return nil, fmt.Errorf("core: invalid m in protocol %q", name)
+			}
+			m = v
+		}
+		return NewMajorCAN(m)
+	default:
+		return nil, fmt.Errorf("core: unknown protocol %q (use can, minorcan, majorcan_<m>)", name)
+	}
+}

@@ -84,6 +84,7 @@ var ScopePaths = []string{
 	"repro/internal/errmodel",
 	"repro/internal/trace",
 	"repro/internal/obs",
+	"repro/internal/serve",
 	"repro/cmd",
 	"repro/majorcan",
 }

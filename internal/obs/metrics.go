@@ -27,6 +27,56 @@ func newHistogram(bounds []uint64) Histogram {
 	return Histogram{bounds: bounds}
 }
 
+// NewHistogram creates a standalone histogram with the given inclusive
+// bucket upper bounds (at most 11; excess bounds are dropped and the last
+// slot always counts the overflow). The simulation service uses one for
+// its job-latency distribution.
+func NewHistogram(bounds []uint64) *Histogram {
+	h := newHistogram(append([]uint64(nil), bounds...))
+	return &h
+}
+
+// Observe records one sample. Safe for concurrent use.
+func (h *Histogram) Observe(v uint64) { h.observe(v) }
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket
+// counts, returning the inclusive upper bound of the bucket containing
+// the quantile — a conservative (over-)estimate. The overflow bucket
+// reports the largest finite bound, or 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) uint64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return b
+		}
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// State captures the histogram as its serialisable snapshot form.
+func (h *Histogram) State() HistogramSnapshot { return h.snapshot() }
+
 func (h *Histogram) bucket(v uint64) int {
 	for i, b := range h.bounds {
 		if v <= b {

@@ -97,6 +97,34 @@ func (m multiSink) Emit(e Event) {
 	}
 }
 
+// LockedSink serialises Emit calls with a mutex, adapting a
+// single-producer sink (e.g. a Ring) for multiple concurrent producers —
+// the shape a parallel sweep needs to feed one live event stream. The
+// interleaving across producers is scheduling-dependent, so a locked
+// stream is for live observation, not for canonical logs (use per-point
+// Memory sinks merged with WriteJSONL for those).
+type LockedSink struct {
+	mu   sync.Mutex
+	sink Sink
+}
+
+var _ Sink = (*LockedSink)(nil)
+
+// Locked wraps sink for multi-producer emission; a nil sink yields nil.
+func Locked(sink Sink) *LockedSink {
+	if sink == nil {
+		return nil
+	}
+	return &LockedSink{sink: sink}
+}
+
+// Emit implements Sink.
+func (l *LockedSink) Emit(e Event) {
+	l.mu.Lock()
+	l.sink.Emit(e)
+	l.mu.Unlock()
+}
+
 // SortEvents sorts events by slot, then station, with the remaining
 // fields as tie-breakers so the order is total over event values. Within
 // one deterministic run the emission order is already reproducible;
@@ -143,10 +171,11 @@ type jsonlEvent struct {
 // sweep logs remain attributable. Safe for concurrent use; check Err or
 // the Flush result for write failures.
 type JSONLWriter struct {
-	mu  sync.Mutex
-	w   *bufio.Writer
-	run int64
-	err error
+	mu     sync.Mutex
+	w      *bufio.Writer
+	run    int64
+	err    error
+	onLine func()
 }
 
 var _ Sink = (*JSONLWriter)(nil)
@@ -155,6 +184,17 @@ var _ Sink = (*JSONLWriter)(nil)
 // run id.
 func NewJSONLWriter(w io.Writer, run int64) *JSONLWriter {
 	return &JSONLWriter{w: bufio.NewWriter(w), run: run}
+}
+
+// NewJSONLStream creates a JSONL sink for live streaming: every line is
+// flushed through to w as it is emitted, and onLine (if non-nil) runs
+// after each line — the hook an HTTP handler uses to push the chunk to
+// the client (http.Flusher). This is the NDJSON adapter behind the
+// simulation service's /v1/jobs/{id}/events endpoint.
+func NewJSONLStream(w io.Writer, run int64, onLine func()) *JSONLWriter {
+	j := NewJSONLWriter(w, run)
+	j.onLine = onLine
+	return j
 }
 
 // SetRun changes the run tag for subsequent lines.
@@ -191,6 +231,12 @@ func (j *JSONLWriter) Emit(e Event) {
 		return
 	}
 	j.err = j.w.WriteByte('\n')
+	if j.onLine != nil {
+		if j.err == nil {
+			j.err = j.w.Flush()
+		}
+		j.onLine()
+	}
 }
 
 // Err returns the first write error, if any.

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// benchSpec builds a distinct small sweep job per seed.
+func benchSpec(b *testing.B, seed int64) *JobSpec {
+	b.Helper()
+	s, err := DecodeSpec([]byte(fmt.Sprintf(
+		`{"sweep":{"protocol":"can","frames":20,"berStar":0.01,"seed":%d}}`, seed)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkJobsCold measures end-to-end jobs/sec when every submission is
+// a distinct spec: each job runs the real simulator.
+func BenchmarkJobsCold(b *testing.B) {
+	s, err := NewScheduler(Config{Shards: 4, QueueDepth: 4096, CacheEntries: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, _, err := s.Submit(benchSpec(b, int64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-j.Done()
+	}
+}
+
+// BenchmarkJobsCacheHit measures jobs/sec when every submission after the
+// first is byte-identical: the content-addressed cache answers without
+// re-simulating. The cold/cached ratio is the serving layer's headline.
+func BenchmarkJobsCacheHit(b *testing.B) {
+	s, err := NewScheduler(Config{Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Stop()
+	spec := benchSpec(b, 1)
+	j, _, err := s.Submit(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-j.Done()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, adm, err := s.Submit(benchSpec(b, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if adm != AdmissionCached {
+			b.Fatalf("iteration %d not served from cache (%v)", i, adm)
+		}
+		<-j.Done()
+	}
+}
+
+// BenchmarkSchedulerShards measures raw scheduler throughput (submit,
+// route, execute a no-op, finalize) as the shard count grows, isolating
+// queueing overhead from simulation cost.
+func BenchmarkSchedulerShards(b *testing.B) {
+	noop := func(ctx context.Context, spec *JobSpec, _ ExecOptions) (json.RawMessage, error) {
+		return json.RawMessage(`0`), nil
+	}
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			s, err := NewScheduler(Config{
+				Shards: shards, QueueDepth: 8192, CacheEntries: 1, Runner: noop,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Stop()
+			var seeds atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					// A unique seed per iteration keeps every digest
+					// distinct, so nothing coalesces or caches.
+					sw := sim.SweepSpec{Protocol: "can", Frames: 20,
+						BerStar: 0.01, Seed: seeds.Add(1)}
+					sw.Normalize()
+					spec := &JobSpec{Version: SpecVersion, Kind: KindSweep, Sweep: &sw}
+					j, _, err := s.Submit(spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					<-j.Done()
+				}
+			})
+		})
+	}
+}

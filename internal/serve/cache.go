@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is the content-addressed result store: an in-memory LRU over
+// canonical result JSON, keyed by job digest, with an optional on-disk
+// JSON spool behind it. Determinism makes it sound: a digest fully
+// determines its result, so an entry can never go stale — eviction is
+// purely a capacity concern, and a spool file written by any process is
+// valid for every other.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List               // front = most recently used
+	items map[Digest]*list.Element // digest -> element holding *cacheEntry
+
+	spool string // spool directory, or "" for memory-only
+
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	evictions  atomic.Uint64
+	spoolHits  atomic.Uint64
+	spoolFails atomic.Uint64
+}
+
+type cacheEntry struct {
+	digest Digest
+	result json.RawMessage
+}
+
+// NewCache creates a cache holding at most max in-memory entries
+// (minimum 1). A non-empty spoolDir enables the disk spool; the
+// directory is created if missing.
+func NewCache(max int, spoolDir string) (*Cache, error) {
+	if max < 1 {
+		max = 1
+	}
+	if spoolDir != "" {
+		if err := os.MkdirAll(spoolDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: cache spool: %w", err)
+		}
+	}
+	return &Cache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[Digest]*list.Element),
+		spool: spoolDir,
+	}, nil
+}
+
+func (c *Cache) spoolPath(d Digest) string {
+	return filepath.Join(c.spool, string(d)+".json")
+}
+
+// Get returns the cached result for a digest. A memory miss falls back
+// to the spool; a spool hit is promoted into memory.
+func (c *Cache) Get(d Digest) (json.RawMessage, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[d]; ok {
+		c.ll.MoveToFront(el)
+		res := el.Value.(*cacheEntry).result
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return res, true
+	}
+	c.mu.Unlock()
+	if c.spool != "" {
+		if data, err := os.ReadFile(c.spoolPath(d)); err == nil && json.Valid(data) {
+			c.hits.Add(1)
+			c.spoolHits.Add(1)
+			c.insert(d, data)
+			return data, true
+		}
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put stores a result under its digest, evicting least-recently-used
+// entries beyond capacity and writing through to the spool. Spool write
+// failures are counted, not fatal: the memory entry stands.
+func (c *Cache) Put(d Digest, result json.RawMessage) {
+	c.insert(d, result)
+	if c.spool != "" {
+		if err := writeFileAtomic(c.spoolPath(d), result); err != nil {
+			c.spoolFails.Add(1)
+		}
+	}
+}
+
+func (c *Cache) insert(d Digest, result json.RawMessage) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[d]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).result = result
+		return
+	}
+	c.items[d] = c.ll.PushFront(&cacheEntry{digest: d, result: result})
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).digest)
+		c.evictions.Add(1)
+	}
+}
+
+// writeFileAtomic writes via a temp file and rename, so a crashed or
+// concurrent writer can never leave a torn spool entry.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".spool-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats is the serialisable cache state for /v1/stats.
+type CacheStats struct {
+	Entries    int     `json:"entries"`
+	Capacity   int     `json:"capacity"`
+	Hits       uint64  `json:"hits"`
+	Misses     uint64  `json:"misses"`
+	HitRatio   float64 `json:"hit_ratio"`
+	Evictions  uint64  `json:"evictions"`
+	SpoolHits  uint64  `json:"spool_hits,omitempty"`
+	SpoolFails uint64  `json:"spool_fails,omitempty"`
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	s := CacheStats{
+		Entries:    c.Len(),
+		Capacity:   c.max,
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Evictions:  c.evictions.Load(),
+		SpoolHits:  c.spoolHits.Load(),
+		SpoolFails: c.spoolFails.Load(),
+	}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRatio = float64(s.Hits) / float64(total)
+	}
+	return s
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := NewCache(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", json.RawMessage(`1`))
+	c.Put("b", json.RawMessage(`2`))
+	if _, ok := c.Get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", json.RawMessage(`3`))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction; LRU order not respected")
+	}
+	for _, d := range []Digest{"a", "c"} {
+		if _, ok := c.Get(d); !ok {
+			t.Fatalf("%s evicted, want retained", d)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction, 2 entries", st)
+	}
+}
+
+func TestCacheSpoolRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", json.RawMessage(`{"x":1}`))
+	c.Put("b", json.RawMessage(`{"x":2}`)) // evicts a from memory
+	res, ok := c.Get("a")
+	if !ok {
+		t.Fatal("spool fallback failed after memory eviction")
+	}
+	if string(res) != `{"x":1}` {
+		t.Fatalf("spool returned %s", res)
+	}
+	if st := c.Stats(); st.SpoolHits != 1 {
+		t.Fatalf("spool hits = %d, want 1", st.SpoolHits)
+	}
+
+	// A fresh cache over the same spool dir sees the results: the spool
+	// is a valid cache for any process because digests are content
+	// addresses.
+	c2, err := NewCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, ok := c2.Get("b"); !ok || string(res) != `{"x":2}` {
+		t.Fatalf("cross-process spool read: ok=%v res=%s", ok, res)
+	}
+}
+
+func TestCacheRejectsCorruptSpoolEntry(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("bad"); ok {
+		t.Fatal("corrupt spool entry served as a result")
+	}
+}
+
+func TestCacheSpoolFilesAreAtomic(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", json.RawMessage(`[1,2,3]`))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "a.json" {
+			t.Fatalf("unexpected spool residue %q (temp file not cleaned up?)", e.Name())
+		}
+	}
+}
+
+func TestCacheHitRatio(t *testing.T) {
+	c, err := NewCache(8, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		c.Put(Digest(fmt.Sprintf("d%d", i)), json.RawMessage(`0`))
+	}
+	c.Get("d0")
+	c.Get("d1")
+	c.Get("missing")
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 2/1", st.Hits, st.Misses)
+	}
+	if want := 2.0 / 3.0; st.HitRatio < want-1e-9 || st.HitRatio > want+1e-9 {
+		t.Fatalf("hit ratio = %g, want %g", st.HitRatio, want)
+	}
+}

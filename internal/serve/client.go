@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client talks to a simulation service over its /v1 API. The zero-value
+// HTTP client is fine for same-host use; long waits ride on the request
+// context, not on the transport timeout.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8329".
+	BaseURL string
+	// HTTP is the underlying client (http.DefaultClient when nil).
+	HTTP *http.Client
+}
+
+// NewClient creates a client for the given service root.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// APIError is a non-2xx reply from the service.
+type APIError struct {
+	Code       int
+	Message    string
+	RetryAfter time.Duration // from Retry-After on 429, else 0
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("serve: %d from service: %s", e.Code, e.Message)
+}
+
+func decodeAPIError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	msg := strings.TrimSpace(string(body))
+	var ae apiError
+	if json.Unmarshal(body, &ae) == nil && ae.Error != "" {
+		msg = ae.Error
+	}
+	err := &APIError{Code: resp.StatusCode, Message: msg}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, perr := strconv.Atoi(s); perr == nil {
+			err.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return err
+}
+
+// Submit posts a spec. wait > 0 asks the service to block that long for
+// completion; wait < 0 blocks until the job finishes (bounded by ctx).
+func (c *Client) Submit(ctx context.Context, spec *JobSpec, wait time.Duration) (*SubmitResponse, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encode job spec: %w", err)
+	}
+	url := c.BaseURL + "/v1/jobs"
+	switch {
+	case wait < 0:
+		url += "?wait=true"
+	case wait > 0:
+		url += "?wait=" + wait.String()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return nil, decodeAPIError(resp)
+	}
+	var sr SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("serve: decode submit response: %w", err)
+	}
+	return &sr, nil
+}
+
+// Job fetches a job's status by digest.
+func (c *Client) Job(ctx context.Context, id Digest) (*JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+string(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("serve: decode job status: %w", err)
+	}
+	return &st, nil
+}
+
+// Wait polls a job until it reaches a terminal state or ctx ends.
+func (c *Client) Wait(ctx context.Context, id Digest, poll time.Duration) (*JobStatus, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State == StateDone || st.State == StateFailed {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Events streams a job's NDJSON event lines, calling fn for each line
+// until the stream ends or ctx is cancelled.
+func (c *Client) Events(ctx context.Context, id Digest, fn func(line []byte) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/jobs/"+string(id)+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeAPIError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		if err := fn(sc.Bytes()); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Stats fetches the scheduler statistics.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeAPIError(resp)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("serve: decode stats: %w", err)
+	}
+	return &st, nil
+}
+
+// Healthz reports the service health status string ("ok" or "draining").
+func (c *Client) Healthz(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/healthz", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return "", fmt.Errorf("serve: decode healthz: %w", err)
+	}
+	return h.Status, nil
+}

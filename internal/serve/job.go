@@ -1,0 +1,192 @@
+// Package serve is the simulation service: a long-running, stdlib-only
+// HTTP server that accepts simulation jobs — Monte Carlo sweeps, chaos
+// campaigns, exhaustive verification runs, scenario-script replays — as
+// canonical JSON specs, schedules them over sharded worker queues, and
+// memoises results in a content-addressed cache.
+//
+// The cache is sound, not heuristic, because the simulator is
+// deterministic by construction (machine-enforced by the majorcanlint
+// determinism analyzer): a job's canonical spec fully determines its
+// result, so the SHA-256 of the normalized spec is a true content
+// address. Identical in-flight jobs are coalesced single-flight style;
+// identical completed jobs are served from the cache without
+// re-simulating.
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/chaos"
+	"repro/internal/sim"
+	"repro/internal/verify"
+)
+
+// SpecVersion guards the job-spec wire format.
+const SpecVersion = 1
+
+// Kind names a job class.
+type Kind string
+
+const (
+	// KindSweep is a Monte Carlo consistency sweep (sim.SweepSpec).
+	KindSweep Kind = "sweep"
+	// KindCampaign is a randomised fault-injection campaign
+	// (chaos.CampaignSpec).
+	KindCampaign Kind = "campaign"
+	// KindVerify is an exhaustive verification pass (verify.Spec).
+	KindVerify Kind = "verify"
+	// KindScript replays one deterministic fault script (chaos.Script).
+	KindScript Kind = "script"
+)
+
+// JobSpec is the canonical job description the service accepts: a kind
+// tag plus exactly one kind-matching payload. The same codec backs the
+// mcsim and chaos CLIs (-spec), so a spec file runs identically locally
+// and through the service.
+type JobSpec struct {
+	Version  int                 `json:"version"`
+	Kind     Kind                `json:"kind"`
+	Sweep    *sim.SweepSpec      `json:"sweep,omitempty"`
+	Campaign *chaos.CampaignSpec `json:"campaign,omitempty"`
+	Verify   *verify.Spec        `json:"verify,omitempty"`
+	Script   *chaos.Script       `json:"script,omitempty"`
+}
+
+// Digest is the content address of a normalized job spec: the SHA-256 of
+// its canonical JSON, in hex. Equal digests mean equal jobs, and — the
+// simulator being deterministic — equal results.
+type Digest string
+
+// Short returns an abbreviated digest for logs and progress lines.
+func (d Digest) Short() string {
+	if len(d) > 12 {
+		return string(d[:12])
+	}
+	return string(d)
+}
+
+// DecodeSpec strictly parses a job spec (unknown fields are errors, so
+// typos cannot silently change a job's content address), normalizes it
+// and validates it.
+func DecodeSpec(data []byte) (*JobSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s JobSpec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("serve: bad job spec: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("serve: bad job spec: trailing data after JSON object")
+	}
+	s.Normalize()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Normalize fills defaults in place (spec version, kind payload
+// defaults) so that specs differing only in spelled-out defaults
+// canonicalise to the same bytes.
+func (s *JobSpec) Normalize() {
+	if s.Version == 0 {
+		s.Version = SpecVersion
+	}
+	switch {
+	case s.Sweep != nil:
+		s.Sweep.Normalize()
+	case s.Campaign != nil:
+		s.Campaign.Normalize()
+	case s.Verify != nil:
+		s.Verify.Normalize()
+	case s.Script != nil:
+		if s.Script.Version == 0 {
+			s.Script.Version = chaos.ScriptVersion
+		}
+	}
+	if s.Kind == "" {
+		// A single payload implies its kind.
+		switch {
+		case s.Sweep != nil:
+			s.Kind = KindSweep
+		case s.Campaign != nil:
+			s.Kind = KindCampaign
+		case s.Verify != nil:
+			s.Kind = KindVerify
+		case s.Script != nil:
+			s.Kind = KindScript
+		}
+	}
+}
+
+// Validate checks that exactly the kind-matching payload is present and
+// structurally valid.
+func (s *JobSpec) Validate() error {
+	if s.Version != SpecVersion {
+		return fmt.Errorf("serve: job spec version %d, want %d", s.Version, SpecVersion)
+	}
+	n := 0
+	if s.Sweep != nil {
+		n++
+	}
+	if s.Campaign != nil {
+		n++
+	}
+	if s.Verify != nil {
+		n++
+	}
+	if s.Script != nil {
+		n++
+	}
+	if n != 1 {
+		return fmt.Errorf("serve: job spec needs exactly one of sweep/campaign/verify/script, got %d", n)
+	}
+	switch s.Kind {
+	case KindSweep:
+		if s.Sweep == nil {
+			return fmt.Errorf("serve: kind %q without sweep payload", s.Kind)
+		}
+		return s.Sweep.Validate()
+	case KindCampaign:
+		if s.Campaign == nil {
+			return fmt.Errorf("serve: kind %q without campaign payload", s.Kind)
+		}
+		return s.Campaign.Validate()
+	case KindVerify:
+		if s.Verify == nil {
+			return fmt.Errorf("serve: kind %q without verify payload", s.Kind)
+		}
+		return s.Verify.Validate()
+	case KindScript:
+		if s.Script == nil {
+			return fmt.Errorf("serve: kind %q without script payload", s.Kind)
+		}
+		return s.Script.Validate()
+	default:
+		return fmt.Errorf("serve: unknown job kind %q (use sweep, campaign, verify, script)", s.Kind)
+	}
+}
+
+// Canonical renders the normalized spec as canonical JSON (fixed struct
+// field order, defaults filled) and derives its content digest. The spec
+// must already be normalized and valid (DecodeSpec guarantees both).
+func (s *JobSpec) Canonical() ([]byte, Digest, error) {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return nil, "", fmt.Errorf("serve: canonicalise job spec: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return data, Digest(hex.EncodeToString(sum[:])), nil
+}
+
+// ScriptOutcome is the serialisable result of a script job.
+type ScriptOutcome struct {
+	Script     chaos.Script  `json:"script"`
+	Verdict    chaos.Verdict `json:"verdict"`
+	FramesSent int           `json:"framesSent"`
+	Incomplete int           `json:"incomplete"`
+}

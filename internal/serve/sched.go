@@ -1,0 +1,655 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Scheduler errors surfaced to the API layer.
+var (
+	// ErrQueueFull reports that the job's shard queue is at capacity
+	// (HTTP 429 + Retry-After).
+	ErrQueueFull = errors.New("serve: shard queue full")
+	// ErrDraining reports that the scheduler is shutting down and accepts
+	// no new jobs (HTTP 503).
+	ErrDraining = errors.New("serve: draining, not accepting jobs")
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Admission classifies what Submit did with a spec.
+type Admission int
+
+const (
+	// AdmissionNew: the job was enqueued and will run.
+	AdmissionNew Admission = iota
+	// AdmissionCoalesced: an identical job is already in flight; the
+	// caller was attached to it (single-flight).
+	AdmissionCoalesced
+	// AdmissionCached: the result was already in the content-addressed
+	// cache; no simulation will run.
+	AdmissionCached
+)
+
+// Config parameterises the scheduler.
+type Config struct {
+	// Shards is the number of worker shards (default 4). Jobs are routed
+	// by digest, so identical specs always land on the same shard.
+	Shards int
+	// QueueDepth bounds each shard's FIFO (default 64); a full queue
+	// rejects with ErrQueueFull.
+	QueueDepth int
+	// JobTimeout bounds one execution attempt (default 10m; <0 disables).
+	JobTimeout time.Duration
+	// MaxRetries bounds re-runs after a Transient failure (default 1).
+	MaxRetries int
+	// Parallelism bounds concurrent simulations inside one job
+	// (default 1 — cross-job parallelism comes from the shards).
+	Parallelism int
+	// CacheEntries bounds the in-memory result cache (default 256).
+	CacheEntries int
+	// SpoolDir, if non-empty, enables the on-disk result spool.
+	SpoolDir string
+	// Runner executes jobs (default Execute). Tests substitute stubs.
+	Runner Runner
+	// Metrics, if non-nil, is the shared simulation-metrics registry;
+	// each job runs against a fork of it. Created when nil.
+	Metrics *obs.Metrics
+	// EventRing sizes each job's live protocol-event ring (default 4096).
+	EventRing int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards < 1 {
+		c.Shards = 4
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = 10 * time.Minute
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 1
+	}
+	if c.Parallelism < 1 {
+		c.Parallelism = 1
+	}
+	if c.CacheEntries < 1 {
+		c.CacheEntries = 256
+	}
+	if c.Runner == nil {
+		c.Runner = Execute
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewMetrics()
+	}
+	if c.EventRing < 1 {
+		c.EventRing = 4096
+	}
+	return c
+}
+
+// Job is one tracked submission: spec, lifecycle state, result and the
+// live telemetry attachments. All mutable fields are guarded by mu; Done
+// is closed exactly once when the job leaves the running state.
+type Job struct {
+	digest    Digest
+	spec      *JobSpec
+	canonical []byte
+
+	ring    *obs.Ring       // live protocol events (lossy when unread)
+	events  *obs.LockedSink // producer-side adapter feeding ring
+	metrics *obs.Metrics    // fork of the scheduler registry
+	done    chan struct{}
+
+	streamMu chan struct{} // capacity-1 try-lock for the events streamer
+
+	mu        sync.Mutex
+	state     State
+	shard     int
+	attempts  int
+	cached    bool
+	coalesced uint64
+	result    json.RawMessage
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// Digest returns the job's content address.
+func (j *Job) Digest() Digest { return j.digest }
+
+// Spec returns the normalized job spec.
+func (j *Job) Spec() *JobSpec { return j.spec }
+
+// Done is closed when the job reaches a terminal state. Cached jobs are
+// born terminal.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// JobStatus is the serialisable job record served by the API.
+type JobStatus struct {
+	ID            Digest          `json:"id"`
+	Kind          Kind            `json:"kind"`
+	State         State           `json:"state"`
+	Shard         int             `json:"shard"`
+	Attempts      int             `json:"attempts,omitempty"`
+	Cached        bool            `json:"cached,omitempty"`
+	Coalesced     uint64          `json:"coalesced,omitempty"`
+	QueuedMs      int64           `json:"queuedMs,omitempty"`
+	RunMs         int64           `json:"runMs,omitempty"`
+	EventsDropped uint64          `json:"eventsDropped,omitempty"`
+	Error         string          `json:"error,omitempty"`
+	Result        json.RawMessage `json:"result,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := JobStatus{
+		ID:        j.digest,
+		Kind:      j.spec.Kind,
+		State:     j.state,
+		Shard:     j.shard,
+		Attempts:  j.attempts,
+		Cached:    j.cached,
+		Coalesced: j.coalesced,
+		Error:     j.errMsg,
+		Result:    j.result,
+	}
+	if !j.started.IsZero() && !j.submitted.IsZero() {
+		s.QueuedMs = j.started.Sub(j.submitted).Milliseconds()
+	}
+	if !j.finished.IsZero() && !j.started.IsZero() {
+		s.RunMs = j.finished.Sub(j.started).Milliseconds()
+	}
+	if j.ring != nil {
+		s.EventsDropped = j.ring.Dropped()
+	}
+	return s
+}
+
+type shard struct {
+	ch       chan *Job
+	executed atomic.Uint64
+	busyMs   atomic.Uint64
+}
+
+// Scheduler owns the worker shards, the in-flight single-flight table
+// and the content-addressed result cache.
+type Scheduler struct {
+	cfg     Config
+	cache   *Cache
+	metrics *obs.Metrics
+	latency *obs.Histogram // job run latency, milliseconds
+	shards  []*shard
+
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+	wg         sync.WaitGroup
+	start      time.Time
+
+	mu        sync.Mutex
+	draining  bool
+	inflight  map[Digest]*Job
+	records   map[Digest]*Job
+	recordLog []Digest // completion order, for bounded record eviction
+
+	submitted        atomic.Uint64
+	coalescedTotal   atomic.Uint64
+	executed         atomic.Uint64
+	retried          atomic.Uint64
+	failed           atomic.Uint64
+	rejectedFull     atomic.Uint64
+	rejectedDraining atomic.Uint64
+}
+
+// latencyBoundsMs buckets job run latency from sub-millisecond cache
+// misses on tiny scripts up to multi-minute verification sweeps.
+var latencyBoundsMs = []uint64{1, 5, 10, 50, 100, 500, 1000, 5000, 30000, 120000, 600000}
+
+// NewScheduler creates the scheduler and starts its worker shards.
+func NewScheduler(cfg Config) (*Scheduler, error) {
+	cfg = cfg.withDefaults()
+	cache, err := NewCache(cfg.CacheEntries, cfg.SpoolDir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Scheduler{
+		cfg:        cfg,
+		cache:      cache,
+		metrics:    cfg.Metrics,
+		latency:    obs.NewHistogram(latencyBoundsMs),
+		rootCtx:    ctx,
+		rootCancel: cancel,
+		inflight:   make(map[Digest]*Job),
+		records:    make(map[Digest]*Job),
+	}
+	//lint:allow determinism -- serving-layer uptime clock; not simulation state
+	s.start = time.Now()
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		s.shards[i] = &shard{ch: make(chan *Job, cfg.QueueDepth)}
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+	return s, nil
+}
+
+// Cache exposes the result store (tests and stats).
+func (s *Scheduler) Cache() *Cache { return s.cache }
+
+// Metrics exposes the shared simulation-metrics registry.
+func (s *Scheduler) Metrics() *obs.Metrics { return s.metrics }
+
+// shardOf routes a digest to a shard: the first 8 hex digits of the
+// SHA-256 give a uniform index, and equal specs always map to the same
+// shard, so a queued duplicate can never overtake its original.
+func (s *Scheduler) shardOf(d Digest) int {
+	var v uint64
+	for _, c := range []byte(d.Short()) {
+		v = v<<4 | uint64(hexVal(c))
+	}
+	return int(v % uint64(len(s.shards)))
+}
+
+func hexVal(c byte) byte {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0'
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10
+	}
+	return 0
+}
+
+// Submit admits one normalized spec: a cache hit returns a terminal job
+// record without running anything; an identical in-flight job coalesces;
+// otherwise the job is enqueued on its digest shard. ErrQueueFull and
+// ErrDraining report backpressure and shutdown respectively.
+func (s *Scheduler) Submit(spec *JobSpec) (*Job, Admission, error) {
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, AdmissionNew, err
+	}
+	canonical, digest, err := spec.Canonical()
+	if err != nil {
+		return nil, AdmissionNew, err
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.rejectedDraining.Add(1)
+		return nil, AdmissionNew, ErrDraining
+	}
+	if res, ok := s.cache.Get(digest); ok {
+		j := s.cachedJob(spec, canonical, digest, res)
+		s.remember(j)
+		s.mu.Unlock()
+		s.submitted.Add(1)
+		return j, AdmissionCached, nil
+	}
+	if j := s.inflight[digest]; j != nil {
+		j.mu.Lock()
+		j.coalesced++
+		j.mu.Unlock()
+		s.mu.Unlock()
+		s.submitted.Add(1)
+		s.coalescedTotal.Add(1)
+		return j, AdmissionCoalesced, nil
+	}
+
+	ring := obs.NewRing(s.cfg.EventRing)
+	j := &Job{
+		digest:    digest,
+		spec:      spec,
+		canonical: canonical,
+		ring:      ring,
+		events:    obs.Locked(ring),
+		metrics:   s.metrics.Fork(),
+		done:      make(chan struct{}),
+		streamMu:  make(chan struct{}, 1),
+		state:     StateQueued,
+	}
+	//lint:allow determinism -- serving-layer queue timestamps; not simulation state
+	j.submitted = time.Now()
+	sh := s.shardOf(digest)
+	j.shard = sh
+	select {
+	case s.shards[sh].ch <- j:
+	default:
+		s.mu.Unlock()
+		s.rejectedFull.Add(1)
+		return nil, AdmissionNew, ErrQueueFull
+	}
+	s.inflight[digest] = j
+	s.remember(j)
+	s.mu.Unlock()
+	s.submitted.Add(1)
+	return j, AdmissionNew, nil
+}
+
+// cachedJob synthesizes a terminal record for a cache hit.
+func (s *Scheduler) cachedJob(spec *JobSpec, canonical []byte, digest Digest, res json.RawMessage) *Job {
+	j := &Job{
+		digest:    digest,
+		spec:      spec,
+		canonical: canonical,
+		done:      make(chan struct{}),
+		streamMu:  make(chan struct{}, 1),
+		state:     StateDone,
+		cached:    true,
+		result:    res,
+	}
+	close(j.done)
+	return j
+}
+
+// remember tracks a job record for GET /v1/jobs/{id}, bounded so the
+// record table cannot grow without limit. Eviction follows insertion
+// order, skipping jobs still in flight.
+func (s *Scheduler) remember(j *Job) {
+	cap := s.cfg.CacheEntries + len(s.shards)*s.cfg.QueueDepth
+	if _, exists := s.records[j.digest]; exists {
+		s.records[j.digest] = j // refresh in place; keep the log duplicate-free
+		return
+	}
+	s.records[j.digest] = j
+	s.recordLog = append(s.recordLog, j.digest)
+	for len(s.recordLog) > cap {
+		d := s.recordLog[0]
+		s.recordLog = s.recordLog[1:]
+		if old := s.records[d]; old != nil {
+			if _, running := s.inflight[d]; running {
+				s.recordLog = append(s.recordLog, d)
+				continue
+			}
+			delete(s.records, d)
+		}
+	}
+}
+
+// Job returns the record for a digest. A record evicted from the table
+// but still cached is resynthesized from the result store.
+func (s *Scheduler) Job(d Digest) (*Job, bool) {
+	s.mu.Lock()
+	if j, ok := s.records[d]; ok {
+		s.mu.Unlock()
+		return j, true
+	}
+	s.mu.Unlock()
+	if res, ok := s.cache.Get(d); ok {
+		spec := &JobSpec{} // spec body unknown; only the result survives eviction
+		j := &Job{
+			digest:   d,
+			spec:     spec,
+			done:     make(chan struct{}),
+			streamMu: make(chan struct{}, 1),
+			state:    StateDone,
+			cached:   true,
+			result:   res,
+		}
+		close(j.done)
+		return j, true
+	}
+	return nil, false
+}
+
+func (s *Scheduler) worker(si int) {
+	defer s.wg.Done()
+	sh := s.shards[si]
+	for j := range sh.ch {
+		s.runJob(sh, j)
+	}
+}
+
+func (s *Scheduler) runJob(sh *shard, j *Job) {
+	//lint:allow determinism -- serving-layer latency measurement; not simulation state
+	start := time.Now()
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = start
+	j.mu.Unlock()
+
+	var res json.RawMessage
+	var err error
+	for attempt := 0; ; attempt++ {
+		ctx := s.rootCtx
+		cancel := context.CancelFunc(func() {})
+		if s.cfg.JobTimeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		}
+		res, err = s.cfg.Runner(ctx, j.spec, ExecOptions{
+			Parallelism: s.cfg.Parallelism,
+			Events:      j.events,
+			Metrics:     j.metrics,
+		})
+		cancel()
+		j.mu.Lock()
+		j.attempts = attempt + 1
+		j.mu.Unlock()
+		if err == nil || !IsTransient(err) || attempt >= s.cfg.MaxRetries || s.rootCtx.Err() != nil {
+			break
+		}
+		s.retried.Add(1)
+	}
+
+	//lint:allow determinism -- serving-layer latency measurement; not simulation state
+	finished := time.Now()
+	elapsedMs := uint64(finished.Sub(start).Milliseconds())
+	sh.executed.Add(1)
+	sh.busyMs.Add(elapsedMs)
+	s.executed.Add(1)
+	s.latency.Observe(elapsedMs)
+
+	if err == nil {
+		s.cache.Put(j.digest, res)
+	} else {
+		s.failed.Add(1)
+	}
+	j.mu.Lock()
+	j.finished = finished
+	if err == nil {
+		j.state = StateDone
+		j.result = res
+	} else {
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+	j.mu.Unlock()
+
+	s.mu.Lock()
+	delete(s.inflight, j.digest)
+	s.mu.Unlock()
+	close(j.done)
+}
+
+// Draining reports whether the scheduler has begun shutting down.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully shuts the scheduler down: new submissions are
+// rejected with ErrDraining, queued and running jobs finish, and Drain
+// returns when every shard is idle. If ctx expires first, the remaining
+// jobs are cancelled through their run contexts and Drain waits for the
+// workers to observe it, returning ctx's error.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		for _, sh := range s.shards {
+			close(sh.ch)
+		}
+	}
+	s.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		s.rootCancel()
+		<-idle
+		return ctx.Err()
+	}
+}
+
+// Stop shuts down immediately: running jobs are cancelled and Stop
+// returns when the workers exit. For tests and benchmarks.
+func (s *Scheduler) Stop() {
+	s.rootCancel()
+	drainCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = s.Drain(drainCtx)
+}
+
+// ShardStats is one shard's state for /v1/stats.
+type ShardStats struct {
+	Depth       int     `json:"depth"`
+	Capacity    int     `json:"capacity"`
+	Executed    uint64  `json:"executed"`
+	BusyMs      uint64  `json:"busy_ms"`
+	Utilization float64 `json:"utilization"`
+}
+
+// LatencyStats summarises job run latency for /v1/stats.
+type LatencyStats struct {
+	Count     uint64                `json:"count"`
+	P50Ms     uint64                `json:"p50_ms"`
+	P99Ms     uint64                `json:"p99_ms"`
+	Histogram obs.HistogramSnapshot `json:"histogram"`
+}
+
+// JobCounters are the scheduler's admission and execution totals.
+type JobCounters struct {
+	Submitted         uint64 `json:"submitted"`
+	Coalesced         uint64 `json:"coalesced"`
+	Executed          uint64 `json:"executed"`
+	Retried           uint64 `json:"retried"`
+	Failed            uint64 `json:"failed"`
+	RejectedQueueFull uint64 `json:"rejected_queue_full"`
+	RejectedDraining  uint64 `json:"rejected_draining"`
+}
+
+// Stats is the full serialisable scheduler state for /v1/stats. The JSON
+// field names are a stable contract consumed by mcctl and CI smoke jobs.
+type Stats struct {
+	Draining      bool         `json:"draining"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Jobs          JobCounters  `json:"jobs"`
+	Cache         CacheStats   `json:"cache"`
+	Shards        []ShardStats `json:"shards"`
+	Latency       LatencyStats `json:"latency"`
+	Sim           obs.Snapshot `json:"sim"`
+}
+
+// Stats snapshots the scheduler.
+func (s *Scheduler) Stats() Stats {
+	//lint:allow determinism -- serving-layer uptime clock; not simulation state
+	uptime := time.Since(s.start)
+	st := Stats{
+		Draining:      s.Draining(),
+		UptimeSeconds: uptime.Seconds(),
+		Jobs: JobCounters{
+			Submitted:         s.submitted.Load(),
+			Coalesced:         s.coalescedTotal.Load(),
+			Executed:          s.executed.Load(),
+			Retried:           s.retried.Load(),
+			Failed:            s.failed.Load(),
+			RejectedQueueFull: s.rejectedFull.Load(),
+			RejectedDraining:  s.rejectedDraining.Load(),
+		},
+		Cache: s.cache.Stats(),
+		Latency: LatencyStats{
+			Count:     s.latency.Count(),
+			P50Ms:     s.latency.Quantile(0.50),
+			P99Ms:     s.latency.Quantile(0.99),
+			Histogram: s.latency.State(),
+		},
+		Sim: s.metrics.Snapshot(uptime),
+	}
+	st.Shards = make([]ShardStats, len(s.shards))
+	busyTotal := uint64(0)
+	for i, sh := range s.shards {
+		busy := sh.busyMs.Load()
+		busyTotal += busy
+		st.Shards[i] = ShardStats{
+			Depth:    len(sh.ch),
+			Capacity: s.cfg.QueueDepth,
+			Executed: sh.executed.Load(),
+			BusyMs:   busy,
+		}
+		if ms := uptime.Milliseconds(); ms > 0 {
+			st.Shards[i].Utilization = float64(busy) / float64(ms)
+		}
+	}
+	return st
+}
+
+// RetryAfter estimates how long a rejected caller should back off:
+// roughly one median job time per queued job ahead of it on the fullest
+// shard, clamped to [1s, 30s].
+func (s *Scheduler) RetryAfter() time.Duration {
+	depth := 0
+	for _, sh := range s.shards {
+		if d := len(sh.ch); d > depth {
+			depth = d
+		}
+	}
+	p50 := s.latency.Quantile(0.50)
+	if p50 == 0 {
+		p50 = 100 // no history yet: assume a fast job
+	}
+	est := time.Duration(uint64(depth)*p50) * time.Millisecond
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > 30*time.Second {
+		est = 30 * time.Second
+	}
+	return est
+}
+
+// String renders an admission for logs.
+func (a Admission) String() string {
+	switch a {
+	case AdmissionNew:
+		return "enqueued"
+	case AdmissionCoalesced:
+		return "coalesced"
+	case AdmissionCached:
+		return "cached"
+	default:
+		return fmt.Sprintf("Admission(%d)", int(a))
+	}
+}

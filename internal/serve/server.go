@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// maxSpecBytes bounds a submitted job spec; canonical specs are small,
+// and the limit keeps a misbehaving client from buffering gigabytes.
+const maxSpecBytes = 1 << 20
+
+// Server is the HTTP face of a Scheduler: the /v1 job API. It is an
+// http.Handler; mount it on any listener.
+type Server struct {
+	sched *Scheduler
+	mux   *http.ServeMux
+}
+
+// NewServer wraps a scheduler in the /v1 API.
+func NewServer(s *Scheduler) *Server {
+	srv := &Server{sched: s, mux: http.NewServeMux()}
+	srv.mux.HandleFunc("POST /v1/jobs", srv.handleSubmit)
+	srv.mux.HandleFunc("GET /v1/jobs/{id}", srv.handleJob)
+	srv.mux.HandleFunc("GET /v1/jobs/{id}/events", srv.handleEvents)
+	srv.mux.HandleFunc("GET /v1/healthz", srv.handleHealthz)
+	srv.mux.HandleFunc("GET /v1/stats", srv.handleStats)
+	return srv
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// apiError is the uniform JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// SubmitResponse is the POST /v1/jobs reply.
+type SubmitResponse struct {
+	ID        Digest    `json:"id"`
+	Admission string    `json:"admission"` // enqueued | coalesced | cached
+	Status    JobStatus `json:"status"`
+}
+
+// handleSubmit accepts a job spec, admits it and — when ?wait is given —
+// blocks until the job finishes or the wait budget expires.
+//
+//	200: terminal (cache hit, or wait satisfied)
+//	202: admitted, still queued or running
+//	400: malformed or invalid spec
+//	429: shard queue full (Retry-After set)
+//	503: draining
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "job spec exceeds %d bytes", maxSpecBytes)
+		return
+	}
+	spec, err := DecodeSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	job, adm, err := s.sched.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.sched.RetryAfter().Seconds())))
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	if wait, ok := parseWait(r.URL.Query().Get("wait")); ok {
+		ctx := r.Context()
+		if wait > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, wait)
+			defer cancel()
+		}
+		select {
+		case <-job.Done():
+		case <-ctx.Done():
+		}
+	}
+
+	st := job.Status()
+	code := http.StatusAccepted
+	if st.State == StateDone || st.State == StateFailed {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, SubmitResponse{ID: job.Digest(), Admission: adm.String(), Status: st})
+}
+
+// parseWait interprets the ?wait query parameter: absent/false disables
+// waiting; "true"/"1"/"" wait until the request context ends; otherwise
+// a Go duration ("30s") bounds the wait.
+func parseWait(v string) (time.Duration, bool) {
+	switch v {
+	case "":
+		return 0, false
+	case "0", "false", "no":
+		return 0, false
+	case "1", "true", "yes":
+		return 0, true
+	}
+	if d, err := time.ParseDuration(v); err == nil && d > 0 {
+		return d, true
+	}
+	return 0, false
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	d := Digest(r.PathValue("id"))
+	job, ok := s.sched.Job(d)
+	if !ok {
+		writeError(w, http.StatusNotFound, "serve: unknown job %s", d.Short())
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// handleEvents streams a running job's protocol events as NDJSON, one
+// event per line, flushed as emitted. One streamer per job: a second
+// concurrent reader gets 409. The stream ends when the job reaches a
+// terminal state and the ring is drained.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	d := Digest(r.PathValue("id"))
+	job, ok := s.sched.Job(d)
+	if !ok {
+		writeError(w, http.StatusNotFound, "serve: unknown job %s", d.Short())
+		return
+	}
+	if job.ring == nil {
+		// Cache hits never ran here; there is no event stream.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	select {
+	case job.streamMu <- struct{}{}:
+		defer func() { <-job.streamMu }()
+	default:
+		writeError(w, http.StatusConflict, "serve: job %s already has an event streamer", d.Short())
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	onLine := func() {}
+	if flusher != nil {
+		onLine = flusher.Flush
+	}
+	stream := obs.NewJSONLStream(w, runTag(job.spec), onLine)
+
+	ctx := r.Context()
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		job.ring.Drain(stream)
+		if stream.Err() != nil {
+			return // client went away
+		}
+		select {
+		case <-job.Done():
+			job.ring.Drain(stream)
+			_ = stream.Flush()
+			return
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// runTag picks the JSONL run tag for a job's event stream: the base seed
+// where the spec has one.
+func runTag(spec *JobSpec) int64 {
+	switch {
+	case spec == nil:
+		return 0
+	case spec.Sweep != nil:
+		return spec.Sweep.Seed
+	case spec.Campaign != nil:
+		return spec.Campaign.Seed
+	default:
+		return 0
+	}
+}
+
+// HealthResponse is the GET /v1/healthz reply.
+type HealthResponse struct {
+	Status string `json:"status"` // ok | draining
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.sched.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.Stats())
+}

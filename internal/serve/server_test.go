@@ -1,0 +1,362 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newTestService starts a scheduler (wrapping Execute in a run counter)
+// behind an httptest server and returns a client for it.
+func newTestService(t *testing.T, cfg Config) (*Client, *Scheduler, *atomic.Int64) {
+	t.Helper()
+	var runs atomic.Int64
+	inner := cfg.Runner
+	if inner == nil {
+		inner = Execute
+	}
+	cfg.Runner = func(ctx context.Context, spec *JobSpec, opt ExecOptions) (json.RawMessage, error) {
+		runs.Add(1)
+		return inner(ctx, spec, opt)
+	}
+	sched, err := NewScheduler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sched.Stop)
+	ts := httptest.NewServer(NewServer(sched))
+	t.Cleanup(ts.Close)
+	return NewClient(ts.URL), sched, &runs
+}
+
+const smallSweep = `{"sweep":{"protocol":"majorcan_5","nodes":5,"frames":50,"berStar":0.02,"seed":7,"eofOnly":true,"resetCounters":true}}`
+
+func TestServiceEndToEndCacheHit(t *testing.T) {
+	client, sched, runs := newTestService(t, Config{Shards: 2})
+	ctx := context.Background()
+
+	// Cold submit: the job runs and returns a sweep outcome.
+	resp, err := client.Submit(ctx, mustDecode(t, smallSweep), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Admission != "enqueued" || resp.Status.State != StateDone {
+		t.Fatalf("cold submit: %+v", resp)
+	}
+	var outcome struct {
+		Summary struct {
+			Frames int `json:"frames"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal(resp.Status.Result, &outcome); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	if outcome.Summary.Frames != 50 {
+		t.Fatalf("sweep covered %d frames, want 50", outcome.Summary.Frames)
+	}
+
+	simBefore := sched.Stats().Sim.BitsSimulated
+	if simBefore == 0 {
+		t.Fatal("scheduler metrics registry saw no simulated bits; job telemetry not wired")
+	}
+
+	// Byte-identical resubmit: answered from the cache. Acceptance
+	// criterion: zero new simulation steps, and the stats hit counter
+	// moves.
+	resp2, err := client.Submit(ctx, mustDecode(t, smallSweep), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Admission != "cached" || !resp2.Status.Cached {
+		t.Fatalf("resubmit admission %q cached=%v, want cache hit", resp2.Admission, resp2.Status.Cached)
+	}
+	if resp2.ID != resp.ID {
+		t.Fatalf("resubmit digest %s != original %s", resp2.ID, resp.ID)
+	}
+	if string(resp2.Status.Result) != string(resp.Status.Result) {
+		t.Fatal("cached result differs from the computed one")
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("runner executed %d times, want 1 (cache hit must not re-run)", got)
+	}
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sim.BitsSimulated != simBefore {
+		t.Fatalf("resubmit simulated %d new bits, want 0", stats.Sim.BitsSimulated-simBefore)
+	}
+	if stats.Cache.Hits != 1 {
+		t.Fatalf("/v1/stats cache hits = %d, want 1", stats.Cache.Hits)
+	}
+}
+
+func TestServiceCoalescesConcurrentIdenticalSubmits(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	gate := func(ctx context.Context, spec *JobSpec, opt ExecOptions) (json.RawMessage, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return Execute(ctx, spec, opt)
+	}
+	client, _, runs := newTestService(t, Config{Shards: 4, Runner: gate})
+	ctx := context.Background()
+
+	// First caller starts the job; the rest pile in while it runs.
+	var wg sync.WaitGroup
+	results := make([]*SubmitResponse, 6)
+	errs := make([]error, 6)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = client.Submit(ctx, mustDecode(t, smallSweep), -1)
+		}(i)
+		if i == 0 {
+			<-started
+		}
+	}
+	time.AfterFunc(100*time.Millisecond, func() { close(release) })
+	wg.Wait()
+
+	var firstResult string
+	for i, r := range results {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if r.Status.State != StateDone {
+			t.Fatalf("caller %d state %q", i, r.Status.State)
+		}
+		if firstResult == "" {
+			firstResult = string(r.Status.Result)
+		} else if string(r.Status.Result) != firstResult {
+			t.Fatalf("caller %d got a different result", i)
+		}
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("%d identical concurrent submits ran the simulation %d times, want exactly 1", len(results), got)
+	}
+}
+
+func TestServiceQueueFullReturns429(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	started := make(chan struct{}, 1)
+	stuck := func(ctx context.Context, spec *JobSpec, opt ExecOptions) (json.RawMessage, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		select {
+		case <-block:
+			return json.RawMessage(`"ok"`), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	client, _, _ := newTestService(t, Config{Shards: 1, QueueDepth: 1, Runner: stuck})
+	ctx := context.Background()
+
+	submit := func(seed int) error {
+		_, err := client.Submit(ctx, mustDecode(t,
+			fmt.Sprintf(`{"sweep":{"protocol":"can","frames":10,"seed":%d}}`, seed)), 0)
+		return err
+	}
+	if err := submit(1); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if err := submit(2); err != nil {
+		t.Fatal(err)
+	}
+	err := submit(3)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit err = %v, want 429", err)
+	}
+	if ae.RetryAfter < time.Second {
+		t.Fatalf("Retry-After %s, want >= 1s", ae.RetryAfter)
+	}
+}
+
+func TestServiceDrainRejectsNewFinishesInFlight(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	gate := func(ctx context.Context, spec *JobSpec, opt ExecOptions) (json.RawMessage, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		select {
+		case <-release:
+			return json.RawMessage(`"done"`), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	client, sched, _ := newTestService(t, Config{Shards: 1, Runner: gate})
+	ctx := context.Background()
+
+	resp, err := client.Submit(ctx, mustDecode(t, smallSweep), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// SIGTERM path: drain in the background while the job is mid-flight.
+	drained := make(chan error, 1)
+	go func() { drained <- sched.Drain(context.Background()) }()
+	waitFor(t, sched.Draining, "scheduler to enter draining state")
+
+	// New work is rejected with 503 while the drain runs...
+	_, err = client.Submit(ctx, mustDecode(t, `{"sweep":{"protocol":"can","frames":10,"seed":99}}`), 0)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain err = %v, want 503", err)
+	}
+	if status, err := client.Healthz(ctx); err != nil || status != "draining" {
+		t.Fatalf("healthz during drain = %q, %v", status, err)
+	}
+
+	// ...and the in-flight job still completes.
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	st, err := client.Job(ctx, resp.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || string(st.Result) != `"done"` {
+		t.Fatalf("in-flight job after drain: %+v, want done", st)
+	}
+}
+
+func TestServiceEventStream(t *testing.T) {
+	client, _, _ := newTestService(t, Config{Shards: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	resp, err := client.Submit(ctx, mustDecode(t, smallSweep), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The job is done; its ring still holds the tail of the event stream.
+	var lines int
+	err = client.Events(ctx, resp.ID, func(line []byte) error {
+		lines++
+		var ev struct {
+			Run  int64  `json:"run"`
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("bad NDJSON line %q: %w", line, err)
+		}
+		if ev.Kind == "" {
+			return fmt.Errorf("event without kind: %q", line)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("event stream empty; job telemetry not reaching the ring")
+	}
+}
+
+func TestServiceRejectsMalformedSpecs(t *testing.T) {
+	client, _, _ := newTestService(t, Config{Shards: 1})
+	ctx := context.Background()
+	for _, body := range []string{
+		`{`,
+		`{"sweep":{"protocol":"warpdrive"}}`,
+		`{"sweep":{"protocol":"can","bogus":1}}`,
+		`{}`,
+	} {
+		req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+			client.BaseURL+"/v1/jobs", strings.NewReader(body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestServiceUnknownJob404(t *testing.T) {
+	client, _, _ := newTestService(t, Config{Shards: 1})
+	_, err := client.Job(context.Background(), Digest(strings.Repeat("ab", 32)))
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != http.StatusNotFound {
+		t.Fatalf("unknown job err = %v, want 404", err)
+	}
+}
+
+func TestServiceRunsEveryJobKind(t *testing.T) {
+	client, _, _ := newTestService(t, Config{Shards: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for _, tc := range []struct {
+		kind Kind
+		spec string
+	}{
+		{KindSweep, `{"sweep":{"protocol":"can","frames":20,"berStar":0.01,"seed":1}}`},
+		{KindCampaign, `{"campaign":{"protocol":"can","trials":5,"seed":1}}`},
+		{KindVerify, `{"verify":{"protocol":"majorcan_3","stations":4,"maxFlips":1}}`},
+		{KindScript, `{"script":{"protocol":"can","nodes":5,"frames":1}}`},
+	} {
+		resp, err := client.Submit(ctx, mustDecode(t, tc.spec), -1)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.kind, err)
+		}
+		if resp.Status.State != StateDone {
+			t.Fatalf("%s: state %q (error %q)", tc.kind, resp.Status.State, resp.Status.Error)
+		}
+		if len(resp.Status.Result) == 0 || !json.Valid(resp.Status.Result) {
+			t.Fatalf("%s: result not valid JSON", tc.kind)
+		}
+	}
+}
+
+func TestServiceStatsShape(t *testing.T) {
+	client, _, _ := newTestService(t, Config{Shards: 3})
+	ctx := context.Background()
+	if _, err := client.Submit(ctx, mustDecode(t, smallSweep), -1); err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Shards) != 3 {
+		t.Fatalf("stats lists %d shards, want 3", len(st.Shards))
+	}
+	if st.Jobs.Submitted != 1 || st.Jobs.Executed != 1 {
+		t.Fatalf("job counters %+v", st.Jobs)
+	}
+	if st.Latency.Count != 1 {
+		t.Fatalf("latency count %d, want 1", st.Latency.Count)
+	}
+	if st.UptimeSeconds <= 0 {
+		t.Fatal("uptime not reported")
+	}
+}

@@ -96,15 +96,16 @@ func SweepSeedsObserved(ctx context.Context, cfg MCConfig, seeds []int64, parall
 	return points
 }
 
-// SweepSummary aggregates a sweep.
+// SweepSummary aggregates a sweep. The JSON field names are part of the
+// job-result contract served by the simulation service.
 type SweepSummary struct {
-	Points     int
-	Frames     int
-	IMOs       int
-	Duplicates int
-	Flips      uint64
-	Errors     int // points that failed to run
-	Cancelled  int // points skipped because the sweep was cancelled
+	Points     int    `json:"points"`
+	Frames     int    `json:"frames"`
+	IMOs       int    `json:"imos"`
+	Duplicates int    `json:"duplicates"`
+	Flips      uint64 `json:"flips"`
+	Errors     int    `json:"errors"`    // points that failed to run
+	Cancelled  int    `json:"cancelled"` // points skipped because the sweep was cancelled
 }
 
 // IMORate returns IMOs per frame across the sweep.

@@ -1,0 +1,108 @@
+package verify
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Spec is the canonical, JSON-serialisable description of an exhaustive
+// verification job: the Config fields with the protocol by name, so the
+// spec travels over the wire and hashes to a stable job digest.
+// Parallelism is excluded — the enumerated pattern space and the verdict
+// are independent of worker count.
+type Spec struct {
+	// Protocol selects the variant, as accepted by core.ParsePolicy.
+	Protocol string `json:"protocol"`
+	// Stations is the bus size (station 0 transmits; default 4).
+	Stations int `json:"stations"`
+	// MaxFlips bounds the pattern size k.
+	MaxFlips int `json:"maxFlips"`
+	// Positions is the number of EOF-relative positions to disturb
+	// (0 = the policy's full decision region).
+	Positions int `json:"positions,omitempty"`
+	// CrashSweep additionally crashes each station at its first flag.
+	CrashSweep bool `json:"crashSweep,omitempty"`
+	// SlotsBudget bounds each simulation (default 6000).
+	SlotsBudget int `json:"slotsBudget,omitempty"`
+}
+
+// Normalize fills defaulted fields in place.
+func (s *Spec) Normalize() {
+	if s.Stations == 0 {
+		s.Stations = 4
+	}
+	if s.MaxFlips == 0 {
+		s.MaxFlips = 1
+	}
+}
+
+// Validate checks the spec's structural invariants.
+func (s Spec) Validate() error {
+	if _, err := core.ParsePolicy(s.Protocol); err != nil {
+		return fmt.Errorf("verify: spec: %w", err)
+	}
+	if s.Stations != 0 && s.Stations < 3 {
+		return fmt.Errorf("verify: spec needs >= 3 stations, got %d", s.Stations)
+	}
+	if s.MaxFlips < 0 {
+		return fmt.Errorf("verify: spec maxFlips %d negative", s.MaxFlips)
+	}
+	return nil
+}
+
+// Config resolves the spec to a Config with the given parallelism.
+func (s Spec) Config(parallelism int) (Config, error) {
+	if err := s.Validate(); err != nil {
+		return Config{}, err
+	}
+	policy, err := core.ParsePolicy(s.Protocol)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Policy:      policy,
+		Stations:    s.Stations,
+		MaxFlips:    s.MaxFlips,
+		Positions:   s.Positions,
+		SlotsBudget: s.SlotsBudget,
+		CrashSweep:  s.CrashSweep,
+		Parallelism: parallelism,
+	}, nil
+}
+
+// SpecOutcome is the serialisable result of a verification job.
+type SpecOutcome struct {
+	Spec       Spec     `json:"spec"`
+	Checked    int      `json:"checked"`
+	PatternsBy []int    `json:"patternsBy"`
+	Consistent bool     `json:"consistent"`
+	Violations []string `json:"violations"`
+}
+
+// RunSpec executes a verification spec: the entry point the simulation
+// service's scheduler and the verify CLI share. Parallelism bounds
+// concurrent simulations; cancelling ctx aborts the enumeration.
+func RunSpec(ctx context.Context, spec Spec, parallelism int) (*SpecOutcome, error) {
+	spec.Normalize()
+	cfg, err := spec.Config(parallelism)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := ExhaustiveContext(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &SpecOutcome{
+		Spec:       spec,
+		Checked:    rep.Checked,
+		PatternsBy: rep.PatternsBy,
+		Consistent: rep.Consistent(),
+		Violations: make([]string, 0, len(rep.Violations)),
+	}
+	for _, v := range rep.Violations {
+		out.Violations = append(out.Violations, v.String())
+	}
+	return out, nil
+}

@@ -10,6 +10,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -174,6 +175,14 @@ func (r *Report) Summary() string {
 // Exhaustive enumerates every pattern of 1..MaxFlips flips over the
 // decision region and simulates each one.
 func Exhaustive(cfg Config) (*Report, error) {
+	return ExhaustiveContext(context.Background(), cfg)
+}
+
+// ExhaustiveContext is Exhaustive with cancellation: when ctx is
+// cancelled the enumeration stops early and the partial report is
+// returned alongside ctx's error, so a server drain or per-job timeout
+// ends a long verification promptly.
+func ExhaustiveContext(ctx context.Context, cfg Config) (*Report, error) {
 	if cfg.Stations == 0 {
 		cfg.Stations = 4
 	}
@@ -249,6 +258,9 @@ func Exhaustive(cfg Config) (*Report, error) {
 	pattern := make(Pattern, 0, cfg.MaxFlips)
 	var walk func(start, remaining int)
 	walk = func(start, remaining int) {
+		if ctx.Err() != nil {
+			return
+		}
 		if len(pattern) > 0 {
 			rep.PatternsBy[len(pattern)]++
 			rep.Checked++
@@ -272,6 +284,9 @@ func Exhaustive(cfg Config) (*Report, error) {
 	<-collected
 	if collectErr != nil {
 		return nil, collectErr
+	}
+	if err := ctx.Err(); err != nil {
+		return rep, err
 	}
 	sort.Slice(rep.Violations, func(i, j int) bool {
 		return len(rep.Violations[i].Pattern) < len(rep.Violations[j].Pattern)

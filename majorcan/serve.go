@@ -1,0 +1,56 @@
+package majorcan
+
+import (
+	"net/http"
+
+	"repro/internal/serve"
+)
+
+// The serving layer re-exported: applications can embed the simulation
+// service, or talk to one, without importing internal packages. The
+// mcservd and mcctl commands are thin wrappers over this surface.
+
+// JobSpec is the canonical job description the simulation service
+// accepts: exactly one of a sweep, campaign, verify or script payload.
+type JobSpec = serve.JobSpec
+
+// JobDigest is a job's content address: the SHA-256 of its normalized
+// canonical JSON. Equal digests mean equal jobs — and, the simulator
+// being deterministic, equal results.
+type JobDigest = serve.Digest
+
+// DecodeJobSpec strictly parses, normalizes and validates a job spec.
+func DecodeJobSpec(data []byte) (*JobSpec, error) { return serve.DecodeSpec(data) }
+
+// Job kinds accepted by the service.
+const (
+	JobSweep    = serve.KindSweep
+	JobCampaign = serve.KindCampaign
+	JobVerify   = serve.KindVerify
+	JobScript   = serve.KindScript
+)
+
+// ServiceConfig parameterises an embedded simulation service.
+type ServiceConfig = serve.Config
+
+// Scheduler is the service core: sharded workers, single-flight
+// coalescing and the content-addressed result cache.
+type Scheduler = serve.Scheduler
+
+// NewScheduler starts a scheduler with the given configuration.
+func NewScheduler(cfg ServiceConfig) (*Scheduler, error) { return serve.NewScheduler(cfg) }
+
+// NewServiceHandler wraps a scheduler in the /v1 HTTP API.
+func NewServiceHandler(s *Scheduler) http.Handler { return serve.NewServer(s) }
+
+// ServiceClient talks to a simulation service over its /v1 API.
+type ServiceClient = serve.Client
+
+// NewServiceClient creates a client for the given service root URL.
+func NewServiceClient(baseURL string) *ServiceClient { return serve.NewClient(baseURL) }
+
+// JobStatus is a job's serialisable state as reported by the service.
+type JobStatus = serve.JobStatus
+
+// ServiceStats is the full scheduler statistics document (/v1/stats).
+type ServiceStats = serve.Stats
