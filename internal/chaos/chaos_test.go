@@ -1,6 +1,8 @@
 package chaos
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/abcheck"
@@ -42,6 +44,26 @@ func TestRunFig3aProducesIMO(t *testing.T) {
 	vs := Violations(r, DefaultProbes())
 	if len(vs) == 0 {
 		t.Error("default probes must report the violation")
+	}
+}
+
+func TestRunObservedContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunObservedContext(ctx, fig3aScript(), Telemetry{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled replay err = %v, want context.Canceled", err)
+	}
+	// A live context must not perturb the simulated outcome.
+	a, err := RunObservedContext(context.Background(), fig3aScript(), Telemetry{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(fig3aScript())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest || a.Slots != b.Slots {
+		t.Errorf("context-threaded run digests %s/%d, plain run %s/%d", a.DigestHex, a.Slots, b.DigestHex, b.Slots)
 	}
 }
 

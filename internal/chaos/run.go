@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/abcheck"
@@ -96,6 +97,15 @@ func Run(s Script) (*Result, error) {
 // per-bit hot path and the simulated outcome (digest included) is
 // identical with and without telemetry.
 func RunObserved(s Script, t Telemetry) (*Result, error) {
+	return RunObservedContext(context.Background(), s, t)
+}
+
+// RunObservedContext is RunObserved with cancellation: ctx is checked
+// between frames and periodically through the post-traffic drain, so a
+// scheduler timeout or shutdown interrupts a replay promptly. A
+// cancelled run returns ctx's error and no partial result; ctx never
+// influences the simulated outcome of a run that completes.
+func RunObservedContext(ctx context.Context, s Script, t Telemetry) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -240,6 +250,9 @@ func RunObserved(s Script, t Telemetry) (*Result, error) {
 	tr := abcheck.Trace{Nodes: s.Nodes, Faulty: make(map[int]bool)}
 
 	for i := 0; i < s.Frames; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		origin := 0
 		if s.RotateOrigins {
 			origin = i % s.Nodes
@@ -278,10 +291,20 @@ func RunObserved(s Script, t Telemetry) (*Result, error) {
 		drain += 1600
 	}
 	for cluster.Net.Slot() < maxFaultSlot {
+		// A fault window can sit arbitrarily far past the traffic; keep
+		// the cancellation check off the per-slot hot path.
+		if cluster.Net.Slot()%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		step()
 	}
 	for i := 0; i < drain; i++ {
 		step()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	res.Quiet = runUntilQuiet(slotsPerFrame)
 

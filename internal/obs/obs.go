@@ -68,6 +68,12 @@ const (
 	// KindRecover is a bus-off station rejoining error-active after
 	// monitoring 128 occurrences of 11 consecutive recessive bits.
 	KindRecover
+	// KindAttemptRetry is a harness-level attempt boundary: the previous
+	// execution attempt of a job failed transiently and the run is
+	// starting over, so events after this marker belong to the new
+	// attempt. Station is -1, Slot restarts from the new attempt, Aux
+	// carries the number of attempts already completed.
+	KindAttemptRetry
 )
 
 func (k Kind) String() string {
@@ -94,6 +100,8 @@ func (k Kind) String() string {
 		return "bus-off"
 	case KindRecover:
 		return "recover"
+	case KindAttemptRetry:
+		return "attempt-retry"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

@@ -24,6 +24,7 @@ func TestKindStrings(t *testing.T) {
 		KindIMO:                "imo",
 		KindBusOff:             "bus-off",
 		KindRecover:            "recover",
+		KindAttemptRetry:       "attempt-retry",
 	}
 	for k, s := range want {
 		if k.String() != s {

@@ -10,12 +10,22 @@ import (
 	"sync/atomic"
 )
 
+// Entry is one stored cache value: the canonical job spec that produced
+// a result plus the canonical result JSON. Keeping the spec next to the
+// result lets a job record evicted from the scheduler's table be
+// resynthesized with its full spec — kind included — instead of a bare
+// result blob, and makes every spool file self-describing.
+type Entry struct {
+	Spec   json.RawMessage `json:"spec"`
+	Result json.RawMessage `json:"result"`
+}
+
 // Cache is the content-addressed result store: an in-memory LRU over
-// canonical result JSON, keyed by job digest, with an optional on-disk
-// JSON spool behind it. Determinism makes it sound: a digest fully
-// determines its result, so an entry can never go stale — eviction is
-// purely a capacity concern, and a spool file written by any process is
-// valid for every other.
+// canonical entries, keyed by job digest, with an optional on-disk JSON
+// spool behind it. Determinism makes it sound: a digest fully determines
+// its result, so an entry can never go stale — eviction is purely a
+// capacity concern, and a spool file written by any process is valid for
+// every other.
 type Cache struct {
 	mu    sync.Mutex
 	max   int
@@ -33,7 +43,7 @@ type Cache struct {
 
 type cacheEntry struct {
 	digest Digest
-	result json.RawMessage
+	entry  Entry
 }
 
 // NewCache creates a cache holding at most max in-memory entries
@@ -60,51 +70,63 @@ func (c *Cache) spoolPath(d Digest) string {
 	return filepath.Join(c.spool, string(d)+".json")
 }
 
-// Get returns the cached result for a digest. A memory miss falls back
-// to the spool; a spool hit is promoted into memory.
-func (c *Cache) Get(d Digest) (json.RawMessage, bool) {
+// Get returns the cached entry for a digest. A memory miss falls back to
+// the spool; a spool hit is promoted into memory. Only well-formed
+// digests (Digest.Valid) touch the spool: the digest becomes a file
+// name, and job ids arrive from the URL path, so an unchecked one could
+// address arbitrary *.json files outside the spool directory.
+func (c *Cache) Get(d Digest) (Entry, bool) {
 	c.mu.Lock()
 	if el, ok := c.items[d]; ok {
 		c.ll.MoveToFront(el)
-		res := el.Value.(*cacheEntry).result
+		e := el.Value.(*cacheEntry).entry
 		c.mu.Unlock()
 		c.hits.Add(1)
-		return res, true
+		return e, true
 	}
 	c.mu.Unlock()
-	if c.spool != "" {
-		if data, err := os.ReadFile(c.spoolPath(d)); err == nil && json.Valid(data) {
-			c.hits.Add(1)
-			c.spoolHits.Add(1)
-			c.insert(d, data)
-			return data, true
+	if c.spool != "" && d.Valid() {
+		if data, err := os.ReadFile(c.spoolPath(d)); err == nil {
+			var e Entry
+			if json.Unmarshal(data, &e) == nil && len(e.Result) > 0 && json.Valid(e.Result) {
+				c.hits.Add(1)
+				c.spoolHits.Add(1)
+				c.insert(d, e)
+				return e, true
+			}
 		}
 	}
 	c.misses.Add(1)
-	return nil, false
+	return Entry{}, false
 }
 
-// Put stores a result under its digest, evicting least-recently-used
+// Put stores an entry under its digest, evicting least-recently-used
 // entries beyond capacity and writing through to the spool. Spool write
-// failures are counted, not fatal: the memory entry stands.
-func (c *Cache) Put(d Digest, result json.RawMessage) {
-	c.insert(d, result)
-	if c.spool != "" {
-		if err := writeFileAtomic(c.spoolPath(d), result); err != nil {
+// failures are counted, not fatal: the memory entry stands. Malformed
+// digests are never spooled (see Get), so the spool holds only files
+// named by true content addresses.
+func (c *Cache) Put(d Digest, e Entry) {
+	c.insert(d, e)
+	if c.spool != "" && d.Valid() {
+		data, err := json.Marshal(e)
+		if err == nil {
+			err = writeFileAtomic(c.spoolPath(d), data)
+		}
+		if err != nil {
 			c.spoolFails.Add(1)
 		}
 	}
 }
 
-func (c *Cache) insert(d Digest, result json.RawMessage) {
+func (c *Cache) insert(d Digest, e Entry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[d]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).result = result
+		el.Value.(*cacheEntry).entry = e
 		return
 	}
-	c.items[d] = c.ll.PushFront(&cacheEntry{digest: d, result: result})
+	c.items[d] = c.ll.PushFront(&cacheEntry{digest: d, entry: e})
 	for c.ll.Len() > c.max {
 		back := c.ll.Back()
 		c.ll.Remove(back)

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -8,23 +10,37 @@ import (
 	"testing"
 )
 
+// testDigest derives a well-formed content address from a label, so
+// tests exercise the same digest shape production uses (spool lookups
+// reject anything else).
+func testDigest(label string) Digest {
+	sum := sha256.Sum256([]byte(label))
+	return Digest(hex.EncodeToString(sum[:]))
+}
+
+// ent wraps a result in a minimal cache entry.
+func ent(result string) Entry {
+	return Entry{Spec: json.RawMessage(`{}`), Result: json.RawMessage(result)}
+}
+
 func TestCacheLRUEviction(t *testing.T) {
 	c, err := NewCache(2, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Put("a", json.RawMessage(`1`))
-	c.Put("b", json.RawMessage(`2`))
-	if _, ok := c.Get("a"); !ok { // touch a: b becomes LRU
+	a, b, cc := testDigest("a"), testDigest("b"), testDigest("c")
+	c.Put(a, ent(`1`))
+	c.Put(b, ent(`2`))
+	if _, ok := c.Get(a); !ok { // touch a: b becomes LRU
 		t.Fatal("a missing")
 	}
-	c.Put("c", json.RawMessage(`3`))
-	if _, ok := c.Get("b"); ok {
+	c.Put(cc, ent(`3`))
+	if _, ok := c.Get(b); ok {
 		t.Fatal("b survived eviction; LRU order not respected")
 	}
-	for _, d := range []Digest{"a", "c"} {
+	for _, d := range []Digest{a, cc} {
 		if _, ok := c.Get(d); !ok {
-			t.Fatalf("%s evicted, want retained", d)
+			t.Fatalf("%s evicted, want retained", d.Short())
 		}
 	}
 	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
@@ -38,14 +54,15 @@ func TestCacheSpoolRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Put("a", json.RawMessage(`{"x":1}`))
-	c.Put("b", json.RawMessage(`{"x":2}`)) // evicts a from memory
-	res, ok := c.Get("a")
+	a, b := testDigest("a"), testDigest("b")
+	c.Put(a, ent(`{"x":1}`))
+	c.Put(b, ent(`{"x":2}`)) // evicts a from memory
+	e, ok := c.Get(a)
 	if !ok {
 		t.Fatal("spool fallback failed after memory eviction")
 	}
-	if string(res) != `{"x":1}` {
-		t.Fatalf("spool returned %s", res)
+	if string(e.Result) != `{"x":1}` {
+		t.Fatalf("spool returned %s", e.Result)
 	}
 	if st := c.Stats(); st.SpoolHits != 1 {
 		t.Fatalf("spool hits = %d, want 1", st.SpoolHits)
@@ -58,8 +75,8 @@ func TestCacheSpoolRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res, ok := c2.Get("b"); !ok || string(res) != `{"x":2}` {
-		t.Fatalf("cross-process spool read: ok=%v res=%s", ok, res)
+	if e, ok := c2.Get(b); !ok || string(e.Result) != `{"x":2}` {
+		t.Fatalf("cross-process spool read: ok=%v res=%s", ok, e.Result)
 	}
 }
 
@@ -69,11 +86,51 @@ func TestCacheRejectsCorruptSpoolEntry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte("{torn"), 0o644); err != nil {
+	for i, body := range []string{
+		"{torn",             // invalid JSON
+		`[1,2,3]`,           // valid JSON, wrong shape
+		`{"spec":{}}`,       // entry without a result
+		`{"result":"{bad}}`, // truncated result string
+	} {
+		d := testDigest(fmt.Sprintf("corrupt-%d", i))
+		if err := os.WriteFile(filepath.Join(dir, string(d)+".json"), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.Get(d); ok {
+			t.Fatalf("corrupt spool entry %q served as a result", body)
+		}
+	}
+}
+
+func TestCacheSpoolRequiresWellFormedDigest(t *testing.T) {
+	// The spool lives in a subdirectory with a valid-JSON loot file next
+	// to it; a digest smuggling path separators must not reach it.
+	root := t.TempDir()
+	spool := filepath.Join(root, "spool")
+	c, err := NewCache(1, spool)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.Get("bad"); ok {
-		t.Fatal("corrupt spool entry served as a result")
+	loot, _ := json.Marshal(ent(`"secret"`))
+	if err := os.WriteFile(filepath.Join(root, "loot.json"), loot, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []Digest{
+		"../loot",
+		Digest("../" + testDigest("x")),
+		"loot",
+		Digest(testDigest("x")[:63]),          // too short
+		Digest(string(testDigest("x")) + "a"), // too long
+		Digest("A" + testDigest("x")[1:]),     // uppercase hex
+	} {
+		if _, ok := c.Get(d); ok {
+			t.Fatalf("malformed digest %q read through the spool", d)
+		}
+	}
+	// Malformed digests are never written to the spool either.
+	c.Put("../loot2", ent(`1`))
+	if _, err := os.Stat(filepath.Join(root, "loot2.json")); !os.IsNotExist(err) {
+		t.Fatal("malformed digest escaped the spool directory on Put")
 	}
 }
 
@@ -83,13 +140,14 @@ func TestCacheSpoolFilesAreAtomic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Put("a", json.RawMessage(`[1,2,3]`))
+	a := testDigest("a")
+	c.Put(a, ent(`[1,2,3]`))
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, e := range entries {
-		if e.Name() != "a.json" {
+		if e.Name() != string(a)+".json" {
 			t.Fatalf("unexpected spool residue %q (temp file not cleaned up?)", e.Name())
 		}
 	}
@@ -101,11 +159,11 @@ func TestCacheHitRatio(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		c.Put(Digest(fmt.Sprintf("d%d", i)), json.RawMessage(`0`))
+		c.Put(testDigest(fmt.Sprintf("d%d", i)), ent(`0`))
 	}
-	c.Get("d0")
-	c.Get("d1")
-	c.Get("missing")
+	c.Get(testDigest("d0"))
+	c.Get(testDigest("d1"))
+	c.Get(testDigest("missing"))
 	st := c.Stats()
 	if st.Hits != 2 || st.Misses != 1 {
 		t.Fatalf("hits=%d misses=%d, want 2/1", st.Hits, st.Misses)

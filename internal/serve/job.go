@@ -69,6 +69,24 @@ func (d Digest) Short() string {
 	return string(d)
 }
 
+// Valid reports whether d is a well-formed content address: exactly 64
+// lowercase hex digits, the form Canonical produces. Everything that
+// accepts a digest from outside (the URL path, the spool) must check
+// this first — a digest that fails Valid can never name a job, and an
+// unchecked one could smuggle path separators into spool lookups.
+func (d Digest) Valid() bool {
+	if len(d) != 64 {
+		return false
+	}
+	for i := 0; i < len(d); i++ {
+		c := d[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // DecodeSpec strictly parses a job spec (unknown fields are errors, so
 // typos cannot silently change a job's content address), normalizes it
 // and validates it.

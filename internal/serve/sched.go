@@ -305,8 +305,8 @@ func (s *Scheduler) Submit(spec *JobSpec) (*Job, Admission, error) {
 		s.rejectedDraining.Add(1)
 		return nil, AdmissionNew, ErrDraining
 	}
-	if res, ok := s.cache.Get(digest); ok {
-		j := s.cachedJob(spec, canonical, digest, res)
+	if ent, ok := s.cache.Get(digest); ok {
+		j := s.cachedJob(spec, canonical, digest, ent.Result)
 		s.remember(j)
 		s.mu.Unlock()
 		s.submitted.Add(1)
@@ -370,25 +370,28 @@ func (s *Scheduler) cachedJob(spec *JobSpec, canonical []byte, digest Digest, re
 
 // remember tracks a job record for GET /v1/jobs/{id}, bounded so the
 // record table cannot grow without limit. Eviction follows insertion
-// order, skipping jobs still in flight.
+// order, skipping jobs still in flight. The limit covers the worst-case
+// in-flight population (every queue full plus one job running per
+// shard), and the scan is bounded to one pass over the log: rotating an
+// in-flight digest to the back never shrinks the log, so an unbounded
+// loop would spin forever under Scheduler.mu if every logged record
+// were in flight.
 func (s *Scheduler) remember(j *Job) {
-	cap := s.cfg.CacheEntries + len(s.shards)*s.cfg.QueueDepth
+	limit := s.cfg.CacheEntries + len(s.shards)*(s.cfg.QueueDepth+1)
 	if _, exists := s.records[j.digest]; exists {
 		s.records[j.digest] = j // refresh in place; keep the log duplicate-free
 		return
 	}
 	s.records[j.digest] = j
 	s.recordLog = append(s.recordLog, j.digest)
-	for len(s.recordLog) > cap {
+	for scan := len(s.recordLog); scan > 0 && len(s.recordLog) > limit; scan-- {
 		d := s.recordLog[0]
 		s.recordLog = s.recordLog[1:]
-		if old := s.records[d]; old != nil {
-			if _, running := s.inflight[d]; running {
-				s.recordLog = append(s.recordLog, d)
-				continue
-			}
-			delete(s.records, d)
+		if _, running := s.inflight[d]; running {
+			s.recordLog = append(s.recordLog, d)
+			continue
 		}
+		delete(s.records, d)
 	}
 }
 
@@ -401,16 +404,22 @@ func (s *Scheduler) Job(d Digest) (*Job, bool) {
 		return j, true
 	}
 	s.mu.Unlock()
-	if res, ok := s.cache.Get(d); ok {
-		spec := &JobSpec{} // spec body unknown; only the result survives eviction
+	if ent, ok := s.cache.Get(d); ok {
+		// The cache stores the canonical spec next to the result, so the
+		// resynthesized record keeps its kind and payload.
+		spec := &JobSpec{}
+		if dec, err := DecodeSpec(ent.Spec); err == nil {
+			spec = dec
+		}
 		j := &Job{
-			digest:   d,
-			spec:     spec,
-			done:     make(chan struct{}),
-			streamMu: make(chan struct{}, 1),
-			state:    StateDone,
-			cached:   true,
-			result:   res,
+			digest:    d,
+			spec:      spec,
+			canonical: ent.Spec,
+			done:      make(chan struct{}),
+			streamMu:  make(chan struct{}, 1),
+			state:     StateDone,
+			cached:    true,
+			result:    ent.Result,
 		}
 		close(j.done)
 		return j, true
@@ -437,6 +446,25 @@ func (s *Scheduler) runJob(sh *shard, j *Job) {
 	var res json.RawMessage
 	var err error
 	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			// A retried attempt replays the whole job, so give it a fresh
+			// metrics fork (the job's fork must not double-count work from
+			// the abandoned attempt) and mark the boundary in the event
+			// ring so a live /events stream can tell the attempts apart.
+			fork := s.metrics.Fork()
+			j.mu.Lock()
+			j.metrics = fork
+			j.mu.Unlock()
+			j.events.Emit(obs.Event{
+				Kind:    obs.KindAttemptRetry,
+				Slot:    0,
+				Station: -1,
+				Aux:     uint32(attempt),
+			})
+		}
+		j.mu.Lock()
+		metrics := j.metrics
+		j.mu.Unlock()
 		ctx := s.rootCtx
 		cancel := context.CancelFunc(func() {})
 		if s.cfg.JobTimeout > 0 {
@@ -445,7 +473,7 @@ func (s *Scheduler) runJob(sh *shard, j *Job) {
 		res, err = s.cfg.Runner(ctx, j.spec, ExecOptions{
 			Parallelism: s.cfg.Parallelism,
 			Events:      j.events,
-			Metrics:     j.metrics,
+			Metrics:     metrics,
 		})
 		cancel()
 		j.mu.Lock()
@@ -466,7 +494,7 @@ func (s *Scheduler) runJob(sh *shard, j *Job) {
 	s.latency.Observe(elapsedMs)
 
 	if err == nil {
-		s.cache.Put(j.digest, res)
+		s.cache.Put(j.digest, Entry{Spec: j.canonical, Result: res})
 	} else {
 		s.failed.Add(1)
 	}

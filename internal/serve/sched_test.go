@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func sweepSpec(t *testing.T, seed int64) *JobSpec {
@@ -187,6 +189,51 @@ func TestSchedulerRetriesTransientFailures(t *testing.T) {
 	}
 }
 
+func TestSchedulerRetrySeparatesAttemptTelemetry(t *testing.T) {
+	var calls atomic.Int64
+	var forks [2]*obs.Metrics
+	runner := func(ctx context.Context, spec *JobSpec, opt ExecOptions) (json.RawMessage, error) {
+		n := calls.Add(1)
+		if n <= 2 {
+			forks[n-1] = opt.Metrics
+		}
+		if n == 1 {
+			return nil, Transient(errors.New("spurious infrastructure fault"))
+		}
+		return json.RawMessage(`"ok"`), nil
+	}
+	s := newTestScheduler(t, Config{Shards: 1, MaxRetries: 1, Runner: runner})
+	j, _, err := s.Submit(sweepSpec(t, 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if st := j.Status(); st.State != StateDone || st.Attempts != 2 {
+		t.Fatalf("status %+v, want done after 2 attempts", st)
+	}
+	// Each attempt gets its own metrics fork, so the job's registry never
+	// double-counts work from the abandoned first attempt.
+	if forks[0] == nil || forks[1] == nil || forks[0] == forks[1] {
+		t.Fatalf("attempts shared a metrics fork (%p, %p), want fresh fork per attempt", forks[0], forks[1])
+	}
+	// The event ring carries an attempt-boundary marker between the
+	// attempts, so a live stream can tell them apart.
+	mem := obs.NewMemory()
+	j.ring.Drain(mem)
+	var boundaries int
+	for _, e := range mem.Events() {
+		if e.Kind == obs.KindAttemptRetry {
+			boundaries++
+			if e.Station != -1 || e.Aux != 1 {
+				t.Fatalf("boundary event %+v, want station -1, aux 1", e)
+			}
+		}
+	}
+	if boundaries != 1 {
+		t.Fatalf("attempt-boundary events = %d, want 1", boundaries)
+	}
+}
+
 func TestSchedulerDoesNotRetryDeterministicFailures(t *testing.T) {
 	var calls atomic.Int64
 	runner := func(ctx context.Context, spec *JobSpec, _ ExecOptions) (json.RawMessage, error) {
@@ -292,6 +339,66 @@ func TestSchedulerRoutesByDigest(t *testing.T) {
 		if a != b || a < 0 || a >= 4 {
 			t.Fatalf("shardOf(%s) unstable or out of range: %d, %d", d.Short(), a, b)
 		}
+	}
+}
+
+func TestRememberBoundedWhenAllRecordsInFlight(t *testing.T) {
+	// Regression: when every logged record was in flight and the log
+	// exceeded the limit, the eviction loop rotated digests forever while
+	// holding Scheduler.mu. It must finish in one pass over the log.
+	s := &Scheduler{
+		cfg:      Config{CacheEntries: 1, QueueDepth: 1},
+		shards:   make([]*shard, 1),
+		inflight: make(map[Digest]*Job),
+		records:  make(map[Digest]*Job),
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 8; i++ { // limit = 1 + 1*(1+1) = 3, so 8 overflows it
+			j := &Job{digest: testDigest(fmt.Sprintf("inflight-%d", i))}
+			s.inflight[j.digest] = j
+			s.remember(j)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("remember() spun on an all-in-flight record log")
+	}
+	if len(s.records) != 8 {
+		t.Fatalf("in-flight records evicted: %d remain, want 8", len(s.records))
+	}
+}
+
+func TestJobKindSurvivesRecordEviction(t *testing.T) {
+	s := newTestScheduler(t, Config{Shards: 1, Runner: (&countingRunner{}).run})
+	j, _, err := s.Submit(sweepSpec(t, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	d := j.Digest()
+
+	// Evict the record; only the cache entry survives.
+	s.mu.Lock()
+	delete(s.records, d)
+	s.recordLog = nil
+	s.mu.Unlock()
+
+	got, ok := s.Job(d)
+	if !ok {
+		t.Fatal("cached job unreachable after record eviction")
+	}
+	st := got.Status()
+	if st.Kind != KindSweep {
+		t.Fatalf("resynthesized record kind %q, want %q (spec lost across eviction)", st.Kind, KindSweep)
+	}
+	if st.State != StateDone || !st.Cached || len(st.Result) == 0 {
+		t.Fatalf("resynthesized record %+v, want cached done with result", st)
+	}
+	if got.Spec().Sweep == nil || got.Spec().Sweep.Seed != 23 {
+		t.Fatal("resynthesized record lost the spec payload")
 	}
 }
 

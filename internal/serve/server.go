@@ -140,8 +140,25 @@ func parseWait(v string) (time.Duration, bool) {
 	return 0, false
 }
 
-func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+// pathDigest extracts the {id} wildcard and rejects anything that is not
+// a well-formed content address. ServeMux decodes %2F inside wildcard
+// segments, so without this check a crafted id could walk out of the
+// spool directory when the scheduler falls back to a spool read.
+func pathDigest(w http.ResponseWriter, r *http.Request) (Digest, bool) {
 	d := Digest(r.PathValue("id"))
+	if !d.Valid() {
+		// The id is not echoed back: it is attacker-controlled input.
+		writeError(w, http.StatusNotFound, "serve: malformed job id (want 64 lowercase hex digits)")
+		return "", false
+	}
+	return d, true
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	d, ok := pathDigest(w, r)
+	if !ok {
+		return
+	}
 	job, ok := s.sched.Job(d)
 	if !ok {
 		writeError(w, http.StatusNotFound, "serve: unknown job %s", d.Short())
@@ -155,7 +172,10 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // concurrent reader gets 409. The stream ends when the job reaches a
 // terminal state and the ring is drained.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	d := Digest(r.PathValue("id"))
+	d, ok := pathDigest(w, r)
+	if !ok {
+		return
+	}
 	job, ok := s.sched.Job(d)
 	if !ok {
 		writeError(w, http.StatusNotFound, "serve: unknown job %s", d.Short())

@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -308,6 +311,42 @@ func TestServiceUnknownJob404(t *testing.T) {
 	var ae *APIError
 	if !errors.As(err, &ae) || ae.Code != http.StatusNotFound {
 		t.Fatalf("unknown job err = %v, want 404", err)
+	}
+}
+
+func TestServiceRejectsMalformedJobIDs(t *testing.T) {
+	// ServeMux decodes %2F inside the {id} wildcard, so a crafted id used
+	// to address any valid-JSON *.json file on disk through the spool
+	// fallback. Anything but a 64-hex digest must 404 before the spool is
+	// consulted.
+	root := t.TempDir()
+	spool := filepath.Join(root, "spool")
+	loot := `{"spec":{},"result":"tr3asure"}`
+	if err := os.WriteFile(filepath.Join(root, "secret.json"), []byte(loot), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	client, _, _ := newTestService(t, Config{Shards: 1, SpoolDir: spool})
+	for _, id := range []string{
+		"..%2Fsecret",
+		"..%2F..%2Fsecret",
+		"secret",
+		strings.Repeat("a", 63),
+		strings.Repeat("A", 64),
+	} {
+		for _, path := range []string{"/v1/jobs/" + id, "/v1/jobs/" + id + "/events"} {
+			resp, err := http.Get(client.BaseURL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusNotFound {
+				t.Fatalf("GET %s: status %d (%s), want 404", path, resp.StatusCode, body)
+			}
+			if strings.Contains(string(body), "tr3asure") {
+				t.Fatalf("GET %s disclosed spool-adjacent file contents: %s", path, body)
+			}
+		}
 	}
 }
 
