@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint test race bench fuzz-smoke repro chaos verify-envelope clean
+.PHONY: all build lint test race bench fuzz-smoke crashsmoke repro chaos verify-envelope clean
 
 all: build lint test
 
@@ -35,6 +35,16 @@ FUZZTIME ?= 30s
 
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzDestuff -fuzztime=$(FUZZTIME) -run '^$$' ./internal/frame
+
+# Kill-and-recover smoke: SIGKILL a real mcservd (the re-executed test
+# binary running serve.DaemonMain) at CRASH_POINTS randomized points
+# mid-campaign, restart it on the same spool, and assert no accepted job
+# is lost, no partial result is served, and the recovered results are
+# byte-identical to an uninterrupted run (DESIGN.md §11).
+CRASH_POINTS ?= 20
+
+crashsmoke:
+	CRASH_POINTS=$(CRASH_POINTS) $(GO) test ./internal/serve/ -run TestKillAndRecover -count=1 -v -timeout 20m
 
 # Regenerate every table and figure of the paper.
 repro:

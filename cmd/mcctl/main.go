@@ -36,10 +36,13 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: mcctl [-server URL] <command> [args]
 
 commands:
-  submit [-wait] [-timeout D] <spec.json|->   submit a job spec (- reads stdin)
+  submit [-wait] [-timeout D] [-retries N] <spec.json|->
+                                              submit a job spec (- reads stdin);
+                                              429s retry after the service's Retry-After
   get <digest>                                fetch job status and result
   wait [-poll D] <digest>                     poll a job to completion
-  watch <digest>                              stream the job's events as NDJSON
+  watch [-follow=false] <digest>              stream the job's events as NDJSON,
+                                              reconnecting dropped streams
   stats                                       print scheduler statistics
   health                                      print service health`)
 }
@@ -117,6 +120,7 @@ func cmdSubmit(ctx context.Context, client *serve.Client, args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
 	wait := fs.Bool("wait", false, "block until the job completes")
 	timeout := fs.Duration("timeout", 0, "bound the wait (0 = unbounded)")
+	retries := fs.Int("retries", 3, "attempts when the service answers 429 (honors Retry-After)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -134,7 +138,7 @@ func cmdSubmit(ctx context.Context, client *serve.Client, args []string) error {
 			w = *timeout
 		}
 	}
-	resp, err := client.Submit(ctx, spec, w)
+	resp, err := client.SubmitRetry(ctx, spec, w, *retries)
 	if err != nil {
 		return err
 	}
@@ -184,14 +188,23 @@ func cmdWait(ctx context.Context, client *serve.Client, args []string) error {
 }
 
 func cmdWatch(ctx context.Context, client *serve.Client, args []string) error {
-	d, err := parseDigestArg(args)
+	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+	follow := fs.Bool("follow", true, "reconnect dropped streams with backoff, resuming at the last seen line")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := parseDigestArg(fs.Args())
 	if err != nil {
 		return err
 	}
-	return client.Events(ctx, d, func(line []byte) error {
+	emit := func(line []byte) error {
 		_, werr := fmt.Fprintf(os.Stdout, "%s\n", line)
 		return werr
-	})
+	}
+	if *follow {
+		return client.Watch(ctx, d, emit)
+	}
+	return client.Events(ctx, d, emit)
 }
 
 func cmdStats(ctx context.Context, client *serve.Client) error {

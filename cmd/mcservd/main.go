@@ -6,97 +6,24 @@
 //
 //	mcservd -addr 127.0.0.1:8329 -shards 4 -spool /var/tmp/mcservd
 //
+// With a spool configured the daemon is crash-safe: a write-ahead job
+// journal makes every 202 durable, long-running jobs checkpoint their
+// progress, and a restart replays accepted-but-unfinished jobs from
+// where they stopped (disable with -journal none / -checkpoints none).
+//
 // SIGTERM or SIGINT drains gracefully: in-flight jobs finish, new
 // submissions are rejected with 503, and the process exits once every
 // shard is idle (bounded by -drain-timeout).
 package main
 
 import (
-	"context"
-	"errors"
-	"flag"
-	"log"
-	"net"
-	"net/http"
 	"os"
-	"os/signal"
-	"syscall"
-	"time"
 
 	"repro/internal/serve"
 )
 
+// main delegates to serve.DaemonMain so the crash-recovery harness can
+// run the identical daemon body inside a re-executed test binary.
 func main() {
-	os.Exit(run())
-}
-
-func run() int {
-	var (
-		addr         = flag.String("addr", "127.0.0.1:8329", "listen address")
-		shards       = flag.Int("shards", 4, "worker shards")
-		queue        = flag.Int("queue", 64, "per-shard queue depth")
-		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "per-attempt job timeout")
-		retries      = flag.Int("retries", 1, "max retries for transient job failures")
-		parallelism  = flag.Int("parallelism", 1, "intra-job parallelism (sweep points, verify patterns)")
-		cacheEntries = flag.Int("cache", 256, "in-memory result cache entries")
-		spool        = flag.String("spool", "", "result spool directory (empty = memory only)")
-		drainTimeout = flag.Duration("drain-timeout", 5*time.Minute, "graceful drain budget on SIGTERM")
-	)
-	flag.Parse()
-	log.SetPrefix("mcservd: ")
-	log.SetFlags(0)
-
-	sched, err := serve.NewScheduler(serve.Config{
-		Shards:       *shards,
-		QueueDepth:   *queue,
-		JobTimeout:   *jobTimeout,
-		MaxRetries:   *retries,
-		Parallelism:  *parallelism,
-		CacheEntries: *cacheEntries,
-		SpoolDir:     *spool,
-	})
-	if err != nil {
-		log.Print(err)
-		return 1
-	}
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Print(err)
-		return 1
-	}
-	srv := &http.Server{Handler: serve.NewServer(sched)}
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.Serve(ln) }()
-	log.Printf("listening on %s (shards=%d queue=%d cache=%d spool=%q)",
-		ln.Addr(), *shards, *queue, *cacheEntries, *spool)
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	select {
-	case err := <-serveErr:
-		log.Print(err)
-		return 1
-	case <-ctx.Done():
-	}
-	stop() // a second signal kills the process the default way
-
-	// Drain: reject new jobs (503), finish what is queued and running,
-	// then close the listener. The HTTP server stays up through the
-	// drain so clients see 503s, not connection resets.
-	log.Printf("draining (budget %s)", *drainTimeout)
-	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
-	defer cancel()
-	drainErr := sched.Drain(dctx)
-	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("http shutdown: %v", err)
-	}
-	st := sched.Stats()
-	log.Printf("drained: executed=%d coalesced=%d cache_hits=%d failed=%d",
-		st.Jobs.Executed, st.Jobs.Coalesced, st.Cache.Hits, st.Jobs.Failed)
-	if drainErr != nil {
-		log.Printf("drain incomplete: %v", drainErr)
-		return 1
-	}
-	return 0
+	os.Exit(serve.DaemonMain(os.Args[1:]))
 }

@@ -85,6 +85,13 @@ var ScopePaths = []string{
 	"repro/internal/trace",
 	"repro/internal/obs",
 	"repro/internal/serve",
+	// The durability layer is listed explicitly even though the serve
+	// prefix already covers it: journal replay and fault-injected I/O
+	// must stay deterministic for crash recovery to reproduce results
+	// bit-for-bit, so these packages must never fall out of scope if the
+	// serve entry is ever narrowed.
+	"repro/internal/serve/fsio",
+	"repro/internal/serve/journal",
 	"repro/cmd",
 	"repro/majorcan",
 }

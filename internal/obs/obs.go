@@ -74,6 +74,35 @@ const (
 	// attempt. Station is -1, Slot restarts from the new attempt, Aux
 	// carries the number of attempts already completed.
 	KindAttemptRetry
+	// KindStorageDegraded is a service-level durability fault: a durable
+	// store (journal, result spool or checkpoint directory) failed and the
+	// layer fell back to memory-only operation instead of crashing.
+	// Station is -1, Slot 0, Aux carries the store code (see Store*).
+	KindStorageDegraded
+	// KindJournalRecovered is a service-level recovery marker: startup
+	// replayed unfinished jobs from the write-ahead journal. Station is
+	// -1, Slot 0, Aux the number of jobs re-admitted.
+	KindJournalRecovered
+	// KindCheckpointSaved is a harness-level checkpoint boundary: a
+	// long-running job persisted its partial progress (a seed-order sweep
+	// prefix or a campaign trial position), so a crash from here loses at
+	// most one batch. Station is -1, Aux the units (points or trials)
+	// completed so far.
+	KindCheckpointSaved
+	// KindCheckpointResumed marks a recovered job picking up from a
+	// checkpoint instead of restarting. Station is -1, Aux the units
+	// already complete when the run resumed.
+	KindCheckpointResumed
+)
+
+// Store codes carried in KindStorageDegraded's Aux field.
+const (
+	// StoreJournal is the write-ahead job journal.
+	StoreJournal uint32 = 1
+	// StoreSpool is the content-addressed result spool.
+	StoreSpool uint32 = 2
+	// StoreCheckpoint is the job checkpoint directory.
+	StoreCheckpoint uint32 = 3
 )
 
 func (k Kind) String() string {
@@ -102,6 +131,14 @@ func (k Kind) String() string {
 		return "recover"
 	case KindAttemptRetry:
 		return "attempt-retry"
+	case KindStorageDegraded:
+		return "storage-degraded"
+	case KindJournalRecovered:
+		return "journal-recovered"
+	case KindCheckpointSaved:
+		return "checkpoint-saved"
+	case KindCheckpointResumed:
+		return "checkpoint-resumed"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

@@ -25,6 +25,10 @@ func TestKindStrings(t *testing.T) {
 		KindBusOff:             "bus-off",
 		KindRecover:            "recover",
 		KindAttemptRetry:       "attempt-retry",
+		KindStorageDegraded:    "storage-degraded",
+		KindJournalRecovered:   "journal-recovered",
+		KindCheckpointSaved:    "checkpoint-saved",
+		KindCheckpointResumed:  "checkpoint-resumed",
 	}
 	for k, s := range want {
 		if k.String() != s {

@@ -4,10 +4,11 @@ import (
 	"container/list"
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
+	"hash/crc32"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/serve/fsio"
 )
 
 // Entry is one stored cache value: the canonical job spec that produced
@@ -20,25 +21,59 @@ type Entry struct {
 	Result json.RawMessage `json:"result"`
 }
 
+// spoolEntry is the on-disk form of an Entry: the entry plus a CRC32
+// over its spec and result bytes. The atomic-rename write path should
+// make torn files impossible, but the CRC makes corruption detectable
+// anyway — storage that lies about fsync, bit rot, or an operator's
+// stray edit all fail the checksum, and a failed checksum quarantines
+// the file rather than serving it.
+type spoolEntry struct {
+	CRC    uint32          `json:"crc"`
+	Spec   json.RawMessage `json:"spec"`
+	Result json.RawMessage `json:"result"`
+}
+
+// entryCRC checksums an entry's content for the spool frame.
+func entryCRC(e Entry) uint32 {
+	c := crc32.ChecksumIEEE(e.Spec)
+	return crc32.Update(c, crc32.IEEETable, e.Result)
+}
+
+// spoolDegradeAfter is the number of consecutive spool write failures
+// that flips the cache to memory-only operation.
+const spoolDegradeAfter = 3
+
 // Cache is the content-addressed result store: an in-memory LRU over
 // canonical entries, keyed by job digest, with an optional on-disk JSON
 // spool behind it. Determinism makes it sound: a digest fully determines
 // its result, so an entry can never go stale — eviction is purely a
 // capacity concern, and a spool file written by any process is valid for
 // every other.
+//
+// The spool is written through the fsio seam with full fsync discipline
+// and read back under CRC verification: a file that fails its checksum
+// is quarantined (renamed aside) and never served, and persistent write
+// failures (disk full, I/O errors) degrade the cache to memory-only
+// instead of failing jobs.
 type Cache struct {
 	mu    sync.Mutex
 	max   int
 	ll    *list.List               // front = most recently used
 	items map[Digest]*list.Element // digest -> element holding *cacheEntry
 
+	fs    fsio.FS
 	spool string // spool directory, or "" for memory-only
 
-	hits       atomic.Uint64
-	misses     atomic.Uint64
-	evictions  atomic.Uint64
-	spoolHits  atomic.Uint64
-	spoolFails atomic.Uint64
+	spoolFailStreak atomic.Uint32
+	degraded        atomic.Bool
+	onDegrade       func(err error) // called once, on the flip to degraded
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	evictions   atomic.Uint64
+	spoolHits   atomic.Uint64
+	spoolFails  atomic.Uint64
+	quarantined atomic.Uint64
 }
 
 type cacheEntry struct {
@@ -48,13 +83,14 @@ type cacheEntry struct {
 
 // NewCache creates a cache holding at most max in-memory entries
 // (minimum 1). A non-empty spoolDir enables the disk spool; the
-// directory is created if missing.
-func NewCache(max int, spoolDir string) (*Cache, error) {
+// directory is created if missing. fs nil means the real filesystem.
+func NewCache(max int, spoolDir string, fs fsio.FS) (*Cache, error) {
 	if max < 1 {
 		max = 1
 	}
+	fs = fsio.OrOS(fs)
 	if spoolDir != "" {
-		if err := os.MkdirAll(spoolDir, 0o755); err != nil {
+		if err := fs.MkdirAll(spoolDir, 0o755); err != nil {
 			return nil, fmt.Errorf("serve: cache spool: %w", err)
 		}
 	}
@@ -62,12 +98,22 @@ func NewCache(max int, spoolDir string) (*Cache, error) {
 		max:   max,
 		ll:    list.New(),
 		items: make(map[Digest]*list.Element),
+		fs:    fs,
 		spool: spoolDir,
 	}, nil
 }
 
+// OnDegrade registers a callback invoked once when the spool degrades to
+// memory-only. Must be set before the cache is shared.
+func (c *Cache) OnDegrade(fn func(err error)) { c.onDegrade = fn }
+
 func (c *Cache) spoolPath(d Digest) string {
-	return filepath.Join(c.spool, string(d)+".json")
+	return c.spool + "/" + string(d) + ".json"
+}
+
+// spoolActive reports whether spool I/O should be attempted.
+func (c *Cache) spoolActive(d Digest) bool {
+	return c.spool != "" && !c.degraded.Load() && d.Valid()
 }
 
 // Get returns the cached entry for a digest. A memory miss falls back to
@@ -85,10 +131,9 @@ func (c *Cache) Get(d Digest) (Entry, bool) {
 		return e, true
 	}
 	c.mu.Unlock()
-	if c.spool != "" && d.Valid() {
-		if data, err := os.ReadFile(c.spoolPath(d)); err == nil {
-			var e Entry
-			if json.Unmarshal(data, &e) == nil && len(e.Result) > 0 && json.Valid(e.Result) {
+	if c.spoolActive(d) {
+		if data, err := c.fs.ReadFile(c.spoolPath(d)); err == nil {
+			if e, ok := c.decodeSpool(d, data); ok {
 				c.hits.Add(1)
 				c.spoolHits.Add(1)
 				c.insert(d, e)
@@ -100,23 +145,51 @@ func (c *Cache) Get(d Digest) (Entry, bool) {
 	return Entry{}, false
 }
 
+// decodeSpool validates one spool file; a malformed or checksum-failing
+// file is quarantined — renamed aside so no later read can serve it and
+// an operator can inspect it — and reported as a miss.
+func (c *Cache) decodeSpool(d Digest, data []byte) (Entry, bool) {
+	var se spoolEntry
+	if json.Unmarshal(data, &se) == nil &&
+		len(se.Result) > 0 && json.Valid(se.Result) &&
+		se.CRC == entryCRC(Entry{Spec: se.Spec, Result: se.Result}) {
+		return Entry{Spec: se.Spec, Result: se.Result}, true
+	}
+	c.quarantined.Add(1)
+	_ = c.fs.Rename(c.spoolPath(d), c.spoolPath(d)+".corrupt")
+	return Entry{}, false
+}
+
 // Put stores an entry under its digest, evicting least-recently-used
 // entries beyond capacity and writing through to the spool. Spool write
-// failures are counted, not fatal: the memory entry stands. Malformed
-// digests are never spooled (see Get), so the spool holds only files
-// named by true content addresses.
+// failures are counted, not fatal — the memory entry stands — and a
+// streak of them degrades the cache to memory-only. Malformed digests
+// are never spooled (see Get), so the spool holds only files named by
+// true content addresses.
 func (c *Cache) Put(d Digest, e Entry) {
 	c.insert(d, e)
-	if c.spool != "" && d.Valid() {
-		data, err := json.Marshal(e)
-		if err == nil {
-			err = writeFileAtomic(c.spoolPath(d), data)
-		}
-		if err != nil {
-			c.spoolFails.Add(1)
+	if !c.spoolActive(d) {
+		return
+	}
+	data, err := json.Marshal(spoolEntry{CRC: entryCRC(e), Spec: e.Spec, Result: e.Result})
+	if err == nil {
+		err = fsio.WriteFileAtomic(c.fs, c.spoolPath(d), data)
+	}
+	if err == nil {
+		c.spoolFailStreak.Store(0)
+		return
+	}
+	c.spoolFails.Add(1)
+	if c.spoolFailStreak.Add(1) >= spoolDegradeAfter {
+		if c.degraded.CompareAndSwap(false, true) && c.onDegrade != nil {
+			c.onDegrade(err)
 		}
 	}
 }
+
+// Degraded reports whether the spool has been switched off after
+// persistent write failures.
+func (c *Cache) Degraded() bool { return c.degraded.Load() }
 
 func (c *Cache) insert(d Digest, e Entry) {
 	c.mu.Lock()
@@ -135,29 +208,6 @@ func (c *Cache) insert(d Digest, e Entry) {
 	}
 }
 
-// writeFileAtomic writes via a temp file and rename, so a crashed or
-// concurrent writer can never leave a torn spool entry.
-func writeFileAtomic(path string, data []byte) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".spool-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
-}
-
 // Len returns the number of in-memory entries.
 func (c *Cache) Len() int {
 	c.mu.Lock()
@@ -167,26 +217,30 @@ func (c *Cache) Len() int {
 
 // CacheStats is the serialisable cache state for /v1/stats.
 type CacheStats struct {
-	Entries    int     `json:"entries"`
-	Capacity   int     `json:"capacity"`
-	Hits       uint64  `json:"hits"`
-	Misses     uint64  `json:"misses"`
-	HitRatio   float64 `json:"hit_ratio"`
-	Evictions  uint64  `json:"evictions"`
-	SpoolHits  uint64  `json:"spool_hits,omitempty"`
-	SpoolFails uint64  `json:"spool_fails,omitempty"`
+	Entries       int     `json:"entries"`
+	Capacity      int     `json:"capacity"`
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	HitRatio      float64 `json:"hit_ratio"`
+	Evictions     uint64  `json:"evictions"`
+	SpoolHits     uint64  `json:"spool_hits,omitempty"`
+	SpoolFails    uint64  `json:"spool_fails,omitempty"`
+	Quarantined   uint64  `json:"quarantined,omitempty"`
+	SpoolDegraded bool    `json:"spool_degraded,omitempty"`
 }
 
 // Stats snapshots the counters.
 func (c *Cache) Stats() CacheStats {
 	s := CacheStats{
-		Entries:    c.Len(),
-		Capacity:   c.max,
-		Hits:       c.hits.Load(),
-		Misses:     c.misses.Load(),
-		Evictions:  c.evictions.Load(),
-		SpoolHits:  c.spoolHits.Load(),
-		SpoolFails: c.spoolFails.Load(),
+		Entries:       c.Len(),
+		Capacity:      c.max,
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		SpoolHits:     c.spoolHits.Load(),
+		SpoolFails:    c.spoolFails.Load(),
+		Quarantined:   c.quarantined.Load(),
+		SpoolDegraded: c.degraded.Load(),
 	}
 	if total := s.Hits + s.Misses; total > 0 {
 		s.HitRatio = float64(s.Hits) / float64(total)

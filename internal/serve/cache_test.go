@@ -24,7 +24,7 @@ func ent(result string) Entry {
 }
 
 func TestCacheLRUEviction(t *testing.T) {
-	c, err := NewCache(2, "")
+	c, err := NewCache(2, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestCacheLRUEviction(t *testing.T) {
 
 func TestCacheSpoolRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	c, err := NewCache(1, dir)
+	c, err := NewCache(1, dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestCacheSpoolRoundTrip(t *testing.T) {
 	// A fresh cache over the same spool dir sees the results: the spool
 	// is a valid cache for any process because digests are content
 	// addresses.
-	c2, err := NewCache(4, dir)
+	c2, err := NewCache(4, dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestCacheSpoolRoundTrip(t *testing.T) {
 
 func TestCacheRejectsCorruptSpoolEntry(t *testing.T) {
 	dir := t.TempDir()
-	c, err := NewCache(1, dir)
+	c, err := NewCache(1, dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestCacheSpoolRequiresWellFormedDigest(t *testing.T) {
 	// to it; a digest smuggling path separators must not reach it.
 	root := t.TempDir()
 	spool := filepath.Join(root, "spool")
-	c, err := NewCache(1, spool)
+	c, err := NewCache(1, spool, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestCacheSpoolRequiresWellFormedDigest(t *testing.T) {
 
 func TestCacheSpoolFilesAreAtomic(t *testing.T) {
 	dir := t.TempDir()
-	c, err := NewCache(2, dir)
+	c, err := NewCache(2, dir, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestCacheSpoolFilesAreAtomic(t *testing.T) {
 }
 
 func TestCacheHitRatio(t *testing.T) {
-	c, err := NewCache(8, "")
+	c, err := NewCache(8, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"encoding/json"
+	"hash/crc32"
+	"sync/atomic"
+
+	"repro/internal/serve/fsio"
+)
+
+// ckptFile is the on-disk checkpoint frame: the job digest it belongs to
+// plus a CRC32 over the progress payload. The id binds the file to its
+// job — a checkpoint copied or renamed onto another digest's path fails
+// validation instead of silently resuming the wrong job.
+type ckptFile struct {
+	CRC  uint32          `json:"crc"`
+	ID   Digest          `json:"id"`
+	Data json.RawMessage `json:"data"`
+}
+
+// ckptDegradeAfter is the number of consecutive checkpoint write
+// failures that stops further checkpointing.
+const ckptDegradeAfter = 3
+
+// CheckpointStore persists per-job progress snapshots beside the result
+// spool: one `<digest>.ckpt.json` per interrupted job, written atomically
+// with full fsync discipline and read back under CRC verification. A
+// checkpoint only ever holds completed batches, so resuming from one is
+// byte-identical to an uninterrupted run; a corrupt checkpoint is
+// quarantined and the job simply restarts from scratch — checkpoints are
+// an optimisation, never a correctness dependency.
+type CheckpointStore struct {
+	fs  fsio.FS
+	dir string
+
+	failStreak atomic.Uint32
+	degraded   atomic.Bool
+	onDegrade  func(err error)
+
+	saved       atomic.Uint64
+	loaded      atomic.Uint64
+	dropped     atomic.Uint64
+	quarantined atomic.Uint64
+}
+
+// NewCheckpointStore opens (creating if needed) the checkpoint directory.
+// fs nil means the real filesystem.
+func NewCheckpointStore(dir string, fs fsio.FS) (*CheckpointStore, error) {
+	fs = fsio.OrOS(fs)
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &CheckpointStore{fs: fs, dir: dir}, nil
+}
+
+// OnDegrade registers a callback invoked once when checkpoint writes
+// degrade. Must be set before the store is shared.
+func (cs *CheckpointStore) OnDegrade(fn func(err error)) { cs.onDegrade = fn }
+
+func (cs *CheckpointStore) path(d Digest) string {
+	return cs.dir + "/" + string(d) + ".ckpt.json"
+}
+
+// Load returns the progress payload checkpointed for a job, if a valid
+// one exists. A malformed, checksum-failing or mis-addressed file is
+// quarantined and reported as absent.
+func (cs *CheckpointStore) Load(d Digest) (json.RawMessage, bool) {
+	if !d.Valid() {
+		return nil, false
+	}
+	data, err := cs.fs.ReadFile(cs.path(d))
+	if err != nil {
+		return nil, false
+	}
+	var cf ckptFile
+	if json.Unmarshal(data, &cf) == nil && cf.ID == d &&
+		len(cf.Data) > 0 && cf.CRC == crc32.ChecksumIEEE(cf.Data) {
+		cs.loaded.Add(1)
+		return cf.Data, true
+	}
+	cs.quarantined.Add(1)
+	_ = cs.fs.Rename(cs.path(d), cs.path(d)+".corrupt")
+	return nil, false
+}
+
+// Save atomically replaces the job's checkpoint. Failures are counted
+// and, after a streak, degrade the store — further saves become no-ops
+// rather than hammering a sick disk.
+func (cs *CheckpointStore) Save(d Digest, data json.RawMessage) error {
+	if !d.Valid() || cs.degraded.Load() {
+		return nil
+	}
+	buf, err := json.Marshal(ckptFile{CRC: crc32.ChecksumIEEE(data), ID: d, Data: data})
+	if err == nil {
+		err = fsio.WriteFileAtomic(cs.fs, cs.path(d), buf)
+	}
+	if err == nil {
+		cs.failStreak.Store(0)
+		cs.saved.Add(1)
+		return nil
+	}
+	if cs.failStreak.Add(1) >= ckptDegradeAfter {
+		if cs.degraded.CompareAndSwap(false, true) && cs.onDegrade != nil {
+			cs.onDegrade(err)
+		}
+	}
+	return err
+}
+
+// Drop removes a completed job's checkpoint; the result spool now owns
+// the durable state.
+func (cs *CheckpointStore) Drop(d Digest) {
+	if !d.Valid() {
+		return
+	}
+	if cs.fs.Remove(cs.path(d)) == nil {
+		cs.dropped.Add(1)
+	}
+}
+
+// Degraded reports whether checkpoint writes have been switched off.
+func (cs *CheckpointStore) Degraded() bool { return cs.degraded.Load() }
+
+// CheckpointStats is the serialisable store state for /v1/stats.
+type CheckpointStats struct {
+	Saved       uint64 `json:"saved"`
+	Loaded      uint64 `json:"loaded"`
+	Dropped     uint64 `json:"dropped"`
+	Quarantined uint64 `json:"quarantined,omitempty"`
+	Degraded    bool   `json:"degraded,omitempty"`
+}
+
+// Stats snapshots the counters.
+func (cs *CheckpointStore) Stats() CheckpointStats {
+	return CheckpointStats{
+		Saved:       cs.saved.Load(),
+		Loaded:      cs.loaded.Load(),
+		Dropped:     cs.dropped.Load(),
+		Quarantined: cs.quarantined.Load(),
+		Degraded:    cs.degraded.Load(),
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -143,8 +145,18 @@ func (c *Client) Wait(ctx context.Context, id Digest, poll time.Duration) (*JobS
 // Events streams a job's NDJSON event lines, calling fn for each line
 // until the stream ends or ctx is cancelled.
 func (c *Client) Events(ctx context.Context, id Digest, fn func(line []byte) error) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.BaseURL+"/v1/jobs/"+string(id)+"/events", nil)
+	return c.EventsFrom(ctx, id, 0, fn)
+}
+
+// EventsFrom streams a job's NDJSON event lines starting at absolute
+// line index from (the server replays its buffered tail from there), so
+// a caller that counted received lines can resume a dropped stream.
+func (c *Client) EventsFrom(ctx context.Context, id Digest, from uint64, fn func(line []byte) error) error {
+	url := c.BaseURL + "/v1/jobs/" + string(id) + "/events"
+	if from > 0 {
+		url += "?from=" + strconv.FormatUint(from, 10)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return err
 	}
@@ -163,10 +175,119 @@ func (c *Client) Events(ctx context.Context, id Digest, fn func(line []byte) err
 			continue
 		}
 		if err := fn(sc.Bytes()); err != nil {
-			return err
+			return &callbackError{err: err}
 		}
 	}
 	return sc.Err()
+}
+
+// callbackError marks an error as raised by the caller's line callback,
+// so retry loops propagate it instead of reconnecting.
+type callbackError struct{ err error }
+
+func (e *callbackError) Error() string { return e.err.Error() }
+func (e *callbackError) Unwrap() error { return e.err }
+
+// watchMaxFailures bounds consecutive reconnect attempts that made no
+// progress (received no line) before Watch gives up.
+const watchMaxFailures = 8
+
+// Watch streams a job's NDJSON event lines like Events, but survives
+// dropped connections: on a transport error (or an EOF that arrives
+// before the job is terminal) it reconnects with exponential backoff
+// plus jitter, resuming from the last line it delivered, so fn sees
+// every line exactly once across reconnects. It returns nil once the job
+// is terminal and its stream is drained.
+func (c *Client) Watch(ctx context.Context, id Digest, fn func(line []byte) error) error {
+	var seen uint64
+	failures := 0
+	backoff := 200 * time.Millisecond
+	//lint:allow determinism -- client-side retry jitter; not simulation state
+	jitter := rand.New(rand.NewSource(time.Now().UnixNano()))
+	for {
+		progressed := false
+		err := c.EventsFrom(ctx, id, seen, func(line []byte) error {
+			seen++
+			progressed = true
+			return fn(line)
+		})
+		var cb *callbackError
+		if errors.As(err, &cb) {
+			return cb.err
+		}
+		if err == nil {
+			// Clean EOF: either the job finished and the stream drained, or
+			// the connection dropped without an error. Disambiguate by
+			// asking for the job's state.
+			st, jerr := c.Job(ctx, id)
+			if jerr == nil && (st.State == StateDone || st.State == StateFailed) {
+				return nil
+			}
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		var ae *APIError
+		if errors.As(err, &ae) && ae.Code == http.StatusNotFound {
+			return err // the job does not exist; retrying cannot help
+		}
+		if progressed {
+			failures = 0
+			backoff = 200 * time.Millisecond
+		} else if failures++; failures >= watchMaxFailures {
+			if err == nil {
+				err = fmt.Errorf("serve: watch %s: no progress after %d reconnects", id.Short(), failures)
+			}
+			return err
+		}
+		delay := backoff
+		if errors.As(err, &ae) && ae.RetryAfter > 0 {
+			delay = ae.RetryAfter
+		}
+		//lint:allow determinism -- client-side retry jitter; not simulation state
+		delay += time.Duration(jitter.Int63n(int64(delay) / 2))
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(delay):
+		}
+		if backoff *= 2; backoff > 10*time.Second {
+			backoff = 10 * time.Second
+		}
+	}
+}
+
+// SubmitRetry is Submit with backpressure handling: a 429 reply is
+// retried after the service's Retry-After estimate (plus jitter, capped
+// by attempts), so callers driving campaign batches through a busy
+// service queue up instead of failing.
+func (c *Client) SubmitRetry(ctx context.Context, spec *JobSpec, wait time.Duration, attempts int) (*SubmitResponse, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	//lint:allow determinism -- client-side retry jitter; not simulation state
+	jitter := rand.New(rand.NewSource(time.Now().UnixNano()))
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		sr, err := c.Submit(ctx, spec, wait)
+		var ae *APIError
+		if err == nil || !errors.As(err, &ae) || ae.Code != http.StatusTooManyRequests {
+			return sr, err
+		}
+		lastErr = err
+		delay := ae.RetryAfter
+		if delay <= 0 {
+			delay = time.Second
+		}
+		//lint:allow determinism -- client-side retry jitter; not simulation state
+		delay += time.Duration(jitter.Int63n(int64(delay) / 2))
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+	return nil, lastErr
 }
 
 // Stats fetches the scheduler statistics.

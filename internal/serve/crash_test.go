@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/sim"
+)
+
+// helperEnv carries the daemon flags into the re-executed test binary.
+// When set, TestMain runs DaemonMain instead of the test suite, so the
+// process the crash harness SIGKILLs is a real mcservd: same scheduler,
+// same journal, same HTTP stack as production.
+const helperEnv = "MCSERVD_HELPER_ARGS"
+
+func TestMain(m *testing.M) {
+	if args := os.Getenv(helperEnv); args != "" {
+		os.Exit(DaemonMain(strings.Split(args, "\x1f")))
+	}
+	os.Exit(m.Run())
+}
+
+// daemonProc is one live daemon under test.
+type daemonProc struct {
+	cmd    *exec.Cmd
+	addr   string
+	client *Client
+	logs   *bytes.Buffer
+}
+
+// startDaemon re-executes the test binary as an mcservd serving from
+// dir/spool, and waits until it answers /v1/healthz. The listen port is
+// kernel-assigned and read back through -portfile.
+func startDaemon(t *testing.T, dir string) *daemonProc {
+	t.Helper()
+	portFile := filepath.Join(dir, fmt.Sprintf("port.%d", time.Now().UnixNano()))
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-portfile", portFile,
+		"-spool", filepath.Join(dir, "spool"),
+		"-checkpoint-every", "25",
+		"-shards", "2",
+		"-queue", "16",
+		"-drain-timeout", "30s",
+	}
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), helperEnv+"="+strings.Join(args, "\x1f"))
+	logs := &bytes.Buffer{}
+	cmd.Stdout = logs
+	cmd.Stderr = logs
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start daemon: %v", err)
+	}
+	d := &daemonProc{cmd: cmd, logs: logs}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			d.kill()
+			t.Fatalf("daemon did not come up; logs:\n%s", logs.String())
+		}
+		if b, err := os.ReadFile(portFile); err == nil && len(b) > 0 {
+			d.addr = string(b)
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	d.client = NewClient("http://" + d.addr)
+	for {
+		if time.Now().After(deadline) {
+			d.kill()
+			t.Fatalf("daemon never became healthy; logs:\n%s", logs.String())
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		status, err := d.client.Healthz(ctx)
+		cancel()
+		if err == nil && status == "ok" {
+			return d
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// kill SIGKILLs the daemon and reaps it.
+func (d *daemonProc) kill() {
+	if d.cmd.Process != nil {
+		_ = d.cmd.Process.Signal(syscall.SIGKILL)
+	}
+	_, _ = d.cmd.Process.Wait()
+}
+
+// crashCampaignSpec is the long-running campaign the harness interrupts:
+// hundreds of trials, so a SIGKILL lands mid-search, and several
+// checkpoint boundaries pass before any kill point.
+func crashCampaignSpec() *JobSpec {
+	return &JobSpec{
+		Kind: KindCampaign,
+		Campaign: &chaos.CampaignSpec{
+			Protocol: "can",
+			Frames:   1,
+			Trials:   4000,
+			Seed:     21,
+			Kinds:    []chaos.FaultKind{chaos.ViewFlip, chaos.StuckDominant},
+			Probes:   []string{"agreement", "validity"},
+		},
+	}
+}
+
+// crashSweepSpec rides along as a second accepted job, so recovery is
+// exercised with more than one pending journal record.
+func crashSweepSpec() *JobSpec {
+	return &JobSpec{
+		Kind: KindSweep,
+		Sweep: &sim.SweepSpec{
+			Protocol:      "majorcan_5",
+			Frames:        50,
+			BerStar:       0.02,
+			Seed:          7,
+			Seeds:         24,
+			EOFOnly:       true,
+			ResetCounters: true,
+		},
+	}
+}
+
+// reference executes a spec in-process (no daemon, no checkpoints) and
+// returns its canonical result bytes and how long it took.
+func reference(t *testing.T, spec *JobSpec) (json.RawMessage, time.Duration) {
+	t.Helper()
+	spec.Normalize()
+	start := time.Now()
+	res, err := Execute(context.Background(), spec, ExecOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	return res, time.Since(start)
+}
+
+// compactJSON normalises whitespace so results that crossed the HTTP
+// layer (re-indented by the server's encoder) compare byte-for-byte.
+func compactJSON(t *testing.T, raw json.RawMessage) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	return buf.String()
+}
+
+// TestKillAndRecover is the crash harness the durability work exists
+// for: a real daemon process is SIGKILLed at a randomized point during a
+// campaign, restarted on the same spool, and must (a) still know every
+// accepted job, (b) never serve a partial result, and (c) finish with
+// bytes identical to an uninterrupted run. The number of kill points
+// comes from CRASH_POINTS (default 4; `make crashsmoke` runs 20).
+func TestKillAndRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash harness spawns real daemon processes")
+	}
+	points := 4
+	if v, err := strconv.Atoi(os.Getenv("CRASH_POINTS")); err == nil && v > 0 {
+		points = v
+	}
+	campaign, campaignT := reference(t, crashCampaignSpec())
+	sweep, _ := reference(t, crashSweepSpec())
+	wantCampaign := compactJSON(t, campaign)
+	wantSweep := compactJSON(t, sweep)
+
+	seed := time.Now().UnixNano()
+	rng := rand.New(rand.NewSource(seed))
+	t.Logf("campaign reference %s; %d kill points, seed %d", campaignT, points, seed)
+
+	for point := 0; point < points; point++ {
+		// Kill anywhere from near-submit to near-complete (the in-process
+		// reference time underestimates the daemon's, so the late end of
+		// the range still lands mid-run — and a kill after completion just
+		// proves the done-path is durable too).
+		delay := time.Duration(float64(campaignT) * (0.05 + 0.9*rng.Float64()))
+		t.Run(fmt.Sprintf("point%02d", point), func(t *testing.T) {
+			dir := t.TempDir()
+			d := startDaemon(t, dir)
+			defer d.kill()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+
+			sub1, err := d.client.Submit(ctx, crashCampaignSpec(), 0)
+			if err != nil {
+				t.Fatalf("submit campaign: %v", err)
+			}
+			sub2, err := d.client.Submit(ctx, crashSweepSpec(), 0)
+			if err != nil {
+				t.Fatalf("submit sweep: %v", err)
+			}
+
+			time.Sleep(delay)
+			d.kill() // SIGKILL: no drain, no goodbye
+
+			// Restart on the same spool: the journal must replay both
+			// accepted jobs (or find their results already durable).
+			d2 := startDaemon(t, dir)
+			defer d2.kill()
+
+			for _, tc := range []struct {
+				name string
+				id   Digest
+				want string
+			}{
+				{"campaign", sub1.ID, wantCampaign},
+				{"sweep", sub2.ID, wantSweep},
+			} {
+				st, err := d2.client.Job(ctx, tc.id)
+				if err != nil {
+					t.Fatalf("%s lost after crash (killed after %s): %v", tc.name, delay, err)
+				}
+				// No partial result may ever be visible: a result implies
+				// the terminal done state.
+				if len(st.Result) > 0 && st.State != StateDone {
+					t.Fatalf("%s: state %s carries a result", tc.name, st.State)
+				}
+				if st.State != StateDone && st.State != StateFailed && !st.Recovered && !st.Cached {
+					t.Errorf("%s: in-flight after restart but not marked recovered", tc.name)
+				}
+				final, err := d2.client.Wait(ctx, tc.id, 50*time.Millisecond)
+				if err != nil {
+					t.Fatalf("%s: wait after recovery: %v", tc.name, err)
+				}
+				if final.State != StateDone {
+					t.Fatalf("%s: recovered job ended %s: %s", tc.name, final.State, final.Error)
+				}
+				if got := compactJSON(t, final.Result); got != tc.want {
+					t.Errorf("%s: recovered result diverged from uninterrupted run\n got: %.120s…\nwant: %.120s…",
+						tc.name, got, tc.want)
+				}
+			}
+
+			st, err := d2.client.Stats(ctx)
+			if err != nil {
+				t.Fatalf("stats: %v", err)
+			}
+			if !st.Durability.JournalEnabled {
+				t.Error("restarted daemon reports journal disabled")
+			}
+		})
+	}
+}

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// DaemonMain is the body of the mcservd command: flag parsing, scheduler
+// construction (journal recovery included), HTTP serving and graceful
+// drain. It lives in the library so the crash-recovery harness can run a
+// real daemon process by re-executing the test binary — the process that
+// gets SIGKILLed is byte-for-byte the code that ships.
+//
+// The returned int is the process exit code: 0 after a clean drain,
+// nonzero on startup failure or an incomplete drain.
+func DaemonMain(args []string) int {
+	fs := flag.NewFlagSet("mcservd", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8329", "listen address")
+		shards       = fs.Int("shards", 4, "worker shards")
+		queue        = fs.Int("queue", 64, "per-shard queue depth")
+		jobTimeout   = fs.Duration("job-timeout", 10*time.Minute, "per-attempt job timeout")
+		retries      = fs.Int("retries", 1, "max retries for transient job failures")
+		parallelism  = fs.Int("parallelism", 1, "intra-job parallelism (sweep points, verify patterns)")
+		cacheEntries = fs.Int("cache", 256, "in-memory result cache entries")
+		spool        = fs.String("spool", "", "result spool directory (empty = memory only)")
+		journalPath  = fs.String("journal", "auto", "write-ahead job journal path (auto = <spool>/journal.wal, none = disabled)")
+		ckptDir      = fs.String("checkpoints", "auto", "job checkpoint directory (auto = <spool>/checkpoints, none = disabled)")
+		ckptEvery    = fs.Int("checkpoint-every", 8, "checkpoint cadence in work units (sweep points, campaign trials)")
+		drainTimeout = fs.Duration("drain-timeout", 5*time.Minute, "graceful drain budget on SIGTERM")
+		portFile     = fs.String("portfile", "", "write the bound listen address to this file once serving")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	log.SetPrefix("mcservd: ")
+	log.SetFlags(0)
+
+	resolve := func(v, def string) string {
+		switch v {
+		case "auto":
+			if *spool == "" {
+				return ""
+			}
+			return filepath.Join(*spool, def)
+		case "none", "off":
+			return ""
+		}
+		return v
+	}
+
+	sched, err := NewScheduler(Config{
+		Shards:          *shards,
+		QueueDepth:      *queue,
+		JobTimeout:      *jobTimeout,
+		MaxRetries:      *retries,
+		Parallelism:     *parallelism,
+		CacheEntries:    *cacheEntries,
+		SpoolDir:        *spool,
+		JournalPath:     resolve(*journalPath, "journal.wal"),
+		CheckpointDir:   resolve(*ckptDir, "checkpoints"),
+		CheckpointEvery: *ckptEvery,
+		// Durability degradation and journal recovery land in the daemon
+		// log as NDJSON. The no-op line hook makes the stream flush per
+		// line: these events are rare and must be visible immediately —
+		// buffered, they would never surface (nothing flushes a service
+		// sink) and a crash would eat them.
+		ServiceEvents: obs.NewJSONLStream(os.Stderr, 0, func() {}),
+	})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Print(err)
+			return 1
+		}
+	}
+	srv := &http.Server{Handler: NewServer(sched)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	log.Printf("listening on %s (shards=%d queue=%d cache=%d spool=%q)",
+		ln.Addr(), *shards, *queue, *cacheEntries, *spool)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		log.Print(err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	// Drain: reject new jobs (503), finish what is queued and running,
+	// then close the listener. The HTTP server stays up through the
+	// drain so clients see 503s, not connection resets.
+	log.Printf("draining (budget %s)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := sched.Drain(dctx)
+	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	st := sched.Stats()
+	log.Printf("drained: executed=%d coalesced=%d cache_hits=%d failed=%d recovered=%d",
+		st.Jobs.Executed, st.Jobs.Coalesced, st.Cache.Hits, st.Jobs.Failed, st.Durability.RecoveredJobs)
+	if drainErr != nil {
+		log.Printf("drain incomplete: %v", drainErr)
+		return 1
+	}
+	return 0
+}

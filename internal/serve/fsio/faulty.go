@@ -1,0 +1,220 @@
+package fsio
+
+import (
+	"os"
+	"strings"
+	"sync"
+)
+
+// Op names one FS operation class a Fault can target.
+type Op string
+
+const (
+	OpWrite   Op = "write"
+	OpSync    Op = "sync"
+	OpRename  Op = "rename"
+	OpCreate  Op = "create" // OpenFile and CreateTemp
+	OpRemove  Op = "remove"
+	OpRead    Op = "read"
+	OpSyncDir Op = "syncdir"
+	OpMkdir   Op = "mkdir"
+)
+
+// Fault is one injected failure rule. A rule matches an operation by Op
+// and (optionally) a path substring; After skips that many matching
+// calls first, and Count bounds how many calls fail (0 = every one from
+// then on). Short, for writes, accepts that many bytes before failing —
+// a torn write. Torn, for renames, simulates a crash mid-replace: the
+// destination is left holding a truncated prefix of the source.
+type Fault struct {
+	Op    Op
+	Path  string // substring match; "" matches every path
+	Err   error  // error returned to the caller (required unless Torn)
+	After int    // matching calls to let through before failing
+	Count int    // failures to inject (0 = unlimited)
+	Short int    // write faults: bytes accepted before the error
+	Torn  bool   // rename faults: leave a truncated destination behind
+
+	hits int // matching calls seen (guarded by Faulty.mu)
+	done int // failures injected
+}
+
+// Faulty wraps an FS and injects configured faults; operations with no
+// matching active fault pass through to Base. Safe for concurrent use.
+type Faulty struct {
+	Base FS
+
+	mu     sync.Mutex
+	faults []*Fault
+}
+
+var _ FS = (*Faulty)(nil)
+
+// NewFaulty wraps base (nil means OS).
+func NewFaulty(base FS) *Faulty { return &Faulty{Base: OrOS(base)} }
+
+// Inject adds a fault rule. The returned pointer can be inspected after
+// the fact (Hits) or cleared (Clear).
+func (f *Faulty) Inject(rule *Fault) *Fault {
+	f.mu.Lock()
+	f.faults = append(f.faults, rule)
+	f.mu.Unlock()
+	return rule
+}
+
+// Clear removes every fault rule.
+func (f *Faulty) Clear() {
+	f.mu.Lock()
+	f.faults = nil
+	f.mu.Unlock()
+}
+
+// Hits reports how many times the rule has matched (including calls let
+// through by After).
+func (f *Faulty) Hits(rule *Fault) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return rule.hits
+}
+
+// match returns the first active fault for (op, path) and advances its
+// counters.
+func (f *Faulty) match(op Op, path string) *Fault {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, rule := range f.faults {
+		if rule.Op != op {
+			continue
+		}
+		if rule.Path != "" && !strings.Contains(path, rule.Path) {
+			continue
+		}
+		rule.hits++
+		if rule.hits <= rule.After {
+			return nil
+		}
+		if rule.Count > 0 && rule.done >= rule.Count {
+			return nil
+		}
+		rule.done++
+		return rule
+	}
+	return nil
+}
+
+// MkdirAll implements FS.
+func (f *Faulty) MkdirAll(path string, perm os.FileMode) error {
+	if rule := f.match(OpMkdir, path); rule != nil {
+		return rule.Err
+	}
+	return f.Base.MkdirAll(path, perm)
+}
+
+// ReadFile implements FS.
+func (f *Faulty) ReadFile(path string) ([]byte, error) {
+	if rule := f.match(OpRead, path); rule != nil {
+		return nil, rule.Err
+	}
+	return f.Base.ReadFile(path)
+}
+
+// OpenFile implements FS.
+func (f *Faulty) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	if rule := f.match(OpCreate, path); rule != nil {
+		return nil, rule.Err
+	}
+	file, err := f.Base.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: f, file: file}, nil
+}
+
+// CreateTemp implements FS.
+func (f *Faulty) CreateTemp(dir, pattern string) (File, error) {
+	if rule := f.match(OpCreate, dir); rule != nil {
+		return nil, rule.Err
+	}
+	file, err := f.Base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{f: f, file: file}, nil
+}
+
+// Rename implements FS. A Torn rule copies a truncated prefix of oldpath
+// into newpath and removes oldpath — the on-disk state a crash between
+// data blocks and the rename commit can leave on journaling-free setups
+// — and reports success, so only a later read can notice.
+func (f *Faulty) Rename(oldpath, newpath string) error {
+	if rule := f.match(OpRename, oldpath+"->"+newpath); rule != nil {
+		if !rule.Torn {
+			return rule.Err
+		}
+		data, err := f.Base.ReadFile(oldpath)
+		if err != nil {
+			return err
+		}
+		torn := data[:len(data)/2]
+		w, err := f.Base.OpenFile(newpath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return err
+		}
+		_, werr := w.Write(torn)
+		cerr := w.Close()
+		_ = f.Base.Remove(oldpath)
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	return f.Base.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (f *Faulty) Remove(path string) error {
+	if rule := f.match(OpRemove, path); rule != nil {
+		return rule.Err
+	}
+	return f.Base.Remove(path)
+}
+
+// SyncDir implements FS.
+func (f *Faulty) SyncDir(path string) error {
+	if rule := f.match(OpSyncDir, path); rule != nil {
+		return rule.Err
+	}
+	return f.Base.SyncDir(path)
+}
+
+// faultyFile applies write and sync rules to a wrapped file.
+type faultyFile struct {
+	f    *Faulty
+	file File
+}
+
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	if rule := ff.f.match(OpWrite, ff.file.Name()); rule != nil {
+		n := rule.Short
+		if n > len(p) {
+			n = len(p)
+		}
+		if n > 0 {
+			if _, err := ff.file.Write(p[:n]); err != nil {
+				return 0, err
+			}
+		}
+		return n, rule.Err
+	}
+	return ff.file.Write(p)
+}
+
+func (ff *faultyFile) Sync() error {
+	if rule := ff.f.match(OpSync, ff.file.Name()); rule != nil {
+		return rule.Err
+	}
+	return ff.file.Sync()
+}
+
+func (ff *faultyFile) Close() error { return ff.file.Close() }
+func (ff *faultyFile) Name() string { return ff.file.Name() }

@@ -1,0 +1,135 @@
+// Package fsio is the filesystem seam under every durable store of the
+// simulation service: the result spool, the write-ahead job journal and
+// the checkpoint directory all perform their I/O through the FS
+// interface instead of calling the os package directly. Production code
+// uses OS, which adds the fsync discipline real durability needs
+// (file data synced before rename, parent directory synced after);
+// tests substitute Faulty to inject short writes, ENOSPC, EIO and torn
+// renames and prove the stores detect corruption and degrade instead of
+// crashing.
+package fsio
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the writable handle FS hands out. Sync must flush file data to
+// stable storage (fsync); Close without Sync gives no durability.
+type File interface {
+	io.Writer
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+	// Close releases the handle.
+	Close() error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS is the set of filesystem operations the durable stores use. All
+// paths are interpreted as by the os package.
+type FS interface {
+	// MkdirAll creates a directory and parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// ReadFile reads a whole file.
+	ReadFile(path string) ([]byte, error)
+	// OpenFile opens a file for writing with the given flags.
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	// CreateTemp creates a new temporary file in dir (pattern as in
+	// os.CreateTemp).
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(path string) error
+	// SyncDir flushes a directory's entries to stable storage, making a
+	// preceding rename in it durable.
+	SyncDir(path string) error
+}
+
+// OS is the production FS backed by the os package.
+type OS struct{}
+
+var _ FS = OS{}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// ReadFile implements FS.
+func (OS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// OpenFile implements FS.
+func (OS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(path, flag, perm)
+}
+
+// CreateTemp implements FS.
+func (OS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OS) Remove(path string) error { return os.Remove(path) }
+
+// SyncDir implements FS. Some filesystems refuse fsync on directories;
+// that refusal is reported, not swallowed, so tests can assert on it —
+// callers treat SyncDir failures as a degradation signal like any other.
+func (OS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// WriteFileAtomic durably replaces path with data: write to a temp file
+// in the same directory, fsync the temp file, rename it over path, and
+// fsync the parent directory. Only after the directory sync is the new
+// content guaranteed to survive power loss — a rename alone orders the
+// replacement but does not persist it. On any error the temp file is
+// removed and path is left untouched (the rename is the only visible
+// step, and it is atomic).
+func WriteFileAtomic(fs FS, path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := fs.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	cleanup := func() { _ = fs.Remove(name) }
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := fs.Rename(name, path); err != nil {
+		cleanup()
+		return err
+	}
+	return fs.SyncDir(dir)
+}
+
+// OrOS returns fs, or OS when fs is nil — the default every store
+// applies so a zero config means real durable I/O.
+func OrOS(fs FS) FS {
+	if fs == nil {
+		return OS{}
+	}
+	return fs
+}

@@ -1,0 +1,148 @@
+package fsio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+func TestWriteFileAtomicReplacesAndCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry.json")
+	if err := WriteFileAtomic(OS{}, path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(OS{}, path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2" {
+		t.Fatalf("content = %q, want v2", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+}
+
+func TestWriteFileAtomicShortWriteLeavesTargetUntouched(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry.json")
+	if err := WriteFileAtomic(OS{}, path, []byte("original")); err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFaulty(OS{})
+	fs.Inject(&Fault{Op: OpWrite, Err: syscall.ENOSPC, Short: 3})
+	err := WriteFileAtomic(fs, path, []byte("replacement"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != "original" {
+		t.Fatalf("target modified by failed write: %q", got)
+	}
+	entries, rerr := os.ReadDir(dir)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp files left behind after failure: %v", entries)
+	}
+}
+
+func TestWriteFileAtomicSyncFailureAborts(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry.json")
+	fs := NewFaulty(OS{})
+	fs.Inject(&Fault{Op: OpSync, Err: syscall.EIO})
+	if err := WriteFileAtomic(fs, path, []byte("x")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("err = %v, want EIO", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("target exists after aborted write: %v", err)
+	}
+}
+
+func TestFaultyTornRenameLeavesTruncatedDestination(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "src")
+	dst := filepath.Join(dir, "dst")
+	if err := os.WriteFile(src, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFaulty(OS{})
+	fs.Inject(&Fault{Op: OpRename, Torn: true})
+	if err := fs.Rename(src, dst); err != nil {
+		t.Fatalf("torn rename reports success by design, got %v", err)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "01234" {
+		t.Fatalf("destination = %q, want truncated prefix 01234", got)
+	}
+	if _, err := os.Stat(src); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("source still present after torn rename: %v", err)
+	}
+}
+
+func TestFaultyAfterAndCountWindow(t *testing.T) {
+	fs := NewFaulty(OS{})
+	dir := t.TempDir()
+	fs.Inject(&Fault{Op: OpRead, Err: syscall.EIO, After: 1, Count: 1})
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("ok"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile(path); err != nil {
+		t.Fatalf("call 1 should pass (After=1): %v", err)
+	}
+	if _, err := fs.ReadFile(path); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("call 2 should fail, got %v", err)
+	}
+	if _, err := fs.ReadFile(path); err != nil {
+		t.Fatalf("call 3 should pass (Count=1): %v", err)
+	}
+}
+
+func TestFaultyPathSubstringMatch(t *testing.T) {
+	fs := NewFaulty(OS{})
+	dir := t.TempDir()
+	fs.Inject(&Fault{Op: OpRead, Path: "journal", Err: syscall.EIO})
+	jp := filepath.Join(dir, "journal.wal")
+	op := filepath.Join(dir, "other.json")
+	for _, p := range []string{jp, op} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := fs.ReadFile(jp); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("journal read should fail, got %v", err)
+	}
+	if _, err := fs.ReadFile(op); err != nil {
+		t.Fatalf("unmatched path should pass: %v", err)
+	}
+}
+
+func TestOSSyncDir(t *testing.T) {
+	if err := (OS{}).SyncDir(t.TempDir()); err != nil {
+		// Directory fsync support varies by filesystem; only assert that
+		// the error, when present, is a real syscall error, not a panic.
+		if !strings.Contains(err.Error(), "sync") && !errors.Is(err, syscall.EINVAL) {
+			t.Logf("SyncDir: %v (tolerated)", err)
+		}
+	}
+}

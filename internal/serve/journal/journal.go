@@ -1,0 +1,281 @@
+// Package journal is the simulation service's write-ahead job journal:
+// the durability record that makes "202 Accepted" mean accepted. Before
+// the service acknowledges a job it appends a CRC-framed accept record
+// (spec included) and fsyncs; when the job reaches a terminal state it
+// appends a done or fail record. A restart replays every accepted job
+// with no terminal record through the scheduler, so a crash — even
+// SIGKILL mid-campaign — loses no acknowledged work.
+//
+// Record framing is length-prefixed with a CRC32 over the payload:
+//
+//	uint32 LE payload length | uint32 LE CRC32(IEEE) of payload | payload
+//
+// The payload is one JSON Record. A torn tail (partial frame or CRC
+// mismatch on the final record) is the expected state after a crash
+// mid-append and is silently truncated; corruption in the middle of the
+// file means the storage lied about earlier fsyncs, so the whole file is
+// quarantined (renamed aside, never served) and recovery proceeds with
+// the records before the corruption.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/serve/fsio"
+)
+
+// Op classifies a record.
+type Op string
+
+const (
+	// OpAccept records a job admission: spec accepted, 202 about to be
+	// returned. Carries the canonical spec.
+	OpAccept Op = "accept"
+	// OpDone records successful completion; the result is in the
+	// content-addressed cache, keyed by the same digest.
+	OpDone Op = "done"
+	// OpFail records terminal failure; recovery must not replay the job.
+	OpFail Op = "fail"
+)
+
+// Record is one journal entry.
+type Record struct {
+	Op   Op              `json:"op"`
+	ID   string          `json:"id"`
+	Spec json.RawMessage `json:"spec,omitempty"`
+}
+
+// ErrDegraded reports that the journal hit an I/O fault earlier and has
+// fallen back to memory-only operation; appends are dropped.
+var ErrDegraded = errors.New("journal: degraded to memory-only after I/O failure")
+
+// frameHeader is the fixed per-record overhead.
+const frameHeader = 8
+
+// maxRecordBytes bounds one record; a length prefix beyond it means
+// corruption, not a giant record (canonical specs are ~1 KiB).
+const maxRecordBytes = 4 << 20
+
+// Journal is an append-only, fsync-per-append record log. Safe for
+// concurrent use.
+type Journal struct {
+	fs   fsio.FS
+	path string
+
+	mu       sync.Mutex
+	f        fsio.File
+	degraded bool
+	appends  uint64
+}
+
+// RecoveryInfo summarises what Open found.
+type RecoveryInfo struct {
+	// Pending are the accepted-but-unfinished records, in accept order.
+	Pending []Record
+	// Replayed counts every valid record read.
+	Replayed int
+	// TruncatedBytes is the torn tail dropped, if any.
+	TruncatedBytes int
+	// Quarantined is the path the corrupt journal was moved to, or "".
+	Quarantined string
+}
+
+// Open reads the journal at path (if any), derives the set of accepted
+// jobs with no terminal record, compacts the file down to exactly those
+// records, and returns the journal opened for append. fs nil means the
+// real filesystem. Open never fails on corrupt content — a torn tail is
+// truncated and a corrupt body quarantined — only on I/O errors writing
+// the compacted file.
+func Open(fs fsio.FS, path string) (*Journal, RecoveryInfo, error) {
+	fs = fsio.OrOS(fs)
+	j := &Journal{fs: fs, path: path}
+	var info RecoveryInfo
+
+	if err := fs.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, info, fmt.Errorf("journal: %w", err)
+	}
+	data, err := fs.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		// Unreadable journal: quarantine the path (best effort) and start
+		// fresh rather than refusing to serve.
+		info.Quarantined = path + ".corrupt"
+		_ = fs.Rename(path, info.Quarantined)
+		data = nil
+	}
+
+	records, rest := scan(data)
+	info.Replayed = len(records)
+	if len(rest) > 0 {
+		// Distinguish a torn tail (no complete valid record follows) from
+		// mid-file corruption (valid frames resume later): if another
+		// record parses anywhere in the rest, earlier synced data was
+		// damaged and the file cannot be trusted as a whole.
+		if tornTail(rest) {
+			info.TruncatedBytes = len(rest)
+		} else {
+			info.Quarantined = path + ".corrupt"
+			_ = fs.Rename(path, info.Quarantined)
+		}
+	}
+	info.Pending = pending(records)
+
+	// Compact: rewrite the journal to exactly the pending accepts, so
+	// recovery work does not accumulate across restarts and replayed jobs
+	// keep their durable record without re-appending.
+	var buf []byte
+	for _, r := range info.Pending {
+		frame, err := encode(r)
+		if err != nil {
+			return nil, info, err
+		}
+		buf = append(buf, frame...)
+	}
+	if err := fsio.WriteFileAtomic(fs, path, buf); err != nil {
+		return nil, info, fmt.Errorf("journal: compact: %w", err)
+	}
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, info, fmt.Errorf("journal: open for append: %w", err)
+	}
+	j.f = f
+	return j, info, nil
+}
+
+// encode frames one record.
+func encode(r Record) ([]byte, error) {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encode record: %w", err)
+	}
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeader:], payload)
+	return frame, nil
+}
+
+// scan parses frames from the front of data, returning the valid records
+// and the first undecodable suffix (empty when the file is clean).
+func scan(data []byte) (records []Record, rest []byte) {
+	for len(data) > 0 {
+		r, n, ok := decodeOne(data)
+		if !ok {
+			return records, data
+		}
+		records = append(records, r)
+		data = data[n:]
+	}
+	return records, nil
+}
+
+// decodeOne parses a single frame from the front of data.
+func decodeOne(data []byte) (Record, int, bool) {
+	if len(data) < frameHeader {
+		return Record{}, 0, false
+	}
+	n := int(binary.LittleEndian.Uint32(data[0:4]))
+	if n <= 0 || n > maxRecordBytes || frameHeader+n > len(data) {
+		return Record{}, 0, false
+	}
+	payload := data[frameHeader : frameHeader+n]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[4:8]) {
+		return Record{}, 0, false
+	}
+	var r Record
+	if json.Unmarshal(payload, &r) != nil || r.ID == "" {
+		return Record{}, 0, false
+	}
+	return r, frameHeader + n, true
+}
+
+// tornTail reports whether rest looks like a crash-torn tail: no
+// complete valid frame anywhere after the corruption point. A valid
+// frame deeper in means earlier fsync'd records were damaged in place.
+func tornTail(rest []byte) bool {
+	for off := 1; off+frameHeader <= len(rest); off++ {
+		if _, _, ok := decodeOne(rest[off:]); ok {
+			return false
+		}
+	}
+	return true
+}
+
+// pending reduces a record stream to accepts with no later terminal
+// record, preserving accept order.
+func pending(records []Record) []Record {
+	terminal := make(map[string]bool)
+	for _, r := range records {
+		if r.Op == OpDone || r.Op == OpFail {
+			terminal[r.ID] = true
+		}
+	}
+	var out []Record
+	seen := make(map[string]bool)
+	for _, r := range records {
+		if r.Op != OpAccept || terminal[r.ID] || seen[r.ID] {
+			continue
+		}
+		seen[r.ID] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+// Append durably logs one record: frame, write, fsync. The first I/O
+// failure flips the journal to degraded memory-only mode — later appends
+// return ErrDegraded without touching the disk — so one full disk cannot
+// take the service down, only its durability.
+func (j *Journal) Append(r Record) error {
+	frame, err := encode(r)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.degraded || j.f == nil {
+		return ErrDegraded
+	}
+	if _, err := j.f.Write(frame); err != nil {
+		j.degraded = true
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		j.degraded = true
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	j.appends++
+	return nil
+}
+
+// Degraded reports whether the journal has fallen back to memory-only.
+func (j *Journal) Degraded() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.degraded
+}
+
+// Appends returns the number of records durably appended since Open.
+func (j *Journal) Appends() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appends
+}
+
+// Close releases the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

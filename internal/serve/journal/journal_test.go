@@ -1,0 +1,217 @@
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"repro/internal/serve/fsio"
+)
+
+func openT(t *testing.T, fs fsio.FS, path string) (*Journal, RecoveryInfo) {
+	t.Helper()
+	j, info, err := Open(fs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j, info
+}
+
+func rec(op Op, id string) Record {
+	return Record{Op: op, ID: id, Spec: json.RawMessage(`{"kind":"sweep"}`)}
+}
+
+func ids(records []Record) []string {
+	out := make([]string, len(records))
+	for i, r := range records {
+		out[i] = r.ID
+	}
+	return out
+}
+
+func TestJournalRoundTripAndPending(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j", "journal.wal")
+	j, info := openT(t, nil, path)
+	if len(info.Pending) != 0 || info.Replayed != 0 {
+		t.Fatalf("fresh journal not empty: %+v", info)
+	}
+	for _, r := range []Record{
+		rec(OpAccept, "a"), rec(OpAccept, "b"), rec(OpAccept, "c"),
+		{Op: OpDone, ID: "b"}, {Op: OpFail, ID: "c"},
+	} {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	_, info2 := openT(t, nil, path)
+	if got := ids(info2.Pending); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("pending = %v, want [a]", got)
+	}
+	if info2.Pending[0].Op != OpAccept || len(info2.Pending[0].Spec) == 0 {
+		t.Fatalf("pending record lost its spec: %+v", info2.Pending[0])
+	}
+}
+
+func TestJournalCompactionDropsFinishedRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _ := openT(t, nil, path)
+	for i := 0; i < 10; i++ {
+		id := string(rune('a' + i))
+		if err := j.Append(rec(OpAccept, id)); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(Record{Op: OpDone, ID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	_, info := openT(t, nil, path)
+	if len(info.Pending) != 0 {
+		t.Fatalf("pending = %v, want none", ids(info.Pending))
+	}
+	// The compacted file holds only pending records: here, nothing.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 0 {
+		t.Fatalf("compacted journal is %d bytes, want 0", len(data))
+	}
+}
+
+func TestJournalTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _ := openT(t, nil, path)
+	if err := j.Append(rec(OpAccept, "keep")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// Simulate a crash mid-append: a partial frame at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var half [6]byte
+	binary.LittleEndian.PutUint32(half[0:4], 100)
+	if _, err := f.Write(half[:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, info := openT(t, nil, path)
+	if got := ids(info.Pending); len(got) != 1 || got[0] != "keep" {
+		t.Fatalf("pending = %v, want [keep]", got)
+	}
+	if info.TruncatedBytes == 0 {
+		t.Fatal("torn tail not reported")
+	}
+	if info.Quarantined != "" {
+		t.Fatalf("torn tail must truncate, not quarantine (got %q)", info.Quarantined)
+	}
+}
+
+func TestJournalMidFileCorruptionQuarantined(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _ := openT(t, nil, path)
+	for _, id := range []string{"first", "second", "third"} {
+		if err := j.Append(rec(OpAccept, id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	// Flip a payload byte inside the first record: its CRC fails while
+	// later records still decode, which is in-place damage, not a torn
+	// tail.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[frameHeader+2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, info := openT(t, nil, path)
+	if len(info.Pending) != 0 {
+		t.Fatalf("corrupt journal served records: %v", ids(info.Pending))
+	}
+	if info.Quarantined == "" {
+		t.Fatal("mid-file corruption not quarantined")
+	}
+	if _, err := os.Stat(info.Quarantined); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+}
+
+func TestJournalDegradesOnAppendFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	fs := fsio.NewFaulty(nil)
+	j, _ := openT(t, fs, path)
+	fs.Inject(&fsio.Fault{Op: fsio.OpWrite, Path: "journal.wal", Err: syscall.ENOSPC})
+
+	err := j.Append(rec(OpAccept, "x"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("first append error = %v, want ENOSPC", err)
+	}
+	if !j.Degraded() {
+		t.Fatal("journal not degraded after I/O failure")
+	}
+	fs.Clear()
+	if err := j.Append(rec(OpAccept, "y")); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("degraded append error = %v, want ErrDegraded", err)
+	}
+}
+
+func TestJournalSyncFailureDegrades(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	fs := fsio.NewFaulty(nil)
+	j, _ := openT(t, fs, path)
+	fs.Inject(&fsio.Fault{Op: fsio.OpSync, Path: "journal.wal", Err: syscall.EIO})
+	if err := j.Append(rec(OpAccept, "x")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("append error = %v, want EIO", err)
+	}
+	if !j.Degraded() {
+		t.Fatal("journal not degraded after sync failure")
+	}
+}
+
+func TestJournalDuplicateAcceptsCollapse(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, _ := openT(t, nil, path)
+	for i := 0; i < 3; i++ {
+		if err := j.Append(rec(OpAccept, "dup")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	_, info := openT(t, nil, path)
+	if got := ids(info.Pending); len(got) != 1 {
+		t.Fatalf("pending = %v, want one dup", got)
+	}
+}
+
+func TestJournalUnreadableFileQuarantinedNotFatal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.wal")
+	if err := os.WriteFile(path, []byte("whatever"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := fsio.NewFaulty(nil)
+	fs.Inject(&fsio.Fault{Op: fsio.OpRead, Path: "journal.wal", Err: syscall.EIO, Count: 1})
+	j, info, err := Open(fs, path)
+	if err != nil {
+		t.Fatalf("unreadable journal must not be fatal: %v", err)
+	}
+	defer j.Close()
+	if info.Quarantined == "" || !strings.HasSuffix(info.Quarantined, ".corrupt") {
+		t.Fatalf("expected quarantine, got %+v", info)
+	}
+}

@@ -27,6 +27,22 @@ type ExecOptions struct {
 	// Metrics, if non-nil, aggregates the job's simulation totals;
 	// the scheduler passes a fork of its shared registry.
 	Metrics *obs.Metrics
+	// Checkpoint, if non-nil, lets long-running kinds (sweeps, campaigns)
+	// persist batch-boundary progress and resume after a crash. Like the
+	// other options it never changes what result a job produces — a
+	// checkpoint holds only completed work, so a resumed run is
+	// byte-identical to an uninterrupted one.
+	Checkpoint *CheckpointIO
+}
+
+// CheckpointIO is the progress plumbing a job run gets from the
+// scheduler: Load returns the previously persisted payload (if any),
+// Save replaces it, Every sets the batch cadence in work units (sweep
+// points, campaign trials).
+type CheckpointIO struct {
+	Load  func() (json.RawMessage, bool)
+	Save  func(json.RawMessage) error
+	Every int
 }
 
 // Runner executes one normalized job spec and returns its canonical JSON
@@ -55,6 +71,62 @@ func IsTransient(err error) bool {
 	return errors.As(err, &t)
 }
 
+// sweepResume adapts CheckpointIO to the sweep engine's resume contract:
+// the persisted payload is the completed seed-order prefix of point
+// outcomes. An undecodable payload is ignored — the sweep validates the
+// prefix against its own seed stream anyway, so a bad checkpoint can
+// only cost work, never corrupt a result.
+func sweepResume(ck *CheckpointIO) *sim.SweepResume {
+	if ck == nil {
+		return nil
+	}
+	r := &sim.SweepResume{Every: ck.Every}
+	if raw, ok := ck.Load(); ok {
+		var prior []sim.PointOutcome
+		if json.Unmarshal(raw, &prior) == nil {
+			r.Prior = prior
+		}
+	}
+	r.Save = func(done []sim.PointOutcome) error {
+		b, err := json.Marshal(done)
+		if err != nil {
+			return err
+		}
+		return ck.Save(b)
+	}
+	return r
+}
+
+// campaignResume adapts CheckpointIO to the campaign engine: the payload
+// is a CampaignProgress snapshot, persisted every Every trial boundaries.
+func campaignResume(ck *CheckpointIO) (*chaos.CampaignProgress, func(chaos.CampaignProgress)) {
+	if ck == nil {
+		return nil, nil
+	}
+	var resume *chaos.CampaignProgress
+	if raw, ok := ck.Load(); ok {
+		var p chaos.CampaignProgress
+		if json.Unmarshal(raw, &p) == nil {
+			resume = &p
+		}
+	}
+	every := ck.Every
+	if every < 1 {
+		every = 1
+	}
+	boundaries := 0
+	onProgress := func(p chaos.CampaignProgress) {
+		boundaries++
+		if boundaries%every != 0 {
+			return
+		}
+		if b, err := json.Marshal(p); err == nil {
+			_ = ck.Save(b)
+		}
+	}
+	return resume, onProgress
+}
+
 // Execute runs one job spec to completion: the default Runner. A
 // cancelled or expired ctx fails the job — partial results are never
 // returned, so nothing incomplete can reach the content-addressed cache.
@@ -78,10 +150,11 @@ func Execute(ctx context.Context, spec *JobSpec, opt ExecOptions) (json.RawMessa
 				return opt.Events, m
 			}
 		}
-		out, err = sim.RunSweepSpec(ctx, *spec.Sweep, opt.Parallelism, tel)
+		out, err = sim.RunSweepSpecResumable(ctx, *spec.Sweep, opt.Parallelism, tel, sweepResume(opt.Checkpoint))
 	case KindCampaign:
-		out, err = chaos.RunCampaignSpec(ctx, *spec.Campaign,
-			chaos.Telemetry{Events: opt.Events, Metrics: opt.Metrics}, nil)
+		resume, onProgress := campaignResume(opt.Checkpoint)
+		out, err = chaos.RunCampaignSpecResumable(ctx, *spec.Campaign,
+			chaos.Telemetry{Events: opt.Events, Metrics: opt.Metrics}, nil, resume, onProgress)
 	case KindVerify:
 		out, err = verify.RunSpec(ctx, *spec.Verify, opt.Parallelism)
 	case KindScript:

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/serve/fsio"
+	"repro/internal/serve/journal"
 )
 
 // Scheduler errors surfaced to the API layer.
@@ -65,6 +67,23 @@ type Config struct {
 	CacheEntries int
 	// SpoolDir, if non-empty, enables the on-disk result spool.
 	SpoolDir string
+	// JournalPath, if non-empty, enables the write-ahead job journal: an
+	// accept record is fsync'd before Submit returns, and on startup every
+	// accepted job with no terminal record is replayed.
+	JournalPath string
+	// CheckpointDir, if non-empty, enables batch-boundary checkpoints for
+	// long-running jobs, letting a replayed job resume instead of restart.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint cadence in work units — sweep
+	// points or campaign trials per save (default 8).
+	CheckpointEvery int
+	// FS is the filesystem seam under the spool, journal and checkpoint
+	// stores (default: the real filesystem). Tests inject faults here.
+	FS fsio.FS
+	// ServiceEvents, if non-nil, receives service-level durability events:
+	// storage degradation and journal recovery. Distinct from per-job
+	// protocol event rings.
+	ServiceEvents obs.Sink
 	// Runner executes jobs (default Execute). Tests substitute stubs.
 	Runner Runner
 	// Metrics, if non-nil, is the shared simulation-metrics registry;
@@ -104,6 +123,9 @@ func (c Config) withDefaults() Config {
 	if c.EventRing < 1 {
 		c.EventRing = 4096
 	}
+	if c.CheckpointEvery < 1 {
+		c.CheckpointEvery = 8
+	}
 	return c
 }
 
@@ -121,12 +143,14 @@ type Job struct {
 	done    chan struct{}
 
 	streamMu chan struct{} // capacity-1 try-lock for the events streamer
+	tail     *lineTail     // rendered NDJSON lines, for ?from= reconnects
 
 	mu        sync.Mutex
 	state     State
 	shard     int
 	attempts  int
 	cached    bool
+	recovered bool // replayed from the journal after a restart
 	coalesced uint64
 	result    json.RawMessage
 	errMsg    string
@@ -153,6 +177,7 @@ type JobStatus struct {
 	Shard         int             `json:"shard"`
 	Attempts      int             `json:"attempts,omitempty"`
 	Cached        bool            `json:"cached,omitempty"`
+	Recovered     bool            `json:"recovered,omitempty"`
 	Coalesced     uint64          `json:"coalesced,omitempty"`
 	QueuedMs      int64           `json:"queuedMs,omitempty"`
 	RunMs         int64           `json:"runMs,omitempty"`
@@ -172,6 +197,7 @@ func (j *Job) Status() JobStatus {
 		Shard:     j.shard,
 		Attempts:  j.attempts,
 		Cached:    j.cached,
+		Recovered: j.recovered,
 		Coalesced: j.coalesced,
 		Error:     j.errMsg,
 		Result:    j.result,
@@ -199,6 +225,8 @@ type shard struct {
 type Scheduler struct {
 	cfg     Config
 	cache   *Cache
+	ckpt    *CheckpointStore // nil when checkpointing is disabled
+	jnl     *journal.Journal // nil when journaling is disabled
 	metrics *obs.Metrics
 	latency *obs.Histogram // job run latency, milliseconds
 	shards  []*shard
@@ -206,6 +234,7 @@ type Scheduler struct {
 	rootCtx    context.Context
 	rootCancel context.CancelFunc
 	wg         sync.WaitGroup
+	jnlClose   sync.Once
 	start      time.Time
 
 	mu        sync.Mutex
@@ -214,6 +243,7 @@ type Scheduler struct {
 	records   map[Digest]*Job
 	recordLog []Digest // completion order, for bounded record eviction
 
+	recoveredJobs    atomic.Uint64
 	submitted        atomic.Uint64
 	coalescedTotal   atomic.Uint64
 	executed         atomic.Uint64
@@ -227,10 +257,13 @@ type Scheduler struct {
 // misses on tiny scripts up to multi-minute verification sweeps.
 var latencyBoundsMs = []uint64{1, 5, 10, 50, 100, 500, 1000, 5000, 30000, 120000, 600000}
 
-// NewScheduler creates the scheduler and starts its worker shards.
+// NewScheduler creates the scheduler, starts its worker shards, and —
+// when a journal is configured — replays every accepted-but-unfinished
+// job found at startup through the shards, so a crashed service resumes
+// its obligations before taking new ones.
 func NewScheduler(cfg Config) (*Scheduler, error) {
 	cfg = cfg.withDefaults()
-	cache, err := NewCache(cfg.CacheEntries, cfg.SpoolDir)
+	cache, err := NewCache(cfg.CacheEntries, cfg.SpoolDir, cfg.FS)
 	if err != nil {
 		return nil, err
 	}
@@ -245,6 +278,26 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 		inflight:   make(map[Digest]*Job),
 		records:    make(map[Digest]*Job),
 	}
+	cache.OnDegrade(func(error) { s.serviceEvent(obs.KindStorageDegraded, obs.StoreSpool) })
+	if cfg.CheckpointDir != "" {
+		ckpt, err := NewCheckpointStore(cfg.CheckpointDir, cfg.FS)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("serve: checkpoint store: %w", err)
+		}
+		ckpt.OnDegrade(func(error) { s.serviceEvent(obs.KindStorageDegraded, obs.StoreCheckpoint) })
+		s.ckpt = ckpt
+	}
+	var pendingJobs []journal.Record
+	if cfg.JournalPath != "" {
+		jnl, info, err := journal.Open(cfg.FS, cfg.JournalPath)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("serve: journal: %w", err)
+		}
+		s.jnl = jnl
+		pendingJobs = info.Pending
+	}
 	//lint:allow determinism -- serving-layer uptime clock; not simulation state
 	s.start = time.Now()
 	s.shards = make([]*shard, cfg.Shards)
@@ -253,7 +306,80 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 		s.wg.Add(1)
 		go s.worker(i)
 	}
+	// Replay after the workers are live: recovery enqueues block (never
+	// reject) when they outnumber the queue depth, and the running workers
+	// drain them.
+	for _, rec := range pendingJobs {
+		s.recoverJob(rec)
+	}
+	if n := len(pendingJobs); n > 0 {
+		s.serviceEvent(obs.KindJournalRecovered, uint32(n))
+	}
 	return s, nil
+}
+
+// serviceEvent emits one durability event on the service-level sink.
+// Station -1 marks it as service- rather than station-scoped.
+func (s *Scheduler) serviceEvent(kind obs.Kind, aux uint32) {
+	if s.cfg.ServiceEvents != nil {
+		s.cfg.ServiceEvents.Emit(obs.Event{
+			Kind:    kind,
+			Slot:    0,
+			Station: -1,
+			Aux:     aux,
+		})
+	}
+}
+
+// journalAppend logs one record, tolerating degradation: the first I/O
+// failure emits a storage-degraded event, later appends are dropped
+// silently. Durability degrades; serving never stops.
+func (s *Scheduler) journalAppend(r journal.Record) {
+	if s.jnl == nil {
+		return
+	}
+	if err := s.jnl.Append(r); err != nil && !errors.Is(err, journal.ErrDegraded) {
+		s.serviceEvent(obs.KindStorageDegraded, obs.StoreJournal)
+	}
+}
+
+// recoverJob replays one journaled accept record after a restart. A
+// record whose spec no longer decodes or hashes to its ID is closed out
+// with a fail record (the journal itself was CRC-validated, so this
+// means a version skew, not corruption); a record whose result is
+// already in the cache is closed out as done; anything else re-enters
+// the shards as a recovered job.
+func (s *Scheduler) recoverJob(rec journal.Record) {
+	spec, err := DecodeSpec(rec.Spec)
+	if err != nil {
+		s.journalAppend(journal.Record{Op: journal.OpFail, ID: rec.ID})
+		return
+	}
+	spec.Normalize()
+	canonical, digest, err := spec.Canonical()
+	if err != nil || string(digest) != rec.ID {
+		s.journalAppend(journal.Record{Op: journal.OpFail, ID: rec.ID})
+		return
+	}
+	if ent, ok := s.cache.Get(digest); ok {
+		// The job finished and its result reached the durable spool before
+		// the crash; only the terminal record was lost.
+		s.journalAppend(journal.Record{Op: journal.OpDone, ID: rec.ID})
+		s.mu.Lock()
+		s.remember(s.cachedJob(spec, canonical, digest, ent.Result))
+		s.mu.Unlock()
+		return
+	}
+	j := s.newJob(spec, canonical, digest)
+	j.recovered = true
+	s.mu.Lock()
+	sh := s.shardOf(digest)
+	j.shard = sh
+	s.inflight[digest] = j
+	s.remember(j)
+	s.mu.Unlock()
+	s.shards[sh].ch <- j
+	s.recoveredJobs.Add(1)
 }
 
 // Cache exposes the result store (tests and stats).
@@ -322,6 +448,33 @@ func (s *Scheduler) Submit(spec *JobSpec) (*Job, Admission, error) {
 		return j, AdmissionCoalesced, nil
 	}
 
+	j := s.newJob(spec, canonical, digest)
+	sh := s.shardOf(digest)
+	j.shard = sh
+	// Write-ahead: the accept record must be durable before the job is
+	// visible to a worker (and before the API layer's 202), so a crash at
+	// any later point replays it. The append happens under s.mu, which
+	// also guarantees a job's accept record precedes its terminal record.
+	s.journalAppend(journal.Record{Op: journal.OpAccept, ID: string(digest), Spec: canonical})
+	select {
+	case s.shards[sh].ch <- j:
+	default:
+		s.mu.Unlock()
+		s.rejectedFull.Add(1)
+		// Close out the journaled accept so the rejected job is not
+		// replayed on restart; the client got a 429, not a 202.
+		s.journalAppend(journal.Record{Op: journal.OpFail, ID: string(digest)})
+		return nil, AdmissionNew, ErrQueueFull
+	}
+	s.inflight[digest] = j
+	s.remember(j)
+	s.mu.Unlock()
+	s.submitted.Add(1)
+	return j, AdmissionNew, nil
+}
+
+// newJob builds a runnable job record in the queued state.
+func (s *Scheduler) newJob(spec *JobSpec, canonical []byte, digest Digest) *Job {
 	ring := obs.NewRing(s.cfg.EventRing)
 	j := &Job{
 		digest:    digest,
@@ -332,24 +485,12 @@ func (s *Scheduler) Submit(spec *JobSpec) (*Job, Admission, error) {
 		metrics:   s.metrics.Fork(),
 		done:      make(chan struct{}),
 		streamMu:  make(chan struct{}, 1),
+		tail:      newLineTail(tailCapacity),
 		state:     StateQueued,
 	}
 	//lint:allow determinism -- serving-layer queue timestamps; not simulation state
 	j.submitted = time.Now()
-	sh := s.shardOf(digest)
-	j.shard = sh
-	select {
-	case s.shards[sh].ch <- j:
-	default:
-		s.mu.Unlock()
-		s.rejectedFull.Add(1)
-		return nil, AdmissionNew, ErrQueueFull
-	}
-	s.inflight[digest] = j
-	s.remember(j)
-	s.mu.Unlock()
-	s.submitted.Add(1)
-	return j, AdmissionNew, nil
+	return j
 }
 
 // cachedJob synthesizes a terminal record for a cache hit.
@@ -474,6 +615,7 @@ func (s *Scheduler) runJob(sh *shard, j *Job) {
 			Parallelism: s.cfg.Parallelism,
 			Events:      j.events,
 			Metrics:     metrics,
+			Checkpoint:  s.checkpointIO(j),
 		})
 		cancel()
 		j.mu.Lock()
@@ -494,9 +636,22 @@ func (s *Scheduler) runJob(sh *shard, j *Job) {
 	s.latency.Observe(elapsedMs)
 
 	if err == nil {
+		// Order matters: the result must be durable in the spool before the
+		// journal's done record — a crash between the two replays the job
+		// (harmless, deterministic), never loses an acknowledged result.
 		s.cache.Put(j.digest, Entry{Spec: j.canonical, Result: res})
+		if s.ckpt != nil {
+			s.ckpt.Drop(j.digest)
+		}
+		s.journalAppend(journal.Record{Op: journal.OpDone, ID: string(j.digest)})
 	} else {
 		s.failed.Add(1)
+		// A shutdown-cancelled job keeps its pending journal record (and
+		// checkpoint) so the next start replays and resumes it; only a real
+		// failure is closed out as terminal.
+		if s.rootCtx.Err() == nil {
+			s.journalAppend(journal.Record{Op: journal.OpFail, ID: string(j.digest)})
+		}
 	}
 	j.mu.Lock()
 	j.finished = finished
@@ -513,6 +668,43 @@ func (s *Scheduler) runJob(sh *shard, j *Job) {
 	delete(s.inflight, j.digest)
 	s.mu.Unlock()
 	close(j.done)
+}
+
+// checkpointIO wires a job to the checkpoint store: progress payloads
+// live at the job's digest, and every load/save is surfaced on the job's
+// event ring so a live /events stream shows recovery happening.
+func (s *Scheduler) checkpointIO(j *Job) *CheckpointIO {
+	if s.ckpt == nil {
+		return nil
+	}
+	d := j.digest
+	return &CheckpointIO{
+		Every: s.cfg.CheckpointEvery,
+		Load: func() (json.RawMessage, bool) {
+			raw, ok := s.ckpt.Load(d)
+			if ok {
+				j.events.Emit(obs.Event{
+					Kind:    obs.KindCheckpointResumed,
+					Slot:    0,
+					Station: -1,
+					Aux:     uint32(len(raw)),
+				})
+			}
+			return raw, ok
+		},
+		Save: func(raw json.RawMessage) error {
+			if err := s.ckpt.Save(d, raw); err != nil {
+				return err
+			}
+			j.events.Emit(obs.Event{
+				Kind:    obs.KindCheckpointSaved,
+				Slot:    0,
+				Station: -1,
+				Aux:     uint32(len(raw)),
+			})
+			return nil
+		},
+	}
 }
 
 // Draining reports whether the scheduler has begun shutting down.
@@ -542,12 +734,23 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 		s.wg.Wait()
 		close(idle)
 	}()
+	// The workers are the only journal writers left once submissions are
+	// rejected, so the journal closes exactly when they go idle.
+	closeJournal := func() {
+		s.jnlClose.Do(func() {
+			if s.jnl != nil {
+				_ = s.jnl.Close()
+			}
+		})
+	}
 	select {
 	case <-idle:
+		closeJournal()
 		return nil
 	case <-ctx.Done():
 		s.rootCancel()
 		<-idle
+		closeJournal()
 		return ctx.Err()
 	}
 }
@@ -589,16 +792,27 @@ type JobCounters struct {
 	RejectedDraining  uint64 `json:"rejected_draining"`
 }
 
+// DurabilityStats reports the journal and checkpoint state for
+// /v1/stats.
+type DurabilityStats struct {
+	JournalEnabled  bool             `json:"journal_enabled"`
+	JournalAppends  uint64           `json:"journal_appends,omitempty"`
+	JournalDegraded bool             `json:"journal_degraded,omitempty"`
+	RecoveredJobs   uint64           `json:"recovered_jobs,omitempty"`
+	Checkpoints     *CheckpointStats `json:"checkpoints,omitempty"`
+}
+
 // Stats is the full serialisable scheduler state for /v1/stats. The JSON
 // field names are a stable contract consumed by mcctl and CI smoke jobs.
 type Stats struct {
-	Draining      bool         `json:"draining"`
-	UptimeSeconds float64      `json:"uptime_seconds"`
-	Jobs          JobCounters  `json:"jobs"`
-	Cache         CacheStats   `json:"cache"`
-	Shards        []ShardStats `json:"shards"`
-	Latency       LatencyStats `json:"latency"`
-	Sim           obs.Snapshot `json:"sim"`
+	Draining      bool            `json:"draining"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Jobs          JobCounters     `json:"jobs"`
+	Cache         CacheStats      `json:"cache"`
+	Shards        []ShardStats    `json:"shards"`
+	Latency       LatencyStats    `json:"latency"`
+	Durability    DurabilityStats `json:"durability"`
+	Sim           obs.Snapshot    `json:"sim"`
 }
 
 // Stats snapshots the scheduler.
@@ -618,6 +832,10 @@ func (s *Scheduler) Stats() Stats {
 			RejectedDraining:  s.rejectedDraining.Load(),
 		},
 		Cache: s.cache.Stats(),
+		Durability: DurabilityStats{
+			JournalEnabled: s.jnl != nil,
+			RecoveredJobs:  s.recoveredJobs.Load(),
+		},
 		Latency: LatencyStats{
 			Count:     s.latency.Count(),
 			P50Ms:     s.latency.Quantile(0.50),
@@ -625,6 +843,14 @@ func (s *Scheduler) Stats() Stats {
 			Histogram: s.latency.State(),
 		},
 		Sim: s.metrics.Snapshot(uptime),
+	}
+	if s.jnl != nil {
+		st.Durability.JournalAppends = s.jnl.Appends()
+		st.Durability.JournalDegraded = s.jnl.Degraded()
+	}
+	if s.ckpt != nil {
+		cs := s.ckpt.Stats()
+		st.Durability.Checkpoints = &cs
 	}
 	st.Shards = make([]ShardStats, len(s.shards))
 	busyTotal := uint64(0)

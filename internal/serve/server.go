@@ -171,6 +171,12 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // event per line, flushed as emitted. One streamer per job: a second
 // concurrent reader gets 409. The stream ends when the job reaches a
 // terminal state and the ring is drained.
+//
+// Events are rendered into a bounded per-job line tail before going to
+// the client, and ?from=N replays the tail from absolute line index N —
+// a client that counted the lines it received can reconnect after a drop
+// and resume exactly where it stopped (lines older than the tail's
+// capacity are gone, as ring overflow already makes the stream lossy).
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	d, ok := pathDigest(w, r)
 	if !ok {
@@ -181,7 +187,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "serve: unknown job %s", d.Short())
 		return
 	}
-	if job.ring == nil {
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		from = 0
+	}
+	if job.ring == nil || job.tail == nil {
 		// Cache hits never ran here; there is no event stream.
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.WriteHeader(http.StatusOK)
@@ -198,24 +208,42 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-	onLine := func() {}
-	if flusher != nil {
-		onLine = flusher.Flush
+
+	// The renderer drains ring events into the tail; the loop below ships
+	// tail lines to the client. Decoupling the two is what makes resume
+	// work: every rendered line is indexed before it is sent anywhere.
+	render := obs.NewJSONLStream(&lineSplitter{fn: job.tail.append}, runTag(job.spec), nil)
+	cursor := from
+	ship := func() bool {
+		job.ring.Drain(render)
+		_ = render.Flush()
+		lines, first := job.tail.since(cursor)
+		cursor = first
+		for _, ln := range lines {
+			if _, err := w.Write(ln); err != nil {
+				return false
+			}
+			if _, err := w.Write([]byte("\n")); err != nil {
+				return false
+			}
+			cursor++
+		}
+		if len(lines) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		return true
 	}
-	stream := obs.NewJSONLStream(w, runTag(job.spec), onLine)
 
 	ctx := r.Context()
 	tick := time.NewTicker(10 * time.Millisecond)
 	defer tick.Stop()
 	for {
-		job.ring.Drain(stream)
-		if stream.Err() != nil {
+		if !ship() {
 			return // client went away
 		}
 		select {
 		case <-job.Done():
-			job.ring.Drain(stream)
-			_ = stream.Flush()
+			ship()
 			return
 		case <-ctx.Done():
 			return

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"bytes"
+	"sync"
+)
+
+// tailCapacity bounds a job's rendered-line tail. At ~150 bytes per
+// NDJSON line this is on the order of 1 MiB per job, and only jobs whose
+// events were actually streamed pay it.
+const tailCapacity = 8192
+
+// lineTail is a bounded buffer of rendered NDJSON event lines with
+// absolute indexing: line i is the i-th line ever rendered for the job,
+// regardless of how many have been dropped since. It is what lets a
+// dropped /events client reconnect with ?from=N and resume exactly where
+// it stopped, instead of re-reading from an already-drained ring.
+type lineTail struct {
+	mu    sync.Mutex
+	start uint64 // absolute index of lines[0]
+	lines [][]byte
+	max   int
+}
+
+func newLineTail(max int) *lineTail {
+	if max < 1 {
+		max = 1
+	}
+	return &lineTail{max: max}
+}
+
+// append records one rendered line, dropping the oldest beyond capacity.
+func (t *lineTail) append(line []byte) {
+	cp := append([]byte(nil), line...)
+	t.mu.Lock()
+	t.lines = append(t.lines, cp)
+	for len(t.lines) > t.max {
+		t.lines = t.lines[1:]
+		t.start++
+	}
+	t.mu.Unlock()
+}
+
+// since returns copies of the buffered lines at absolute index >= from
+// and the absolute index of the first returned line (callers detect a
+// gap by comparing it against the index they asked for).
+func (t *lineTail) since(from uint64) ([][]byte, uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	first := t.start
+	if from > first {
+		first = from
+	}
+	end := t.start + uint64(len(t.lines))
+	if first >= end {
+		return nil, end
+	}
+	out := make([][]byte, 0, end-first)
+	for i := first - t.start; i < uint64(len(t.lines)); i++ {
+		out = append(out, t.lines[i])
+	}
+	return out, first
+}
+
+// next returns the absolute index one past the newest buffered line.
+func (t *lineTail) next() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.start + uint64(len(t.lines))
+}
+
+// lineSplitter adapts a byte stream into whole lines: it buffers writes
+// and hands every complete '\n'-terminated line (without the newline) to
+// fn. It is the glue between obs.JSONLWriter's buffered output and the
+// line-indexed tail.
+type lineSplitter struct {
+	buf []byte
+	fn  func(line []byte)
+}
+
+func (ls *lineSplitter) Write(p []byte) (int, error) {
+	ls.buf = append(ls.buf, p...)
+	for {
+		i := bytes.IndexByte(ls.buf, '\n')
+		if i < 0 {
+			return len(p), nil
+		}
+		ls.fn(ls.buf[:i])
+		ls.buf = ls.buf[i+1:]
+	}
+}

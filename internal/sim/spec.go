@@ -2,7 +2,6 @@ package sim
 
 import (
 	"context"
-	"errors"
 	"fmt"
 
 	"repro/internal/core"
@@ -148,34 +147,5 @@ type SweepOutcome struct {
 // stays valid — the same code path serves an interactive SIGINT and a
 // server drain. Parallelism bounds concurrent simulations; tel may be nil.
 func RunSweepSpec(ctx context.Context, spec SweepSpec, parallelism int, tel PointTelemetry) (*SweepOutcome, error) {
-	spec.Normalize()
-	cfg, err := spec.Config()
-	if err != nil {
-		return nil, err
-	}
-	points := SweepSeedsObserved(ctx, cfg, spec.SeedList(), parallelism, tel)
-	out := &SweepOutcome{Spec: spec, Points: make([]PointOutcome, 0, len(points))}
-	for _, p := range points {
-		if p.Err != nil {
-			if errors.Is(p.Err, context.Canceled) || errors.Is(p.Err, context.DeadlineExceeded) {
-				out.Points = append(out.Points, PointOutcome{Seed: p.Seed, Cancelled: true})
-				continue
-			}
-			return nil, fmt.Errorf("sim: seed %d: %w", p.Seed, p.Err)
-		}
-		r := p.Result
-		out.Points = append(out.Points, PointOutcome{
-			Seed:            p.Seed,
-			Slots:           r.Slots,
-			BitFlips:        r.BitFlips,
-			FramesSent:      r.FramesSent,
-			IMOs:            r.IMOs,
-			Duplicates:      r.Duplicates,
-			LostEverywhere:  r.LostEverywhere,
-			Incomplete:      r.Incomplete,
-			AtomicBroadcast: r.Report.AtomicBroadcast(),
-		})
-	}
-	out.Summary = Summarize(points)
-	return out, nil
+	return RunSweepSpecResumable(ctx, spec, parallelism, tel, nil)
 }
