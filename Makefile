@@ -22,12 +22,12 @@ race:
 	$(GO) test -race ./...
 
 # BENCHTIME=1x gives a fast smoke pass (the CI default); raise it for
-# stable numbers (e.g. BENCHTIME=2s). Results land in BENCH_pr4.json as
+# stable numbers (e.g. BENCHTIME=2s). Results land in BENCH_pr7.json as
 # test2json lines for machine consumption.
 BENCHTIME ?= 1x
 
 bench:
-	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -json ./... | tee BENCH_pr4.json
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -json ./... | tee BENCH_pr7.json
 
 # Short coverage-guided fuzz pass over the bit-stuffing codec (the CI
 # smoke); raise FUZZTIME locally for a deeper run.

@@ -1,11 +1,14 @@
 package repro
 
 import (
+	"io"
 	"testing"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/node"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/sim"
 )
 
@@ -138,4 +141,83 @@ func BenchmarkEmit(b *testing.B) {
 			metrics.Emit(e)
 		}
 	})
+}
+
+// TestTelemetryZeroAllocWhenDisabled asserts the allocation contract
+// the hotpath analyzer enforces statically: with tracing disabled (nil
+// sink) the per-bit path allocates nothing, and every telemetry
+// primitive on the enabled path — ring emit, ring drain, metrics
+// accumulation, a saturated capture — is allocation-free too. These are
+// hard failures, not benchmark numbers, so a regression cannot hide in
+// benchmark noise.
+func TestTelemetryZeroAllocWhenDisabled(t *testing.T) {
+	e := obs.Event{Slot: 1, Kind: obs.KindRetransmit, Station: 3}
+	discard := obs.SinkFunc(func(obs.Event) {})
+
+	ring := obs.NewRing(1 << 10)
+	if a := testing.AllocsPerRun(1000, func() {
+		ring.Emit(e)
+		ring.Drain(discard)
+	}); a != 0 {
+		t.Errorf("ring emit+drain allocates %.1f/op, want 0", a)
+	}
+
+	metrics := obs.NewMetrics()
+	if a := testing.AllocsPerRun(1000, func() { metrics.Emit(e) }); a != 0 {
+		t.Errorf("metrics emit allocates %.1f/op, want 0", a)
+	}
+
+	// A capture past its bound only counts; the steady state of a long
+	// job must not grow the archived prefix.
+	capture := obs.NewCapture(1)
+	capture.Emit(e)
+	capture.Emit(e)
+	if a := testing.AllocsPerRun(1000, func() { capture.Emit(e) }); a != 0 {
+		t.Errorf("saturated capture emit allocates %.1f/op, want 0", a)
+	}
+
+	// Idle bus stepping, uninstrumented and instrumented with the
+	// service's composite sink: the per-bit hot path itself.
+	plain := sim.MustCluster(sim.ClusterOptions{Nodes: 3, Policy: core.NewStandard()})
+	plain.Net.Run(64) // settle
+	if a := testing.AllocsPerRun(1000, func() { plain.Net.Run(1) }); a != 0 {
+		t.Errorf("idle uninstrumented bit step allocates %.1f/op, want 0", a)
+	}
+	wired := sim.MustCluster(sim.ClusterOptions{
+		Nodes:  3,
+		Policy: core.NewStandard(),
+		Events: obs.Locked(obs.Multi(obs.NewRing(1<<10), obs.NewCapture(16))),
+	})
+	wired.Net.Run(64)
+	if a := testing.AllocsPerRun(1000, func() { wired.Net.Run(1) }); a != 0 {
+		t.Errorf("idle instrumented bit step allocates %.1f/op, want 0", a)
+	}
+}
+
+// BenchmarkTraceSynthesis measures exporting a disturbed broadcast's
+// event stream as a Perfetto trace — the cost of one `mcctl trace`
+// download, paid at export time, never on the simulation path.
+func BenchmarkTraceSynthesis(b *testing.B) {
+	mem := obs.NewMemory()
+	if _, err := chaos.RunObserved(chaos.Script{
+		Version:  chaos.ScriptVersion,
+		Protocol: "can",
+		Nodes:    5,
+		Frames:   20,
+		Faults: []chaos.Fault{
+			{Kind: chaos.ViewFlip, Station: 1, EOFRel: 1, Attempt: 1},
+		},
+	}, chaos.Telemetry{Events: mem}); err != nil {
+		b.Fatal(err)
+	}
+	events := mem.Events()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var tr span.Trace
+		span.AddProtocol(&tr, events, span.ProtocolOptions{Pid: 1})
+		if err := tr.Write(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -43,15 +44,19 @@ import (
 // stopProf finalises profiling; exit routes every termination through it.
 var stopProf = func() error { return nil }
 
+// logger carries CLI diagnostics; main replaces it per -log-format
+// before any mode runs.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil)).With("component", "chaos")
+
 func exit(code int) {
 	if err := stopProf(); err != nil {
-		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+		logger.Error("profiling teardown failed", "err", err)
 	}
 	os.Exit(code)
 }
 
 func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "chaos: "+format+"\n", args...)
+	logger.Error(fmt.Sprintf(format, args...))
 	exit(1)
 }
 
@@ -159,7 +164,15 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	logFormat := flag.String("log-format", "text", "diagnostic log format: text or json")
 	flag.Parse()
+
+	lg, err := obs.NewLogger(os.Stderr, *logFormat, slog.LevelInfo)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+		os.Exit(2)
+	}
+	logger = lg.With("component", "chaos")
 
 	sp, err := obs.StartProfiling(*cpuProfile, *memProfile, *pprofAddr)
 	if err != nil {

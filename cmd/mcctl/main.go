@@ -6,6 +6,9 @@
 //	mcctl wait <digest>                                     # poll to completion
 //	mcctl watch <digest>                                    # stream NDJSON events
 //	mcctl stats                                             # scheduler statistics
+//	mcctl stats -watch                                      # live-refresh summary line
+//	mcctl trace <digest>                                    # Perfetto trace download
+//	mcctl metrics -lint                                     # Prometheus scrape + lint
 //	mcctl health                                            # ok | draining
 //
 // Job specs are the canonical JSON format shared with mcsim -spec and
@@ -14,6 +17,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -25,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -43,7 +48,12 @@ commands:
   wait [-poll D] <digest>                     poll a job to completion
   watch [-follow=false] <digest>              stream the job's events as NDJSON,
                                               reconnecting dropped streams
-  stats                                       print scheduler statistics
+  stats [-watch] [-interval D]                print scheduler statistics; -watch
+                                              live-refreshes a summary line with deltas
+  trace [-o FILE] <digest>                    download a finished job's Perfetto trace
+                                              (Chrome trace-event JSON; open in ui.perfetto.dev)
+  metrics [-lint]                             print the Prometheus /metrics exposition;
+                                              -lint validates the format and prints nothing
   health                                      print service health`)
 }
 
@@ -70,7 +80,11 @@ func run() int {
 	case "watch":
 		err = cmdWatch(ctx, client, args)
 	case "stats":
-		err = cmdStats(ctx, client)
+		err = cmdStats(ctx, client, args)
+	case "trace":
+		err = cmdTrace(ctx, client, args)
+	case "metrics":
+		err = cmdMetrics(ctx, client, args)
 	case "health":
 		err = cmdHealth(ctx, client)
 	default:
@@ -207,12 +221,115 @@ func cmdWatch(ctx context.Context, client *serve.Client, args []string) error {
 	return client.Events(ctx, d, emit)
 }
 
-func cmdStats(ctx context.Context, client *serve.Client) error {
-	st, err := client.Stats(ctx)
+func cmdStats(ctx context.Context, client *serve.Client, args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	watch := fs.Bool("watch", false, "live-refresh a one-line summary until interrupted")
+	interval := fs.Duration("interval", time.Second, "refresh interval for -watch")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*watch {
+		st, err := client.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(st)
+	}
+	return watchStats(ctx, client, *interval)
+}
+
+// watchStats polls /v1/stats and repaints one status line in place:
+// queue depth, throughput deltas since the previous sample, run-latency
+// quantiles, cache hit ratio and event-loss counters.
+func watchStats(ctx context.Context, client *serve.Client, interval time.Duration) error {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	line := obs.NewStatusLine(os.Stdout)
+	defer line.Close("")
+	var prev *serve.Stats
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		st, err := client.Stats(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil // interrupted mid-request
+			}
+			return err
+		}
+		depth := 0
+		for _, sh := range st.Shards {
+			depth += sh.Depth
+		}
+		var dSub, dExec uint64
+		if prev != nil {
+			dSub = st.Jobs.Submitted - prev.Jobs.Submitted
+			dExec = st.Jobs.Executed - prev.Jobs.Executed
+		}
+		status := fmt.Sprintf(
+			"up %s | queue %d | jobs %d (+%d) done %d (+%d) failed %d | p50 %dms p99 %dms | cache %.1f%% | drops %d",
+			(time.Duration(st.UptimeSeconds)*time.Second).String(),
+			depth, st.Jobs.Submitted, dSub, st.Jobs.Executed, dExec, st.Jobs.Failed,
+			st.Latency.P50Ms, st.Latency.P99Ms, 100*st.Cache.HitRatio,
+			st.Events.DroppedEvents)
+		if st.Draining {
+			status = "DRAINING | " + status
+		}
+		line.Update(status)
+		prev = st
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-tick.C:
+		}
+	}
+}
+
+func cmdTrace(ctx context.Context, client *serve.Client, args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	out := fs.String("o", "", "write the trace to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := parseDigestArg(fs.Args())
 	if err != nil {
 		return err
 	}
-	return printJSON(st)
+	data, err := client.Trace(ctx, d)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mcctl: wrote %d bytes to %s (open in ui.perfetto.dev)\n", len(data), *out)
+	return nil
+}
+
+func cmdMetrics(ctx context.Context, client *serve.Client, args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ContinueOnError)
+	lint := fs.Bool("lint", false, "validate the exposition format instead of printing it")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	data, err := client.MetricsText(ctx)
+	if err != nil {
+		return err
+	}
+	if *lint {
+		if err := obs.LintProm(bytes.NewReader(data)); err != nil {
+			return fmt.Errorf("metrics lint: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "mcctl: metrics exposition ok")
+		return nil
+	}
+	_, err = os.Stdout.Write(data)
+	return err
 }
 
 func cmdHealth(ctx context.Context, client *serve.Client) error {

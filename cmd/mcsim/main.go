@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,21 +47,29 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	logFormat := flag.String("log-format", "text", "diagnostic log format: text or json")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, slog.LevelInfo)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcsim: %v\n", err)
+		os.Exit(2)
+	}
+	logger = logger.With("component", "mcsim")
 
 	stopProf, err := obs.StartProfiling(*cpuProfile, *memProfile, *pprofAddr)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mcsim: %v\n", err)
+		logger.Error("profiling setup failed", "err", err)
 		os.Exit(1)
 	}
 	exit := func(code int) {
 		if err := stopProf(); err != nil {
-			fmt.Fprintf(os.Stderr, "mcsim: %v\n", err)
+			logger.Error("profiling teardown failed", "err", err)
 		}
 		os.Exit(code)
 	}
 	fatalf := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "mcsim: "+format+"\n", args...)
+		logger.Error(fmt.Sprintf(format, args...))
 		exit(1)
 	}
 

@@ -39,6 +39,33 @@ const obsPathSuffix = "internal/obs"
 // the analyzer's tests.
 const maxCauseCode = 6
 
+// knownKinds pins the full set of obs.Kind constants event producers may
+// emit. Adding a kind to obs without listing it here fails the lint —
+// the forcing function that keeps the trace synthesiser, the JSONL name
+// table and the docs in step with new event kinds. The analyzer's tests
+// pin this table against the constants the obs package actually
+// declares, so the two cannot drift apart silently.
+var knownKinds = map[string]bool{
+	"KindFrameStart":         true,
+	"KindArbitrationLoss":    true,
+	"KindStuffError":         true,
+	"KindErrorFlagPrimary":   true,
+	"KindErrorFlagSecondary": true,
+	"KindEOFVoteCorrected":   true,
+	"KindRetransmit":         true,
+	"KindFrameAccepted":      true,
+	"KindIMO":                true,
+	"KindBusOff":             true,
+	"KindRecover":            true,
+	"KindAttemptRetry":       true,
+	"KindStorageDegraded":    true,
+	"KindJournalRecovered":   true,
+	"KindCheckpointSaved":    true,
+	"KindCheckpointResumed":  true,
+	"KindEOFVote":            true,
+	"KindRingOverflow":       true,
+}
+
 func run(pass *lint.Pass) error {
 	isObsItself := strings.HasSuffix(pass.Pkg.Path(), obsPathSuffix)
 	for _, f := range pass.Files {
@@ -117,6 +144,35 @@ func checkEventLit(pass *lint.Pass, lit *ast.CompositeLit) {
 	}
 	if cause, ok := set["Cause"]; ok {
 		checkCauseCode(pass, cause)
+	}
+	if kind, ok := set["Kind"]; ok {
+		checkKindKnown(pass, kind)
+	}
+}
+
+// checkKindKnown verifies that a Kind field referencing an obs.Kind
+// constant names one in the pinned knownKinds table. Kinds passed
+// through variables or parameters are the producer's runtime data and
+// are not checked.
+func checkKindKnown(pass *lint.Pass, expr ast.Expr) {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return
+	}
+	obj := pass.Info.Uses[id]
+	c, ok := obj.(*types.Const)
+	if !ok || !isObsType(c.Type(), "Kind") {
+		return
+	}
+	if !knownKinds[c.Name()] {
+		pass.Reportf(expr.Pos(),
+			"obs.Kind constant %s is not in the eventcontract knownKinds table; new event kinds must be registered there (and handled by the trace/export layers) before use",
+			c.Name())
 	}
 }
 

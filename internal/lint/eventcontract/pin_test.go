@@ -1,0 +1,69 @@
+package eventcontract
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestKnownKindsPinsObsConstants parses the obs package source and
+// checks the knownKinds table holds exactly the obs.Kind constants it
+// declares: a kind added to obs without a table entry (or a stale entry
+// for a removed kind) fails here, and an unregistered kind used by a
+// producer fails the analyzer itself.
+func TestKnownKindsPinsObsConstants(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgDir := filepath.Join("..", "..", "obs")
+	pkgs, err := parser.ParseDir(fset, pkgDir, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	declared := map[string]bool{}
+	for _, pkg := range pkgs {
+		if pkg.Name != "obs" {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				// A Kind block starts with an explicitly-typed `Kind`
+				// const and continues through implicit iota specs.
+				inKindBlock := false
+				for _, spec := range gd.Specs {
+					vs := spec.(*ast.ValueSpec)
+					if vs.Type != nil {
+						id, ok := vs.Type.(*ast.Ident)
+						inKindBlock = ok && id.Name == "Kind"
+					}
+					if !inKindBlock {
+						continue
+					}
+					for _, name := range vs.Names {
+						if strings.HasPrefix(name.Name, "Kind") {
+							declared[name.Name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(declared) == 0 {
+		t.Fatalf("no Kind constants found in %s; pin test is parsing the wrong tree", pkgDir)
+	}
+	for name := range declared {
+		if !knownKinds[name] {
+			t.Errorf("obs declares %s but the eventcontract knownKinds table does not list it; register it (and teach the trace/export layers about it)", name)
+		}
+	}
+	for name := range knownKinds {
+		if !declared[name] {
+			t.Errorf("knownKinds lists %s but obs no longer declares it; drop the stale entry", name)
+		}
+	}
+}

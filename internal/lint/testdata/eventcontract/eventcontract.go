@@ -72,3 +72,22 @@ func (h *harness) allowed(e obs.Event) {
 	//lint:allow eventcontract -- golden: sink is set unconditionally by the constructor
 	h.events.Emit(e)
 }
+
+// kindExperimental is a kind the pinned table does not know about; the
+// analyzer must reject emitting it until it is registered.
+const kindExperimental obs.Kind = 99
+
+func newKindsRegistered(slot uint64) []obs.Event {
+	return []obs.Event{
+		{Kind: obs.KindEOFVote, Slot: slot, Station: 0},
+		{Kind: obs.KindRingOverflow, Slot: slot, Station: -1},
+	}
+}
+
+func unknownKind(slot uint64) obs.Event {
+	return obs.Event{Kind: kindExperimental, Slot: slot, Station: 0} // want `not in the eventcontract knownKinds table`
+}
+
+func runtimeKind(k obs.Kind, slot uint64) obs.Event {
+	return obs.Event{Kind: k, Slot: slot, Station: 0} // non-constant: producer's data
+}

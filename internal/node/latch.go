@@ -141,6 +141,11 @@ func (c *Controller) latchFrame(level bitstream.Level) {
 func (c *Controller) enterEpisode(reject bool, kind ErrorKind) {
 	c.state = stEpisode
 	c.rejectAtStart = reject
+	c.rejectKind = kind
+	// The ACK delimiter is being latched at c.now; the episode's first
+	// bit is the next slot. Recorded for the KindEOFVote span emitted at
+	// episode completion.
+	c.episodeStart = c.now + 1
 	c.episode = c.policy.NewEpisode(EpisodeEnv{
 		Transmitter:   c.transmitter,
 		RejectAtStart: reject,
@@ -163,6 +168,7 @@ func (c *Controller) latchEpisode(level bitstream.Level) {
 		// MajorCAN's majority vote overturned the signalled error.
 		c.emit(obs.KindEOFVoteCorrected, c.transmitter, uint8(st.Kind), uint32(st.Votes))
 	}
+	c.emitEOFVote(st)
 	if h := c.opts.Hooks.OnVerdict; h != nil {
 		h(c.now, st.Verdict, c.transmitter)
 	}
@@ -213,6 +219,39 @@ func (c *Controller) latchEpisode(level bitstream.Level) {
 	default:
 		c.startDelim(AfterErrorDelim, st.DelimCredit)
 	}
+}
+
+// emitEOFVote reports a completed end-of-frame episode — the region
+// where the protocol variant resolved its verdict — so trace exporters
+// can render per-station vote-round spans. Slot is the episode's final
+// bit, Aux its length in slots; Cause carries the error kind that drove
+// the episode (0 for a clean frame) and FlagRejected a reject verdict.
+func (c *Controller) emitEOFVote(st EpisodeStatus) {
+	if c.ev == nil {
+		return
+	}
+	cause := uint8(st.Kind)
+	if cause == 0 && c.rejectAtStart {
+		cause = uint8(c.rejectKind)
+	}
+	e := obs.Event{
+		Slot:    c.now,
+		Kind:    obs.KindEOFVote,
+		Station: c.station,
+		Cause:   cause,
+		Attempt: uint16(c.attempts),
+		Aux:     uint32(c.now - c.episodeStart + 1),
+	}
+	if c.transmitter {
+		e.Flags |= obs.FlagTransmitter
+	}
+	if c.mode == ErrorPassive {
+		e.Flags |= obs.FlagPassive
+	}
+	if st.Verdict == VerdictReject {
+		e.Flags |= obs.FlagRejected
+	}
+	c.ev.Emit(e)
 }
 
 // signalError handles an error detected mid-frame (or during a delimiter):

@@ -128,6 +128,7 @@ type Controller struct {
 
 	// end of frame
 	episode       EOFEpisode
+	episodeStart  uint64 // slot of the first EOF bit
 	rejectAtStart bool
 	rejectKind    ErrorKind
 

@@ -89,3 +89,49 @@ func TestInstrumentedScenario(t *testing.T) {
 		t.Error("no retransmit event from the transmitter")
 	}
 }
+
+// TestEOFVoteEvents checks the per-episode KindEOFVote emission a trace
+// exporter synthesises vote-round spans from: every station reports one
+// episode per attempt, the first (disturbed) attempt's episodes end in a
+// reject and the clean retransmission's in an accept, and each span's
+// [Slot-Aux+1, Slot] window is well-formed.
+func TestEOFVoteEvents(t *testing.T) {
+	c := sim.MustCluster(sim.ClusterOptions{Nodes: 3, Policy: core.NewStandard()})
+	mem := obs.NewMemory()
+	for i, n := range c.Nodes {
+		n.Instrument(mem, i)
+	}
+	c.Net.AddDisturber(errmodel.NewScript(errmodel.AtEOFBit([]int{1}, 1, 1)))
+	f := &frame.Frame{ID: 0x42, Data: []byte{7}}
+	if err := c.Nodes[0].Enqueue(f); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntilQuiet(4000) {
+		t.Fatal("no quiescence")
+	}
+	var rejects, accepts int
+	for _, e := range mem.Events() {
+		if e.Kind != obs.KindEOFVote {
+			continue
+		}
+		if e.Aux == 0 || uint64(e.Aux) > e.Slot {
+			t.Errorf("episode span malformed: slot=%d len=%d", e.Slot, e.Aux)
+		}
+		if e.Rejected() {
+			rejects++
+			if e.Cause == 0 {
+				t.Error("rejected episode carries no cause")
+			}
+		} else {
+			accepts++
+			if e.Cause != 0 {
+				t.Errorf("accepted episode carries cause %d", e.Cause)
+			}
+		}
+	}
+	// Attempt 1: all three stations reject (station 1's flag reaches the
+	// others). Attempt 2: all three accept.
+	if rejects != 3 || accepts != 3 {
+		t.Errorf("eof-vote verdicts: %d rejects, %d accepts, want 3 and 3", rejects, accepts)
+	}
+}

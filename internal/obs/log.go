@@ -1,0 +1,25 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the process logger behind the -log-format flag the
+// CLIs share (mcservd, mcsim, chaos): "text" renders human-readable
+// key=value lines, "json" one JSON object per line for log shippers.
+// The empty string means "text" so existing invocations keep their
+// output shape. Any other value is a flag error, reported here so each
+// CLI does not re-implement the validation.
+func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+}

@@ -93,6 +93,19 @@ const (
 	// checkpoint instead of restarting. Station is -1, Aux the units
 	// already complete when the run resumed.
 	KindCheckpointResumed
+	// KindEOFVote is the completion of a station's end-of-frame episode —
+	// the region where each protocol variant resolves its verdict
+	// (standard CAN's EOF field, MajorCAN's majority-vote rounds). Slot is
+	// the episode's final bit, Aux its length in slots, Cause the error
+	// kind that drove the episode (0 for a clean frame), and FlagRejected
+	// marks a reject verdict. Trace exporters turn these into per-station
+	// vote-round spans.
+	KindEOFVote
+	// KindRingOverflow is a service-level telemetry fault: a job's event
+	// ring dropped its first event because no consumer drained it fast
+	// enough, so the live stream is incomplete from here on. Emitted once
+	// per ring; Station is -1, Aux carries the ring capacity.
+	KindRingOverflow
 )
 
 // Store codes carried in KindStorageDegraded's Aux field.
@@ -139,6 +152,10 @@ func (k Kind) String() string {
 		return "checkpoint-saved"
 	case KindCheckpointResumed:
 		return "checkpoint-resumed"
+	case KindEOFVote:
+		return "eof-vote"
+	case KindRingOverflow:
+		return "ring-overflow"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -158,6 +175,10 @@ const (
 	// FlagPassive marks the station as error-passive at emission time
 	// (its flags are recessive and cannot influence the bus).
 	FlagPassive
+	// FlagRejected marks a KindEOFVote episode that ended in a reject
+	// verdict (the station discarded the frame; a transmitter will
+	// retransmit it).
+	FlagRejected
 )
 
 // Event is one protocol event. The struct is fixed-size and pointer-free
@@ -187,6 +208,9 @@ func (e Event) Transmitter() bool { return e.Flags&FlagTransmitter != 0 }
 
 // Passive reports whether the station was error-passive.
 func (e Event) Passive() bool { return e.Flags&FlagPassive != 0 }
+
+// Rejected reports whether a KindEOFVote episode ended in a reject.
+func (e Event) Rejected() bool { return e.Flags&FlagRejected != 0 }
 
 func (e Event) String() string {
 	s := fmt.Sprintf("[%d] n%d %s", e.Slot, e.Station, e.Kind)

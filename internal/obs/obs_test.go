@@ -29,6 +29,8 @@ func TestKindStrings(t *testing.T) {
 		KindJournalRecovered:   "journal-recovered",
 		KindCheckpointSaved:    "checkpoint-saved",
 		KindCheckpointResumed:  "checkpoint-resumed",
+		KindEOFVote:            "eof-vote",
+		KindRingOverflow:       "ring-overflow",
 	}
 	for k, s := range want {
 		if k.String() != s {
@@ -339,3 +341,206 @@ func TestProgress(t *testing.T) {
 type writerFunc func(p []byte) (int, error)
 
 func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestEventRejectedFlag(t *testing.T) {
+	e := Event{Kind: KindEOFVote, Flags: FlagRejected}
+	if !e.Rejected() || e.Transmitter() || e.Passive() {
+		t.Errorf("flag decoding wrong: %+v", e)
+	}
+	var buf bytes.Buffer
+	jw := NewJSONLWriter(&buf, 0)
+	jw.Emit(e)
+	jw.Emit(Event{Kind: KindEOFVote})
+	if err := jw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.Contains(lines[0], `"rejected":true`) {
+		t.Errorf("rejected flag not serialised: %s", lines[0])
+	}
+	if strings.Contains(lines[1], "rejected") {
+		t.Errorf("zero rejected field serialised: %s", lines[1])
+	}
+}
+
+func TestCapture(t *testing.T) {
+	c := NewCapture(3)
+	for i := 0; i < 5; i++ {
+		c.Emit(Event{Slot: uint64(i), Kind: KindFrameStart})
+	}
+	if c.Len() != 3 || c.Dropped() != 2 {
+		t.Fatalf("Len=%d Dropped=%d, want 3 and 2", c.Len(), c.Dropped())
+	}
+	for i, e := range c.Events() {
+		if e.Slot != uint64(i) {
+			t.Fatalf("capture must keep the prefix: event %d has slot %d", i, e.Slot)
+		}
+	}
+	c.Reset()
+	if c.Len() != 0 || c.Dropped() != 0 {
+		t.Fatalf("Reset left Len=%d Dropped=%d", c.Len(), c.Dropped())
+	}
+	c.Emit(Event{Slot: 9, Kind: KindIMO})
+	if c.Len() != 1 {
+		t.Fatal("capture must accept events after Reset")
+	}
+	if NewCapture(0).max != 1 {
+		t.Error("capacity floor must be 1")
+	}
+}
+
+func TestRingOnFirstDrop(t *testing.T) {
+	r := NewRing(64)
+	var fired atomic.Uint64
+	r.OnFirstDrop(func() { fired.Add(1) })
+	for i := 0; i < 64; i++ {
+		r.Emit(Event{Kind: KindFrameStart})
+	}
+	if fired.Load() != 0 {
+		t.Fatal("hook fired before any drop")
+	}
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Kind: KindFrameStart})
+	}
+	if fired.Load() != 1 {
+		t.Fatalf("hook fired %d times, want exactly once", fired.Load())
+	}
+	if r.Dropped() != 10 {
+		t.Fatalf("Dropped = %d, want 10", r.Dropped())
+	}
+	if r.Cap() != 64 {
+		t.Fatalf("Cap = %d, want 64", r.Cap())
+	}
+}
+
+func TestPromWriterPassesLint(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100, 1000})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Family("mc_jobs_total", "counter", "Jobs by final state.")
+	p.Sample("mc_jobs_total", []Label{{Name: "state", Value: "succeeded"}}, 12)
+	p.Sample("mc_jobs_total", []Label{{Name: "state", Value: "failed"}}, 1)
+	p.Family("mc_queue_depth", "gauge", "Queued jobs per shard.")
+	p.Sample("mc_queue_depth", []Label{{Name: "shard", Value: "0"}}, 3)
+	p.Histogram("mc_latency_ms", "Job latency.", h.State())
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := LintProm(strings.NewReader(out)); err != nil {
+		t.Fatalf("writer output failed lint: %v\n%s", err, out)
+	}
+	// Buckets must be cumulative and the +Inf bucket equal _count.
+	if !strings.Contains(out, `mc_latency_ms_bucket{le="10"} 1`) ||
+		!strings.Contains(out, `mc_latency_ms_bucket{le="100"} 2`) ||
+		!strings.Contains(out, `mc_latency_ms_bucket{le="+Inf"} 3`) ||
+		!strings.Contains(out, "mc_latency_ms_count 3") ||
+		!strings.Contains(out, "mc_latency_ms_sum 5055") {
+		t.Errorf("histogram rendering wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE mc_jobs_total counter") {
+		t.Errorf("missing TYPE line:\n%s", out)
+	}
+}
+
+func TestPromWriterRejectsDuplicateFamily(t *testing.T) {
+	p := NewPromWriter(&bytes.Buffer{})
+	p.Family("mc_x", "gauge", "x")
+	p.Family("mc_x", "gauge", "x")
+	if p.Err() == nil {
+		t.Fatal("duplicate family must error")
+	}
+}
+
+func TestPromWriterEscapesLabels(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Family("mc_x", "gauge", "x")
+	p.Sample("mc_x", []Label{{Name: "path", Value: `a"b\c` + "\n"}}, 1)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintProm(strings.NewReader(buf.String())); err != nil {
+		t.Fatalf("escaped label failed lint: %v\n%s", err, buf.String())
+	}
+}
+
+func TestLintPromCatchesFormatErrors(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE":   "mc_x 1\n",
+		"bad type":              "# TYPE mc_x histo\nmc_x 1\n",
+		"bad value":             "# TYPE mc_x gauge\nmc_x one\n",
+		"duplicate series":      "# TYPE mc_x gauge\nmc_x 1\nmc_x 2\n",
+		"duplicate TYPE":        "# TYPE mc_x gauge\n# TYPE mc_x gauge\nmc_x 1\n",
+		"bad label name":        "# TYPE mc_x gauge\nmc_x{9bad=\"v\"} 1\n",
+		"unquoted label value":  "# TYPE mc_x gauge\nmc_x{a=v} 1\n",
+		"bucket without le":     "# TYPE mc_h histogram\nmc_h_bucket 1\nmc_h_count 1\n",
+		"non-cumulative hist":   "# TYPE mc_h histogram\nmc_h_bucket{le=\"1\"} 5\nmc_h_bucket{le=\"+Inf\"} 3\nmc_h_count 3\n",
+		"missing +Inf bucket":   "# TYPE mc_h histogram\nmc_h_bucket{le=\"1\"} 1\nmc_h_count 1\n",
+		"count != +Inf bucket":  "# TYPE mc_h histogram\nmc_h_bucket{le=\"+Inf\"} 2\nmc_h_count 3\n",
+		"garbage line":          "# TYPE mc_x gauge\n{} mc_x 1\n",
+	}
+	for name, in := range cases {
+		if err := LintProm(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: lint accepted invalid exposition:\n%s", name, in)
+		}
+	}
+	valid := "# HELP mc_x a help line\n# TYPE mc_x gauge\nmc_x{a=\"v\"} 1.5\nmc_x 2\n\n# free comment\nmc_x{a=\"w\"} +Inf\n"
+	if err := LintProm(strings.NewReader(valid)); err != nil {
+		t.Errorf("lint rejected valid exposition: %v", err)
+	}
+}
+
+func TestStatusLine(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewStatusLine(&buf)
+	s.Update("a long first line")
+	s.Update("short")
+	s.Close("done")
+	out := buf.String()
+	if !strings.Contains(out, "\rshort") {
+		t.Errorf("missing in-place update: %q", out)
+	}
+	// The shorter line must be padded over the longer one's remains.
+	if !strings.Contains(out, "short        ") {
+		t.Errorf("missing blanking padding: %q", out)
+	}
+	if !strings.HasSuffix(out, "done\n") {
+		t.Errorf("Close must end with a newline-terminated line: %q", out)
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	for _, format := range []string{"", "text"} {
+		buf.Reset()
+		lg, err := NewLogger(&buf, format, 0)
+		if err != nil {
+			t.Fatalf("format %q: %v", format, err)
+		}
+		lg.Info("hello", "k", "v")
+		if !strings.Contains(buf.String(), "msg=hello") || !strings.Contains(buf.String(), "k=v") {
+			t.Errorf("format %q output: %q", format, buf.String())
+		}
+	}
+	buf.Reset()
+	lg, err := NewLogger(&buf, "json", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hello", "k", "v")
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("json log line not JSON: %v: %q", err, buf.String())
+	}
+	if line["msg"] != "hello" || line["k"] != "v" {
+		t.Errorf("json log fields wrong: %v", line)
+	}
+	if _, err := NewLogger(&buf, "yaml", 0); err == nil {
+		t.Error("unknown format must error")
+	}
+}

@@ -94,3 +94,39 @@ func (p *Progress) Stop() {
 		fmt.Fprintf(p.w, "\r%s\n", p.line())
 	})
 }
+
+// StatusLine renders a single in-place updating terminal line, the same
+// \r idiom Progress uses but driven by the caller's own cadence instead
+// of a ticker — the shape a polling loop (mcctl stats -watch) needs,
+// where each refresh already happens on the poll interval. Update
+// overwrites the previous line, padding with spaces so a shorter line
+// leaves no trailing fragment; Close prints a final newline-terminated
+// line.
+type StatusLine struct {
+	w     io.Writer
+	width int
+}
+
+// NewStatusLine creates a status line writing to w.
+func NewStatusLine(w io.Writer) *StatusLine { return &StatusLine{w: w} }
+
+// Update redraws the line in place.
+func (s *StatusLine) Update(line string) {
+	pad := s.width - len(line)
+	if pad < 0 {
+		pad = 0
+	}
+	s.width = len(line)
+	fmt.Fprintf(s.w, "\r%s%*s", line, pad, "")
+	if pad > 0 {
+		// Re-park the cursor at the line's end so a following Update
+		// overwrites from the right place.
+		fmt.Fprintf(s.w, "\r%s", line)
+	}
+}
+
+// Close finishes the in-place line with a final newline-terminated one.
+func (s *StatusLine) Close(final string) {
+	s.Update(final)
+	fmt.Fprintln(s.w)
+}

@@ -15,6 +15,13 @@ type Ring struct {
 	head atomic.Uint64 // next slot the consumer reads
 	tail atomic.Uint64 // next slot the producer writes
 	drop atomic.Uint64
+
+	// onFirstDrop, if set, runs exactly once: on the Emit that loses the
+	// ring's first event. It is invoked from the producer goroutine with
+	// the event already dropped, so the hook must not Emit back into this
+	// ring; it exists so overflow can be surfaced (a counter bump, a log
+	// line, a one-shot service event) instead of staying invisible.
+	onFirstDrop func()
 }
 
 // NewRing creates a ring with at least the given capacity (rounded up to
@@ -34,7 +41,9 @@ var _ Sink = (*Ring)(nil)
 func (r *Ring) Emit(e Event) {
 	t := r.tail.Load()
 	if t-r.head.Load() >= uint64(len(r.buf)) {
-		r.drop.Add(1)
+		if r.drop.Add(1) == 1 && r.onFirstDrop != nil {
+			r.onFirstDrop()
+		}
 		return
 	}
 	r.buf[t&r.mask] = e
@@ -63,3 +72,11 @@ func (r *Ring) Len() int {
 
 // Dropped returns the number of events lost to a full ring.
 func (r *Ring) Dropped() uint64 { return r.drop.Load() }
+
+// Cap returns the ring's capacity in events.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// OnFirstDrop registers fn to run once, on the Emit that drops the
+// ring's first event. Register before the producer starts; the hook runs
+// on the producer goroutine and must not emit into this ring.
+func (r *Ring) OnFirstDrop(fn func()) { r.onFirstDrop = fn }

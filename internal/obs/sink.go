@@ -155,15 +155,16 @@ func SortEvents(events []Event) {
 // jsonlEvent is the JSONL wire form of an event. Field order is fixed by
 // the struct, so identical event streams serialise byte-identically.
 type jsonlEvent struct {
-	Run     int64  `json:"run"`
-	Slot    uint64 `json:"slot"`
-	Station int    `json:"station"`
-	Kind    string `json:"kind"`
-	Cause   string `json:"cause,omitempty"`
-	Tx      bool   `json:"transmitter,omitempty"`
-	Passive bool   `json:"passive,omitempty"`
-	Attempt uint16 `json:"attempt,omitempty"`
-	Aux     uint32 `json:"aux,omitempty"`
+	Run      int64  `json:"run"`
+	Slot     uint64 `json:"slot"`
+	Station  int    `json:"station"`
+	Kind     string `json:"kind"`
+	Cause    string `json:"cause,omitempty"`
+	Tx       bool   `json:"transmitter,omitempty"`
+	Passive  bool   `json:"passive,omitempty"`
+	Rejected bool   `json:"rejected,omitempty"`
+	Attempt  uint16 `json:"attempt,omitempty"`
+	Aux      uint32 `json:"aux,omitempty"`
 }
 
 // JSONLWriter is a streaming sink writing one JSON object per line. Lines
@@ -212,15 +213,16 @@ func (j *JSONLWriter) Emit(e Event) {
 		return
 	}
 	line, err := json.Marshal(jsonlEvent{
-		Run:     j.run,
-		Slot:    e.Slot,
-		Station: int(e.Station),
-		Kind:    e.Kind.String(),
-		Cause:   CauseName(e.Cause),
-		Tx:      e.Transmitter(),
-		Passive: e.Passive(),
-		Attempt: e.Attempt,
-		Aux:     e.Aux,
+		Run:      j.run,
+		Slot:     e.Slot,
+		Station:  int(e.Station),
+		Kind:     e.Kind.String(),
+		Cause:    CauseName(e.Cause),
+		Tx:       e.Transmitter(),
+		Passive:  e.Passive(),
+		Rejected: e.Rejected(),
+		Attempt:  e.Attempt,
+		Aux:      e.Aux,
 	})
 	if err != nil {
 		j.err = err

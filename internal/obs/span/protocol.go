@@ -1,0 +1,223 @@
+package span
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// errorFlagBits is the length of an active error flag (mirrors the
+// node layer's flag length; the span package cannot import node without
+// widening its dependency surface, and the CAN flag length is fixed by
+// the specification).
+const errorFlagBits = 6
+
+// ProtocolOptions places a protocol timeline inside a trace.
+type ProtocolOptions struct {
+	// Pid is the track group for the timeline's tracks.
+	Pid int64
+	// Label names the group; default "protocol".
+	Label string
+	// SortIndex orders the group among the trace's processes.
+	SortIndex int
+	// Offset is added to every timestamp (µs) — how a service trace
+	// aligns an attempt's protocol timeline under its wall-clock span.
+	Offset float64
+	// SlotMicros scales bit slots to microseconds; default 1 (the fixed
+	// timebase the byte-stable golden export uses).
+	SlotMicros float64
+}
+
+// AddProtocol synthesises a protocol timeline from a flat event stream:
+// a bus track with one span per frame transmission attempt (nested
+// arbitration/data/EOF phase spans beneath it), and one track per
+// station carrying that station's EOF vote-round spans, error flags,
+// arbitration losses, retransmissions and acceptances. The stream is
+// canonically sorted first, so any drain order of the same events
+// produces the same timeline.
+func AddProtocol(t *Trace, events []obs.Event, o ProtocolOptions) {
+	if o.SlotMicros <= 0 {
+		o.SlotMicros = 1
+	}
+	if o.Label == "" {
+		o.Label = "protocol"
+	}
+	sorted := append([]obs.Event(nil), events...)
+	obs.SortEvents(sorted)
+
+	t.Process(o.Pid, o.Label, o.SortIndex)
+	t.Thread(o.Pid, 0, "bus")
+
+	ts := func(slot uint64) float64 { return o.Offset + float64(slot)*o.SlotMicros }
+	width := func(slots uint64) float64 { return float64(slots) * o.SlotMicros }
+
+	// Pass 1: per-event spans on the station and bus tracks.
+	for _, e := range sorted {
+		tid := int64(e.Station) + 1
+		if e.Station >= 0 {
+			t.Thread(o.Pid, tid, fmt.Sprintf("station %d", e.Station))
+		}
+		switch e.Kind {
+		case obs.KindEOFVote:
+			name := "eof-vote accept"
+			if e.Rejected() {
+				name = "eof-vote reject"
+			}
+			length := uint64(e.Aux)
+			if length == 0 || length > e.Slot {
+				length = 1
+			}
+			args := map[string]any{"slots": e.Aux, "attempt": e.Attempt}
+			if c := obs.CauseName(e.Cause); c != "" {
+				args["cause"] = c
+			}
+			t.Add(Span{
+				Name: name, Cat: "eof", Pid: o.Pid, Tid: tid,
+				Start: ts(e.Slot - length + 1), Dur: width(length), Args: args,
+			})
+		case obs.KindEOFVoteCorrected:
+			t.Add(Span{
+				Name: "vote-corrected", Cat: "eof", Pid: o.Pid, Tid: tid,
+				Start: ts(e.Slot), Dur: width(1),
+				Args: map[string]any{"votes": e.Aux},
+			})
+		case obs.KindErrorFlagPrimary, obs.KindErrorFlagSecondary:
+			args := map[string]any{"passive": e.Passive()}
+			if c := obs.CauseName(e.Cause); c != "" {
+				args["cause"] = c
+			}
+			if e.Kind == obs.KindErrorFlagSecondary {
+				args["secondary"] = true
+			}
+			t.Add(Span{
+				Name: "error-flag", Cat: "error", Pid: o.Pid, Tid: tid,
+				Start: ts(e.Slot), Dur: width(errorFlagBits), Args: args,
+			})
+		case obs.KindArbitrationLoss:
+			t.Add(Span{
+				Name: "arb-loss", Cat: "arbitration", Pid: o.Pid, Tid: tid,
+				Start: ts(e.Slot), Dur: width(1),
+				Args: map[string]any{"bit": e.Aux},
+			})
+		case obs.KindRetransmit:
+			args := map[string]any{"attempt": e.Attempt}
+			if c := obs.CauseName(e.Cause); c != "" {
+				args["cause"] = c
+			}
+			t.Add(Span{
+				Name: "retransmit", Cat: "error", Pid: o.Pid, Tid: tid,
+				Start: ts(e.Slot), Dur: width(1), Args: args,
+			})
+		case obs.KindFrameAccepted:
+			name := "deliver"
+			if e.Transmitter() {
+				name = "tx-complete"
+			}
+			t.Add(Span{
+				Name: name, Cat: "frame", Pid: o.Pid, Tid: tid,
+				Start: ts(e.Slot), Dur: width(1),
+			})
+		case obs.KindBusOff, obs.KindRecover:
+			name := "bus-off"
+			if e.Kind == obs.KindRecover {
+				name = "recover"
+			}
+			t.Add(Span{
+				Name: name, Cat: "fault", Pid: o.Pid, Tid: tid,
+				Start: ts(e.Slot), Dur: width(1),
+				Args: map[string]any{"mode": e.Aux},
+			})
+		case obs.KindIMO:
+			t.Add(Span{
+				Name: "imo", Cat: "fault", Pid: o.Pid, Tid: 0,
+				Start: ts(e.Slot), Dur: width(1),
+				Args: map[string]any{"seq": e.Aux},
+			})
+		}
+	}
+
+	// Pass 2: frame attempt spans on the bus track, with phase children.
+	// A frame group runs from one KindFrameStart to the slot before the
+	// next (or the stream's last event).
+	starts := make([]int, 0, 8)
+	for i, e := range sorted {
+		if e.Kind == obs.KindFrameStart {
+			starts = append(starts, i)
+		}
+	}
+	for gi, si := range starts {
+		start := sorted[si]
+		end := len(sorted)
+		if gi+1 < len(starts) {
+			end = starts[gi+1]
+		}
+		group := sorted[si:end]
+		endSlot := start.Slot
+		var lastArb uint64
+		var eofStart, eofEnd uint64
+		hasArb, hasEOF := false, false
+		for _, e := range group {
+			if e.Slot > endSlot {
+				endSlot = e.Slot
+			}
+			switch e.Kind {
+			case obs.KindArbitrationLoss:
+				if e.Slot > lastArb {
+					lastArb = e.Slot
+				}
+				hasArb = true
+			case obs.KindEOFVote:
+				length := uint64(e.Aux)
+				if length == 0 || length > e.Slot {
+					length = 1
+				}
+				s := e.Slot - length + 1
+				if !hasEOF || s < eofStart {
+					eofStart = s
+				}
+				if e.Slot > eofEnd {
+					eofEnd = e.Slot
+				}
+				hasEOF = true
+			}
+		}
+		t.Add(Span{
+			Name: "frame", Cat: "frame", Pid: o.Pid, Tid: 0,
+			Start: ts(start.Slot), Dur: width(endSlot - start.Slot + 1),
+			Args: map[string]any{
+				"attempt":    start.Attempt,
+				"contenders": start.Aux,
+				"station":    start.Station,
+			},
+		})
+		if hasArb && lastArb >= start.Slot {
+			t.Add(Span{
+				Name: "arbitration", Cat: "frame", Pid: o.Pid, Tid: 0,
+				Start: ts(start.Slot), Dur: width(lastArb - start.Slot + 1),
+			})
+		}
+		if hasEOF && eofStart > start.Slot {
+			t.Add(Span{
+				Name: "data", Cat: "frame", Pid: o.Pid, Tid: 0,
+				Start: ts(start.Slot), Dur: width(eofStart - start.Slot),
+			})
+			t.Add(Span{
+				Name: "eof", Cat: "frame", Pid: o.Pid, Tid: 0,
+				Start: ts(eofStart), Dur: width(eofEnd - eofStart + 1),
+			})
+		}
+	}
+}
+
+// Extent returns the exclusive slot bound of an event stream (the
+// highest slot plus one), the figure a service trace uses to scale an
+// attempt's slots into its wall-clock window.
+func Extent(events []obs.Event) uint64 {
+	var max uint64
+	for _, e := range events {
+		if e.Slot >= max {
+			max = e.Slot + 1
+		}
+	}
+	return max
+}

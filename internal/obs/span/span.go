@@ -1,0 +1,161 @@
+// Package span turns the simulator's flat obs.Event streams into
+// causally-nested span timelines and serialises them in the Chrome
+// trace-event JSON format, loadable in Perfetto (ui.perfetto.dev) and
+// chrome://tracing. Spans are synthesised at export time: the per-bit
+// hot path keeps emitting fixed-size events into rings, and only a
+// trace download pays for reconstruction. The package is a leaf next to
+// obs — standard library only — so the service layer, the CLIs and
+// tests can all build timelines without new dependencies.
+package span
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Span is one "complete" slice on a timeline track. Tracks are
+// addressed the Chrome way: a process id groups related tracks and a
+// thread id names one row inside the group. Start and Dur are in
+// microseconds (the trace-event base unit).
+type Span struct {
+	// Name labels the slice. Keep names low-cardinality (put variable
+	// detail in Args) so Perfetto's aggregation stays useful.
+	Name string
+	// Cat is the slice's category, used for filtering in the viewer.
+	Cat string
+	// Pid and Tid select the track.
+	Pid, Tid int64
+	// Start and Dur are microseconds.
+	Start, Dur float64
+	// Args are free-form key/values shown when the slice is selected.
+	// encoding/json sorts map keys, so args do not break byte-stable
+	// output as long as the values are deterministic.
+	Args map[string]any
+}
+
+// traceEvent is the wire form of one trace entry. Field order is fixed
+// by the struct, so identical traces serialise byte-identically.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Trace accumulates spans and track metadata and serialises them as one
+// Chrome trace-event JSON document. The zero value is ready to use.
+type Trace struct {
+	events   []traceEvent
+	declared map[string]bool
+}
+
+func (t *Trace) declare(key string) bool {
+	if t.declared == nil {
+		t.declared = make(map[string]bool)
+	}
+	if t.declared[key] {
+		return false
+	}
+	t.declared[key] = true
+	return true
+}
+
+// Process names a track group and fixes its display order. Repeat
+// declarations of the same pid are ignored, so independent builders can
+// share a group.
+func (t *Trace) Process(pid int64, name string, sortIndex int) {
+	if !t.declare(fmt.Sprintf("p%d", pid)) {
+		return
+	}
+	t.events = append(t.events,
+		traceEvent{Name: "process_name", Ph: "M", Pid: pid, Args: map[string]any{"name": name}},
+		traceEvent{Name: "process_sort_index", Ph: "M", Pid: pid, Args: map[string]any{"sort_index": sortIndex}},
+	)
+}
+
+// Thread names one track inside a group. Repeat declarations of the
+// same (pid, tid) are ignored.
+func (t *Trace) Thread(pid, tid int64, name string) {
+	if !t.declare(fmt.Sprintf("t%d.%d", pid, tid)) {
+		return
+	}
+	t.events = append(t.events,
+		traceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": name}},
+		traceEvent{Name: "thread_sort_index", Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"sort_index": tid}},
+	)
+}
+
+// Add appends one span.
+func (t *Trace) Add(s Span) {
+	t.events = append(t.events, traceEvent{
+		Name: s.Name,
+		Cat:  s.Cat,
+		Ph:   "X",
+		Ts:   s.Start,
+		Dur:  s.Dur,
+		Pid:  s.Pid,
+		Tid:  s.Tid,
+		Args: s.Args,
+	})
+}
+
+// Len returns the number of entries (spans plus metadata).
+func (t *Trace) Len() int { return len(t.events) }
+
+// Write serialises the trace: metadata first, then spans in canonical
+// order (start, pid, tid, longest-first at equal start so parents
+// precede their children, then name), one entry per line. The order is
+// total over entry values, so identical traces are byte-identical — the
+// property the golden-file test pins.
+func (t *Trace) Write(w io.Writer) error {
+	sorted := append([]traceEvent(nil), t.events...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		switch {
+		case (a.Ph == "M") != (b.Ph == "M"):
+			return a.Ph == "M"
+		case a.Ph == "M":
+			// Metadata keeps insertion order (per-track declarations).
+			return false
+		case a.Ts != b.Ts:
+			return a.Ts < b.Ts
+		case a.Pid != b.Pid:
+			return a.Pid < b.Pid
+		case a.Tid != b.Tid:
+			return a.Tid < b.Tid
+		case a.Dur != b.Dur:
+			return a.Dur > b.Dur
+		default:
+			return a.Name < b.Name
+		}
+	})
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, e := range sorted {
+		line, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

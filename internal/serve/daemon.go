@@ -4,7 +4,8 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -40,12 +41,18 @@ func DaemonMain(args []string) int {
 		ckptEvery    = fs.Int("checkpoint-every", 8, "checkpoint cadence in work units (sweep points, campaign trials)")
 		drainTimeout = fs.Duration("drain-timeout", 5*time.Minute, "graceful drain budget on SIGTERM")
 		portFile     = fs.String("portfile", "", "write the bound listen address to this file once serving")
+		logFormat    = fs.String("log-format", "text", "log output format: text or json")
+		captureEv    = fs.Int("capture-events", 0, "per-job trace capture buffer in events (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	log.SetPrefix("mcservd: ")
-	log.SetFlags(0)
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, slog.LevelInfo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcservd:", err)
+		return 2
+	}
+	logger = logger.With("component", "mcservd")
 
 	resolve := func(v, def string) string {
 		switch v {
@@ -67,10 +74,12 @@ func DaemonMain(args []string) int {
 		MaxRetries:      *retries,
 		Parallelism:     *parallelism,
 		CacheEntries:    *cacheEntries,
+		CaptureEvents:   *captureEv,
 		SpoolDir:        *spool,
 		JournalPath:     resolve(*journalPath, "journal.wal"),
 		CheckpointDir:   resolve(*ckptDir, "checkpoints"),
 		CheckpointEvery: *ckptEvery,
+		Logger:          logger,
 		// Durability degradation and journal recovery land in the daemon
 		// log as NDJSON. The no-op line hook makes the stream flush per
 		// line: these events are rare and must be visible immediately —
@@ -79,32 +88,33 @@ func DaemonMain(args []string) int {
 		ServiceEvents: obs.NewJSONLStream(os.Stderr, 0, func() {}),
 	})
 	if err != nil {
-		log.Print(err)
+		logger.Error("startup failed", "err", err)
 		return 1
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Print(err)
+		logger.Error("listen failed", "addr", *addr, "err", err)
 		return 1
 	}
 	if *portFile != "" {
 		if err := os.WriteFile(*portFile, []byte(ln.Addr().String()), 0o644); err != nil {
-			log.Print(err)
+			logger.Error("portfile write failed", "path", *portFile, "err", err)
 			return 1
 		}
 	}
 	srv := &http.Server{Handler: NewServer(sched)}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	log.Printf("listening on %s (shards=%d queue=%d cache=%d spool=%q)",
-		ln.Addr(), *shards, *queue, *cacheEntries, *spool)
+	logger.Info("listening",
+		"addr", ln.Addr().String(), "shards", *shards, "queue", *queue,
+		"cache", *cacheEntries, "spool", *spool)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
 	case err := <-serveErr:
-		log.Print(err)
+		logger.Error("serve failed", "err", err)
 		return 1
 	case <-ctx.Done():
 	}
@@ -113,18 +123,20 @@ func DaemonMain(args []string) int {
 	// Drain: reject new jobs (503), finish what is queued and running,
 	// then close the listener. The HTTP server stays up through the
 	// drain so clients see 503s, not connection resets.
-	log.Printf("draining (budget %s)", *drainTimeout)
+	logger.Info("draining", "budget", drainTimeout.String())
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	drainErr := sched.Drain(dctx)
 	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 	st := sched.Stats()
-	log.Printf("drained: executed=%d coalesced=%d cache_hits=%d failed=%d recovered=%d",
-		st.Jobs.Executed, st.Jobs.Coalesced, st.Cache.Hits, st.Jobs.Failed, st.Durability.RecoveredJobs)
+	logger.Info("drained",
+		"executed", st.Jobs.Executed, "coalesced", st.Jobs.Coalesced,
+		"cache_hits", st.Cache.Hits, "failed", st.Jobs.Failed,
+		"recovered", st.Durability.RecoveredJobs)
 	if drainErr != nil {
-		log.Printf("drain incomplete: %v", drainErr)
+		logger.Error("drain incomplete", "err", drainErr)
 		return 1
 	}
 	return 0

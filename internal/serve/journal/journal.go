@@ -27,7 +27,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve/fsio"
 )
 
@@ -63,11 +65,17 @@ const frameHeader = 8
 // corruption, not a giant record (canonical specs are ~1 KiB).
 const maxRecordBytes = 4 << 20
 
+// fsyncBoundsUs buckets fsync latency from SSD-class sub-millisecond
+// syncs up to the half-second stalls a saturated disk produces.
+var fsyncBoundsUs = []uint64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000, 200000, 500000}
+
 // Journal is an append-only, fsync-per-append record log. Safe for
 // concurrent use.
 type Journal struct {
 	fs   fsio.FS
 	path string
+
+	fsyncHist *obs.Histogram // fsync latency in microseconds
 
 	mu       sync.Mutex
 	f        fsio.File
@@ -95,7 +103,7 @@ type RecoveryInfo struct {
 // the compacted file.
 func Open(fs fsio.FS, path string) (*Journal, RecoveryInfo, error) {
 	fs = fsio.OrOS(fs)
-	j := &Journal{fs: fs, path: path}
+	j := &Journal{fs: fs, path: path, fsyncHist: obs.NewHistogram(fsyncBoundsUs)}
 	var info RecoveryInfo
 
 	if err := fs.MkdirAll(filepath.Dir(path), 0o755); err != nil {
@@ -246,12 +254,28 @@ func (j *Journal) Append(r Record) error {
 		j.degraded = true
 		return fmt.Errorf("journal: append: %w", err)
 	}
+	//lint:allow determinism -- fsync latency telemetry; never feeds simulation state
+	syncStart := time.Now()
 	if err := j.f.Sync(); err != nil {
 		j.degraded = true
 		return fmt.Errorf("journal: sync: %w", err)
 	}
+	//lint:allow determinism -- fsync latency telemetry; never feeds simulation state
+	j.fsyncHist.Observe(uint64(time.Since(syncStart).Microseconds()))
 	j.appends++
 	return nil
+}
+
+// FsyncLatency snapshots the per-append fsync latency distribution in
+// microseconds — the durability cost the service pays per accepted job,
+// surfaced through /v1/stats and /metrics.
+func (j *Journal) FsyncLatency() obs.HistogramSnapshot {
+	return j.fsyncHist.State()
+}
+
+// FsyncQuantile estimates a latency quantile in microseconds.
+func (j *Journal) FsyncQuantile(q float64) uint64 {
+	return j.fsyncHist.Quantile(q)
 }
 
 // Degraded reports whether the journal has fallen back to memory-only.

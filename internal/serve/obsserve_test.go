@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// disturbedScript is a single-frame CAN broadcast where station 1's view
+// of the first EOF bit flips on the first attempt: every station rejects
+// the frame, an error flag and a retransmission follow, and the retry is
+// accepted — the minimal job whose trace must show an EOF vote round for
+// a retransmitted frame.
+const disturbedScript = `{"script":{"version":1,"protocol":"can","nodes":3,"frames":1,
+"faults":[{"kind":"view-flip","station":1,"eofRel":1,"attempt":1}]}}`
+
+// traceDoc decodes the fields of a Chrome trace-event export the tests
+// assert on.
+type traceDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int64          `json:"pid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// TestServiceTraceEndpoint runs the disturbed chaos script through the
+// full HTTP stack, downloads the trace, and checks the acceptance
+// criteria: valid JSON with a root job span whose duration matches the
+// job's reported latency within 1%, and eof-vote spans for both the
+// rejected attempt and the accepted retransmission.
+func TestServiceTraceEndpoint(t *testing.T) {
+	client, _, _ := newTestService(t, Config{Shards: 1})
+	ctx := context.Background()
+
+	resp, err := client.Submit(ctx, mustDecode(t, disturbedScript), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status.State != StateDone {
+		t.Fatalf("job state %q, want done", resp.Status.State)
+	}
+
+	raw, err := client.Trace(ctx, resp.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+
+	counts := map[string]int{}
+	var rootDur float64
+	var rootArgs map[string]any
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		counts[e.Name]++
+		if e.Name == "job" && e.Pid == 0 {
+			rootDur = e.Dur
+			rootArgs = e.Args
+		}
+	}
+	if counts["job"] != 1 {
+		t.Fatalf("root job spans = %d, want 1", counts["job"])
+	}
+	// Root span duration vs reported latency: the trace is in µs, the
+	// status in ms, both derived from the same timestamps, so they must
+	// agree within rounding — far inside the 1% acceptance bound.
+	wantMs := float64(resp.Status.QueuedMs + resp.Status.RunMs)
+	gotMs := rootDur / 1000
+	if diff := math.Abs(gotMs - wantMs); diff > 1+0.01*wantMs {
+		t.Errorf("root span %.3fms vs status latency %.0fms (diff %.3fms)", gotMs, wantMs, diff)
+	}
+	if rootArgs["state"] != "done" {
+		t.Errorf("root span state arg = %v, want done", rootArgs["state"])
+	}
+
+	// The disturbed frame: one reject vote round per station, one accept
+	// round per station on the retransmission, and the error-flag and
+	// retransmit spans between them.
+	if counts["eof-vote reject"] != 3 || counts["eof-vote accept"] != 3 {
+		t.Errorf("eof-vote spans reject=%d accept=%d, want 3 and 3",
+			counts["eof-vote reject"], counts["eof-vote accept"])
+	}
+	if counts["retransmit"] != 1 {
+		t.Errorf("retransmit spans = %d, want 1", counts["retransmit"])
+	}
+	if counts["frame"] != 2 {
+		t.Errorf("frame spans = %d, want 2", counts["frame"])
+	}
+	if counts["queue wait"] != 1 {
+		t.Errorf("queue wait spans = %d, want 1", counts["queue wait"])
+	}
+	if counts["journal accept"] != 0 {
+		t.Errorf("journal accept spans = %d with no journal configured, want 0", counts["journal accept"])
+	}
+	if counts["attempt"] == 0 {
+		t.Error("no attempt span")
+	}
+}
+
+// TestServiceTraceConflictWhileRunning holds a job in execution and
+// checks the trace endpoint answers 409 until it finishes.
+func TestServiceTraceConflictWhileRunning(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	cfg := Config{Shards: 1, Runner: func(ctx context.Context, spec *JobSpec, opt ExecOptions) (json.RawMessage, error) {
+		started <- struct{}{}
+		<-release
+		return json.RawMessage(`{"ok":true}`), nil
+	}}
+	client, _, _ := newTestService(t, cfg)
+	ctx := context.Background()
+
+	resp, err := client.Submit(ctx, mustDecode(t, smallSweep), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := client.Trace(ctx, resp.ID); err == nil || !strings.Contains(err.Error(), "not finished") {
+		t.Fatalf("trace of running job: err = %v, want a not-finished conflict", err)
+	}
+	close(release)
+	if _, err := client.Wait(ctx, resp.ID, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Trace(ctx, resp.ID); err != nil {
+		t.Fatalf("trace after completion: %v", err)
+	}
+}
+
+// TestServiceTraceWithJournalPhases checks that a journal-backed job's
+// trace carries the durability phase spans at plausible offsets.
+func TestServiceTraceWithJournalPhases(t *testing.T) {
+	dir := t.TempDir()
+	client, _, _ := newTestService(t, Config{Shards: 1, SpoolDir: dir, JournalPath: dir + "/journal.wal"})
+	ctx := context.Background()
+
+	resp, err := client.Submit(ctx, mustDecode(t, disturbedScript), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := client.Trace(ctx, resp.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	var rootEnd float64
+	phases := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		switch e.Name {
+		case "job":
+			rootEnd = e.Ts + e.Dur
+		case "journal accept", "journal done", "cache put":
+			phases[e.Name]++
+			if e.Ts < 0 || e.Ts+e.Dur > rootEnd+1000 {
+				t.Errorf("%s span [%v, %v] outside the job window (end %v)", e.Name, e.Ts, e.Ts+e.Dur, rootEnd)
+			}
+		}
+	}
+	for _, name := range []string{"journal accept", "journal done", "cache put"} {
+		if phases[name] != 1 {
+			t.Errorf("%s spans = %d, want 1", name, phases[name])
+		}
+	}
+}
+
+// TestServiceMetricsEndpoint scrapes /metrics from the live HTTP stack
+// and checks the output passes the Prometheus text-format lint and
+// carries the key families with believable values.
+func TestServiceMetricsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	client, _, _ := newTestService(t, Config{Shards: 2, SpoolDir: dir, JournalPath: dir + "/journal.wal"})
+	ctx := context.Background()
+
+	if _, err := client.Submit(ctx, mustDecode(t, smallSweep), -1); err != nil {
+		t.Fatal(err)
+	}
+	text, err := client.MetricsText(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.LintProm(bytes.NewReader(text)); err != nil {
+		t.Fatalf("/metrics fails exposition lint: %v\n%s", err, text)
+	}
+	s := string(text)
+	for _, needle := range []string{
+		"mc_jobs_submitted_total 1",
+		"mc_jobs_executed_total 1",
+		"mc_queue_depth{shard=\"0\"}",
+		"mc_queue_depth{shard=\"1\"}",
+		"mc_job_latency_ms_bucket",
+		"mc_journal_fsync_latency_us_count 2",
+		"mc_storage_degraded{store=\"journal\"} 0",
+		"mc_sim_bits_total",
+		"mc_ring_overflow_total 0",
+	} {
+		if !strings.Contains(s, needle) {
+			t.Errorf("/metrics missing %q", needle)
+		}
+	}
+}
+
+// TestServiceRingOverflowSurfaced runs a job whose event volume dwarfs a
+// tiny ring with no streamer attached, and checks the loss is counted —
+// in /v1/stats, in /metrics, and on the job status — instead of
+// vanishing.
+func TestServiceRingOverflowSurfaced(t *testing.T) {
+	client, _, _ := newTestService(t, Config{Shards: 1, EventRing: 16})
+	ctx := context.Background()
+
+	resp, err := client.Submit(ctx, mustDecode(t, smallSweep), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Job(ctx, resp.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EventsDropped == 0 {
+		t.Fatal("job status reports no dropped events despite a 16-slot ring")
+	}
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events.RingOverflows != 1 {
+		t.Errorf("stats ring overflows = %d, want 1", stats.Events.RingOverflows)
+	}
+	if stats.Events.DroppedEvents == 0 {
+		t.Error("stats dropped events = 0, want > 0")
+	}
+	text, err := client.MetricsText(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "mc_ring_overflow_total 1") {
+		t.Error("/metrics missing mc_ring_overflow_total 1")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -91,6 +92,14 @@ type Config struct {
 	Metrics *obs.Metrics
 	// EventRing sizes each job's live protocol-event ring (default 4096).
 	EventRing int
+	// CaptureEvents bounds each job's archived event prefix, the stream
+	// the trace endpoint synthesises spans from (default 65536; the
+	// capture keeps the prefix and counts what it let go).
+	CaptureEvents int
+	// Logger, if non-nil, receives structured service logs (job
+	// lifecycle, storage degradation, telemetry loss). Nil disables
+	// logging.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +135,9 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointEvery < 1 {
 		c.CheckpointEvery = 8
 	}
+	if c.CaptureEvents < 1 {
+		c.CaptureEvents = 65536
+	}
 	return c
 }
 
@@ -138,7 +150,8 @@ type Job struct {
 	canonical []byte
 
 	ring    *obs.Ring       // live protocol events (lossy when unread)
-	events  *obs.LockedSink // producer-side adapter feeding ring
+	capture *obs.Capture    // archived event prefix for trace export
+	events  *obs.LockedSink // producer-side adapter feeding ring + capture
 	metrics *obs.Metrics    // fork of the scheduler registry
 	done    chan struct{}
 
@@ -146,6 +159,7 @@ type Job struct {
 	tail     *lineTail     // rendered NDJSON lines, for ?from= reconnects
 
 	mu        sync.Mutex
+	phases    []jobPhase
 	state     State
 	shard     int
 	attempts  int
@@ -157,6 +171,24 @@ type Job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+}
+
+// jobPhase is one wall-clock service phase of a job's life (a journal
+// append, an execution attempt, a checkpoint save, the cache put),
+// recorded as it happens and rendered as a service-track span by the
+// trace endpoint.
+type jobPhase struct {
+	name    string
+	attempt int // 1-based attempt the phase belongs to; 0 for job-scoped
+	start   time.Time
+	end     time.Time
+}
+
+// addPhase records one completed phase.
+func (j *Job) addPhase(name string, attempt int, start, end time.Time) {
+	j.mu.Lock()
+	j.phases = append(j.phases, jobPhase{name: name, attempt: attempt, start: start, end: end})
+	j.mu.Unlock()
 }
 
 // Digest returns the job's content address.
@@ -251,6 +283,23 @@ type Scheduler struct {
 	failed           atomic.Uint64
 	rejectedFull     atomic.Uint64
 	rejectedDraining atomic.Uint64
+	ringOverflows    atomic.Uint64 // job rings that dropped at least one event
+	droppedEvents    atomic.Uint64 // events lost to full rings (finished jobs)
+}
+
+// logger returns the configured structured logger, or nil.
+func (s *Scheduler) logger() *slog.Logger { return s.cfg.Logger }
+
+func (s *Scheduler) logInfo(msg string, args ...any) {
+	if lg := s.logger(); lg != nil {
+		lg.Info(msg, args...)
+	}
+}
+
+func (s *Scheduler) logWarn(msg string, args ...any) {
+	if lg := s.logger(); lg != nil {
+		lg.Warn(msg, args...)
+	}
 }
 
 // latencyBoundsMs buckets job run latency from sub-millisecond cache
@@ -318,8 +367,9 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 	return s, nil
 }
 
-// serviceEvent emits one durability event on the service-level sink.
-// Station -1 marks it as service- rather than station-scoped.
+// serviceEvent emits one durability event on the service-level sink and
+// mirrors it to the structured log. Station -1 marks it as service-
+// rather than station-scoped.
 func (s *Scheduler) serviceEvent(kind obs.Kind, aux uint32) {
 	if s.cfg.ServiceEvents != nil {
 		s.cfg.ServiceEvents.Emit(obs.Event{
@@ -328,6 +378,26 @@ func (s *Scheduler) serviceEvent(kind obs.Kind, aux uint32) {
 			Station: -1,
 			Aux:     aux,
 		})
+	}
+	switch kind {
+	case obs.KindStorageDegraded:
+		s.logWarn("durable store degraded to memory-only", "store", storeName(aux))
+	case obs.KindJournalRecovered:
+		s.logInfo("journal recovery replayed unfinished jobs", "jobs", aux)
+	}
+}
+
+// storeName renders a KindStorageDegraded store code for logs.
+func storeName(code uint32) string {
+	switch code {
+	case obs.StoreJournal:
+		return "journal"
+	case obs.StoreSpool:
+		return "spool"
+	case obs.StoreCheckpoint:
+		return "checkpoint"
+	default:
+		return "unknown"
 	}
 }
 
@@ -455,7 +525,13 @@ func (s *Scheduler) Submit(spec *JobSpec) (*Job, Admission, error) {
 	// visible to a worker (and before the API layer's 202), so a crash at
 	// any later point replays it. The append happens under s.mu, which
 	// also guarantees a job's accept record precedes its terminal record.
+	//lint:allow determinism -- journal latency phase timestamps; not simulation state
+	jnlStart := time.Now()
 	s.journalAppend(journal.Record{Op: journal.OpAccept, ID: string(digest), Spec: canonical})
+	if s.jnl != nil {
+		//lint:allow determinism -- journal latency phase timestamps; not simulation state
+		j.addPhase("journal accept", 0, jnlStart, time.Now())
+	}
 	select {
 	case s.shards[sh].ch <- j:
 	default:
@@ -476,18 +552,31 @@ func (s *Scheduler) Submit(spec *JobSpec) (*Job, Admission, error) {
 // newJob builds a runnable job record in the queued state.
 func (s *Scheduler) newJob(spec *JobSpec, canonical []byte, digest Digest) *Job {
 	ring := obs.NewRing(s.cfg.EventRing)
+	capture := obs.NewCapture(s.cfg.CaptureEvents)
 	j := &Job{
 		digest:    digest,
 		spec:      spec,
 		canonical: canonical,
 		ring:      ring,
-		events:    obs.Locked(ring),
+		capture:   capture,
+		events:    obs.Locked(obs.Multi(ring, capture)),
 		metrics:   s.metrics.Fork(),
 		done:      make(chan struct{}),
 		streamMu:  make(chan struct{}, 1),
 		tail:      newLineTail(tailCapacity),
 		state:     StateQueued,
 	}
+	// Surface the first lost live-stream event instead of letting the
+	// stream silently thin out: a one-shot service event, a warning log
+	// line, and the overflow counters in /v1/stats and /metrics. The
+	// hook runs on the producer goroutine and emits into the service
+	// sink, never back into the overflowing ring.
+	ring.OnFirstDrop(func() {
+		s.ringOverflows.Add(1)
+		s.serviceEvent(obs.KindRingOverflow, uint32(ring.Cap()))
+		s.logWarn("job event ring overflowed; live event stream is incomplete",
+			"job", digest.Short(), "capacity", ring.Cap())
+	})
 	//lint:allow determinism -- serving-layer queue timestamps; not simulation state
 	j.submitted = time.Now()
 	return j
@@ -611,6 +700,8 @@ func (s *Scheduler) runJob(sh *shard, j *Job) {
 		if s.cfg.JobTimeout > 0 {
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
 		}
+		//lint:allow determinism -- attempt phase timestamps; not simulation state
+		attemptStart := time.Now()
 		res, err = s.cfg.Runner(ctx, j.spec, ExecOptions{
 			Parallelism: s.cfg.Parallelism,
 			Events:      j.events,
@@ -618,6 +709,8 @@ func (s *Scheduler) runJob(sh *shard, j *Job) {
 			Checkpoint:  s.checkpointIO(j),
 		})
 		cancel()
+		//lint:allow determinism -- attempt phase timestamps; not simulation state
+		j.addPhase("attempt", attempt+1, attemptStart, time.Now())
 		j.mu.Lock()
 		j.attempts = attempt + 1
 		j.mu.Unlock()
@@ -639,11 +732,21 @@ func (s *Scheduler) runJob(sh *shard, j *Job) {
 		// Order matters: the result must be durable in the spool before the
 		// journal's done record — a crash between the two replays the job
 		// (harmless, deterministic), never loses an acknowledged result.
+		//lint:allow determinism -- cache-put phase timestamps; not simulation state
+		putStart := time.Now()
 		s.cache.Put(j.digest, Entry{Spec: j.canonical, Result: res})
+		//lint:allow determinism -- cache-put phase timestamps; not simulation state
+		j.addPhase("cache put", 0, putStart, time.Now())
 		if s.ckpt != nil {
 			s.ckpt.Drop(j.digest)
 		}
+		//lint:allow determinism -- journal latency phase timestamps; not simulation state
+		doneStart := time.Now()
 		s.journalAppend(journal.Record{Op: journal.OpDone, ID: string(j.digest)})
+		if s.jnl != nil {
+			//lint:allow determinism -- journal latency phase timestamps; not simulation state
+			j.addPhase("journal done", 0, doneStart, time.Now())
+		}
 	} else {
 		s.failed.Add(1)
 		// A shutdown-cancelled job keeps its pending journal record (and
@@ -652,6 +755,12 @@ func (s *Scheduler) runJob(sh *shard, j *Job) {
 		if s.rootCtx.Err() == nil {
 			s.journalAppend(journal.Record{Op: journal.OpFail, ID: string(j.digest)})
 		}
+	}
+	s.droppedEvents.Add(j.ring.Dropped())
+	if err == nil {
+		s.logInfo("job done", "job", j.digest.Short(), "ms", elapsedMs)
+	} else {
+		s.logWarn("job failed", "job", j.digest.Short(), "ms", elapsedMs, "error", err.Error())
 	}
 	j.mu.Lock()
 	j.finished = finished
@@ -693,9 +802,13 @@ func (s *Scheduler) checkpointIO(j *Job) *CheckpointIO {
 			return raw, ok
 		},
 		Save: func(raw json.RawMessage) error {
+			//lint:allow determinism -- checkpoint phase timestamps; not simulation state
+			saveStart := time.Now()
 			if err := s.ckpt.Save(d, raw); err != nil {
 				return err
 			}
+			//lint:allow determinism -- checkpoint phase timestamps; not simulation state
+			j.addPhase("checkpoint save", 0, saveStart, time.Now())
 			j.events.Emit(obs.Event{
 				Kind:    obs.KindCheckpointSaved,
 				Slot:    0,
@@ -795,11 +908,22 @@ type JobCounters struct {
 // DurabilityStats reports the journal and checkpoint state for
 // /v1/stats.
 type DurabilityStats struct {
-	JournalEnabled  bool             `json:"journal_enabled"`
-	JournalAppends  uint64           `json:"journal_appends,omitempty"`
-	JournalDegraded bool             `json:"journal_degraded,omitempty"`
-	RecoveredJobs   uint64           `json:"recovered_jobs,omitempty"`
-	Checkpoints     *CheckpointStats `json:"checkpoints,omitempty"`
+	JournalEnabled  bool                   `json:"journal_enabled"`
+	JournalAppends  uint64                 `json:"journal_appends,omitempty"`
+	JournalDegraded bool                   `json:"journal_degraded,omitempty"`
+	FsyncP50Us      uint64                 `json:"fsync_p50_us,omitempty"`
+	FsyncP99Us      uint64                 `json:"fsync_p99_us,omitempty"`
+	FsyncLatencyUs  *obs.HistogramSnapshot `json:"fsync_latency_us,omitempty"`
+	RecoveredJobs   uint64                 `json:"recovered_jobs,omitempty"`
+	Checkpoints     *CheckpointStats       `json:"checkpoints,omitempty"`
+}
+
+// EventStats reports live-telemetry health for /v1/stats: rings that
+// overflowed and the events they lost. Non-zero numbers mean /events
+// streams were incomplete; traces still cover the captured prefix.
+type EventStats struct {
+	RingOverflows uint64 `json:"ring_overflows"`
+	DroppedEvents uint64 `json:"dropped_events"`
 }
 
 // Stats is the full serialisable scheduler state for /v1/stats. The JSON
@@ -812,6 +936,7 @@ type Stats struct {
 	Shards        []ShardStats    `json:"shards"`
 	Latency       LatencyStats    `json:"latency"`
 	Durability    DurabilityStats `json:"durability"`
+	Events        EventStats      `json:"events"`
 	Sim           obs.Snapshot    `json:"sim"`
 }
 
@@ -842,11 +967,19 @@ func (s *Scheduler) Stats() Stats {
 			P99Ms:     s.latency.Quantile(0.99),
 			Histogram: s.latency.State(),
 		},
+		Events: EventStats{
+			RingOverflows: s.ringOverflows.Load(),
+			DroppedEvents: s.droppedEvents.Load(),
+		},
 		Sim: s.metrics.Snapshot(uptime),
 	}
 	if s.jnl != nil {
 		st.Durability.JournalAppends = s.jnl.Appends()
 		st.Durability.JournalDegraded = s.jnl.Degraded()
+		st.Durability.FsyncP50Us = s.jnl.FsyncQuantile(0.50)
+		st.Durability.FsyncP99Us = s.jnl.FsyncQuantile(0.99)
+		fl := s.jnl.FsyncLatency()
+		st.Durability.FsyncLatencyUs = &fl
 	}
 	if s.ckpt != nil {
 		cs := s.ckpt.Stats()

@@ -30,8 +30,10 @@ func NewServer(s *Scheduler) *Server {
 	srv.mux.HandleFunc("POST /v1/jobs", srv.handleSubmit)
 	srv.mux.HandleFunc("GET /v1/jobs/{id}", srv.handleJob)
 	srv.mux.HandleFunc("GET /v1/jobs/{id}/events", srv.handleEvents)
+	srv.mux.HandleFunc("GET /v1/jobs/{id}/trace", srv.handleTrace)
 	srv.mux.HandleFunc("GET /v1/healthz", srv.handleHealthz)
 	srv.mux.HandleFunc("GET /v1/stats", srv.handleStats)
+	srv.mux.HandleFunc("GET /metrics", srv.handleMetrics)
 	return srv
 }
 
@@ -282,4 +284,40 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.sched.Stats())
+}
+
+// handleMetrics serves the scheduler state as Prometheus text
+// exposition format: the scrape surface for dashboards and the CI
+// format lint.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = WriteMetrics(w, s.sched.Stats())
+}
+
+// handleTrace serves a finished job's end-to-end timeline as Chrome
+// trace-event JSON, loadable in Perfetto. The timeline is only complete
+// once the job is terminal; a request for a live job gets 409.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	d, ok := pathDigest(w, r)
+	if !ok {
+		return
+	}
+	job, ok := s.sched.Job(d)
+	if !ok {
+		writeError(w, http.StatusNotFound, "serve: unknown job %s", d.Short())
+		return
+	}
+	tr, err := BuildTrace(job)
+	if errors.Is(err, ErrJobRunning) {
+		writeError(w, http.StatusConflict, "serve: job %s not finished; retry after completion", d.Short())
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "serve: build trace: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = tr.Write(w)
 }

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/span"
+)
+
+// ErrJobRunning reports a trace request for a job that has not reached
+// a terminal state; the timeline is only complete at completion.
+var ErrJobRunning = errors.New("serve: job not finished; trace is available at completion")
+
+// BuildTrace renders a finished job's end-to-end timeline as a Perfetto
+// trace: a service track group with the root job span, the queue wait,
+// the execution attempts and the durability phases (journal appends,
+// checkpoint saves, the cache put), plus one protocol track group per
+// attempt with the per-station spans synthesised from the job's
+// captured event stream. Timestamps are microseconds relative to the
+// job's submission; an attempt's bit slots are scaled to fit its wall
+// duration, so the protocol timeline nests under its attempt span.
+func BuildTrace(j *Job) (*span.Trace, error) {
+	j.mu.Lock()
+	state := j.state
+	phases := append([]jobPhase(nil), j.phases...)
+	submitted, started, finished := j.submitted, j.started, j.finished
+	attempts := j.attempts
+	cached := j.cached
+	recovered := j.recovered
+	errMsg := j.errMsg
+	j.mu.Unlock()
+	if state != StateDone && state != StateFailed {
+		return nil, ErrJobRunning
+	}
+
+	t0 := submitted
+	if t0.IsZero() {
+		// Cached and resynthesized records carry no queue timestamps;
+		// anchor the (empty) timeline at whatever timestamps exist.
+		t0 = started
+	}
+	us := func(t time.Time) float64 {
+		if t.IsZero() || t.Before(t0) {
+			return 0
+		}
+		return float64(t.Sub(t0).Microseconds())
+	}
+
+	tr := &span.Trace{}
+	tr.Process(0, "service", 0)
+	tr.Thread(0, 0, "job")
+	tr.Thread(0, 1, "durability")
+
+	rootArgs := map[string]any{
+		"id":       j.digest.Short(),
+		"kind":     string(j.spec.Kind),
+		"state":    string(state),
+		"attempts": attempts,
+	}
+	if cached {
+		rootArgs["cached"] = true
+	}
+	if recovered {
+		rootArgs["recovered"] = true
+	}
+	if errMsg != "" {
+		rootArgs["error"] = errMsg
+	}
+	var capturedEvents []obs.Event
+	if j.capture != nil {
+		capturedEvents = j.capture.Events()
+		rootArgs["events_captured"] = len(capturedEvents)
+		if d := j.capture.Dropped(); d > 0 {
+			rootArgs["events_beyond_capture"] = d
+		}
+	}
+	if j.ring != nil {
+		if d := j.ring.Dropped(); d > 0 {
+			rootArgs["stream_events_dropped"] = d
+		}
+	}
+	// The root span spans submission to completion — the same timestamps
+	// JobStatus derives queuedMs and runMs from, so the trace and the
+	// stats agree exactly.
+	tr.Add(span.Span{
+		Name: "job", Cat: "service", Pid: 0, Tid: 0,
+		Start: 0, Dur: us(finished), Args: rootArgs,
+	})
+	if !started.IsZero() && !submitted.IsZero() {
+		tr.Add(span.Span{
+			Name: "queue wait", Cat: "service", Pid: 0, Tid: 0,
+			Start: 0, Dur: us(started),
+			Args: map[string]any{"shard": j.shard},
+		})
+	}
+
+	// Attempt wall windows, for placing and scaling protocol segments.
+	attemptWindow := make(map[int]jobPhase)
+	for _, p := range phases {
+		switch {
+		case p.name == "attempt":
+			attemptWindow[p.attempt] = p
+			tr.Add(span.Span{
+				Name: "attempt", Cat: "service", Pid: 0, Tid: 0,
+				Start: us(p.start), Dur: us(p.end) - us(p.start),
+				Args: map[string]any{"attempt": p.attempt},
+			})
+		default:
+			tr.Add(span.Span{
+				Name: p.name, Cat: "durability", Pid: 0, Tid: 1,
+				Start: us(p.start), Dur: us(p.end) - us(p.start),
+			})
+		}
+	}
+
+	// Protocol timelines: the captured stream, split at attempt-retry
+	// markers into one segment per execution attempt, each scaled into
+	// its attempt's wall window.
+	segments := [][]obs.Event{nil}
+	for _, e := range capturedEvents {
+		if e.Kind == obs.KindAttemptRetry {
+			segments = append(segments, nil)
+			continue
+		}
+		segments[len(segments)-1] = append(segments[len(segments)-1], e)
+	}
+	for i, seg := range segments {
+		if len(seg) == 0 {
+			continue
+		}
+		attempt := i + 1
+		offset := us(started)
+		slotMicros := 1.0
+		if w, ok := attemptWindow[attempt]; ok {
+			offset = us(w.start)
+			if extent := span.Extent(seg); extent > 0 {
+				if wall := us(w.end) - us(w.start); wall > 0 {
+					slotMicros = wall / float64(extent)
+				}
+			}
+		}
+		label := "protocol"
+		if len(segments) > 1 {
+			label = "protocol (attempt " + itoa(attempt) + ")"
+		}
+		span.AddProtocol(tr, seg, span.ProtocolOptions{
+			Pid:        int64(attempt),
+			Label:      label,
+			SortIndex:  attempt,
+			Offset:     offset,
+			SlotMicros: slotMicros,
+		})
+	}
+	return tr, nil
+}
+
+// itoa avoids pulling fmt into the hot path of trace assembly for a
+// two-digit attempt number.
+func itoa(n int) string {
+	if n < 10 {
+		return string([]byte{byte('0' + n)})
+	}
+	return itoa(n/10) + string([]byte{byte('0' + n%10)})
+}
