@@ -7,10 +7,12 @@ all: build lint test
 build:
 	$(GO) build ./...
 
-# Static analysis: go vet plus the majorcanlint multichecker, which
-# enforces the determinism, hot-path, telemetry and atomics contracts
-# (see DESIGN.md §9). The tree must stay at zero findings; intentional
-# exceptions carry `//lint:allow <analyzer> -- <reason>` annotations.
+# Static analysis: go vet plus the majorcanlint multichecker — all eight
+# analyzers: the determinism, hot-path, telemetry and atomics contracts
+# (DESIGN.md §9) and the concurrency-safety suite — lockorder, ctxflow,
+# goleak, errsink (DESIGN.md §13). The tree must stay at zero findings;
+# intentional exceptions carry `//lint:allow <analyzer> -- <reason>`
+# annotations, each with a reviewable reason.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/majorcanlint ./...

@@ -1,8 +1,11 @@
 // Command majorcanlint is the multichecker for the repository's custom
-// analyzers (internal/lint): determinism, hotpath, eventcontract and
-// atomicmix. It machine-checks the conventions the simulator's
+// analyzers (internal/lint): determinism, hotpath, eventcontract,
+// atomicmix, and the concurrency-safety suite — lockorder, ctxflow,
+// goleak, errsink. It machine-checks the conventions the simulator's
 // reproducibility guarantees depend on — digest-verified chaos replays,
-// byte-identical JSONL event streams, allocation-free event emission.
+// byte-identical JSONL event streams, allocation-free event emission —
+// and the concurrency invariants the service layer's crash-safety
+// certification rests on (DESIGN.md §13).
 //
 // Usage:
 //
@@ -21,17 +24,25 @@ import (
 
 	"repro/internal/lint"
 	"repro/internal/lint/atomicmix"
+	"repro/internal/lint/ctxflow"
 	"repro/internal/lint/determinism"
+	"repro/internal/lint/errsink"
 	"repro/internal/lint/eventcontract"
+	"repro/internal/lint/goleak"
 	"repro/internal/lint/hotpath"
+	"repro/internal/lint/lockorder"
 )
 
 // Analyzers is the full suite, in reporting-name order.
 var analyzers = []*lint.Analyzer{
 	atomicmix.Analyzer,
+	ctxflow.Analyzer,
 	determinism.Analyzer,
+	errsink.Analyzer,
 	eventcontract.Analyzer,
+	goleak.Analyzer,
 	hotpath.Analyzer,
+	lockorder.Analyzer,
 }
 
 func main() {

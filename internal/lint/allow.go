@@ -45,10 +45,15 @@ func parseAllow(fset *token.FileSet, c *ast.Comment) (allowDirective, bool) {
 	return d, true
 }
 
-// fileAllows collects every allow directive of a file, keyed by line.
+// fileAllows collects every allow directive of a file, keyed by line. A
+// directive inside a multi-line comment group is registered under its
+// own line and under the group's last line, so a reason that continues
+// onto following comment lines still anchors the directive to the code
+// directly below the group.
 func fileAllows(fset *token.FileSet, f *ast.File) map[int][]allowDirective {
 	var out map[int][]allowDirective
 	for _, cg := range f.Comments {
+		endLine := fset.Position(cg.End()).Line
 		for _, c := range cg.List {
 			d, ok := parseAllow(fset, c)
 			if !ok {
@@ -58,6 +63,9 @@ func fileAllows(fset *token.FileSet, f *ast.File) map[int][]allowDirective {
 				out = make(map[int][]allowDirective)
 			}
 			out[d.line] = append(out[d.line], d)
+			if endLine != d.line {
+				out[endLine] = append(out[endLine], d)
+			}
 		}
 	}
 	return out

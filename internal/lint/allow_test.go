@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// stubAnalyzer flags every call to a function literally named boom; the
+// allow tests use it so the suppression semantics are exercised without
+// depending on any real analyzer's matching rules.
+var stubAnalyzer = &Analyzer{
+	Name: "stub",
+	Doc:  "flags every call to boom (allow-directive test double)",
+	Run: func(p *Pass) error {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "boom" {
+						p.Reportf(call.Pos(), "boom call")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// allowSrc exercises every suppression edge case. Lines whose findings
+// must survive carry a trailing `WANT <analyzer>` marker; the test
+// derives its expectations from those markers, so the two cannot drift.
+const allowSrc = `package allowdata
+
+//lint:allow stub -- a directive at the top of the file reaches only its own neighborhood, not the whole file
+
+func boom() {}
+
+func sameLine() {
+	boom() //lint:allow stub -- suppressed by a directive on the offending line
+}
+
+func lineAbove() {
+	//lint:allow stub -- suppressed by a directive on the line directly above
+	boom()
+}
+
+func multilineReason() {
+	//lint:allow stub -- the reason starts here and is long enough that it
+	// continues onto this comment line; the directive still anchors to the
+	// code directly below the comment group
+	boom()
+}
+
+func wrongName() {
+	//lint:allow lockorder -- names a different analyzer, so stub is not covered
+	boom() // WANT stub
+}
+
+func missingReason() {
+	//lint:allow stub
+	boom() // WANT stub
+}
+
+func multiName() {
+	//lint:allow lockorder,stub -- one directive can cover several analyzers
+	boom()
+}
+
+func blockComment() {
+	/*lint:allow stub -- block comments are never directives*/
+	boom() // WANT stub
+}
+
+//lint:allow stub -- a doc-comment directive is FuncAllowed metadata; it does not blanket the body
+func docComment() {
+	x := 1
+	_ = x
+	boom() // WANT stub
+}
+
+func twoLinesAway() {
+	//lint:allow stub -- two lines above the finding is out of reach
+
+	boom() // WANT stub
+}
+`
+
+func loadAllowPkg(t *testing.T) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "allowdata.go"), []byte(allowSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir, dir, "allowdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// TestAllowDirectiveEdgeCases runs the stub analyzer over allowSrc and
+// checks that exactly the WANT-marked lines survive suppression, plus
+// one "allow" diagnostic for the reason-less directive.
+func TestAllowDirectiveEdgeCases(t *testing.T) {
+	pkg := loadAllowPkg(t)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{stubAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[int]string{} // line -> analyzer
+	var missingReasonLine int
+	for i, line := range strings.Split(allowSrc, "\n") {
+		if _, marker, ok := strings.Cut(line, "// WANT "); ok {
+			want[i+1] = strings.TrimSpace(marker)
+		}
+		if strings.TrimSpace(line) == "//lint:allow stub" {
+			missingReasonLine = i + 1
+		}
+	}
+	if missingReasonLine == 0 {
+		t.Fatal("allowSrc lost its reason-less directive")
+	}
+	// The reason-less directive is itself a finding: it documents nothing
+	// and suppresses nothing.
+	want[missingReasonLine] = "allow"
+
+	got := map[int]string{}
+	for _, d := range diags {
+		if prev, dup := got[d.Pos.Line]; dup {
+			t.Errorf("line %d: two findings (%s, %s), want one", d.Pos.Line, prev, d.Analyzer)
+		}
+		got[d.Pos.Line] = d.Analyzer
+	}
+	for line, analyzer := range want {
+		if got[line] != analyzer {
+			t.Errorf("line %d: analyzer = %q, want %q", line, got[line], analyzer)
+		}
+	}
+	for line, analyzer := range got {
+		if _, ok := want[line]; !ok {
+			t.Errorf("line %d: unexpected %s finding (suppression failed?)", line, analyzer)
+		}
+	}
+}
+
+// TestFuncAllowed pins the doc-comment contract: a reasoned directive in
+// the doc comment marks the function, a reason-less or wrong-named one
+// does not.
+func TestFuncAllowed(t *testing.T) {
+	pkg := loadAllowPkg(t)
+	found := map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			found[decl.Name.Name] = FuncAllowed(pkg.Fset, decl, "stub")
+		}
+	}
+	if !found["docComment"] {
+		t.Error("docComment: FuncAllowed = false, want true (reasoned doc-comment directive)")
+	}
+	for _, name := range []string{"sameLine", "lineAbove", "wrongName", "missingReason", "boom"} {
+		if found[name] {
+			t.Errorf("%s: FuncAllowed = true, want false", name)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ConcurrencyScopePaths lists the packages the concurrency-safety
+// analyzers (lockorder, ctxflow, goleak, errsink) cover: the service
+// layer that multiplexes jobs over shared state, the durability
+// subpackages whose fsync discipline must never run under a hot lock,
+// the telemetry layer whose sinks are shared across goroutines, and the
+// chaos engine that drives long-running campaigns. The per-bit
+// simulator core is excluded — it is single-goroutine by construction
+// (the determinism analyzer enforces that) and has nothing to say about
+// locks or contexts.
+var ConcurrencyScopePaths = []string{
+	"repro/internal/serve",
+	"repro/internal/serve/fsio",
+	"repro/internal/serve/journal",
+	"repro/internal/obs",
+	"repro/internal/obs/span",
+	"repro/internal/chaos",
+}
+
+// InConcurrencyScope reports whether the import path falls under
+// ConcurrencyScopePaths.
+func InConcurrencyScope(path string) bool {
+	for _, p := range ConcurrencyScopePaths {
+		if path == p || (len(path) > len(p) && path[:len(p)] == p && path[len(p)] == '/') {
+			return true
+		}
+	}
+	return false
+}
+
+// MutexMethod classifies a statically resolved callee as a sync lock
+// operation. It returns the method name ("Lock", "RLock", "TryLock",
+// "Unlock", "RUnlock") for methods of sync.Mutex and sync.RWMutex, and
+// ok=false for everything else.
+func MutexMethod(f *types.Func) (string, bool) {
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return "", false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	switch n.Obj().Name() {
+	case "Mutex", "RWMutex":
+	default:
+		return "", false
+	}
+	switch f.Name() {
+	case "Lock", "RLock", "TryLock", "Unlock", "RUnlock", "TryRLock":
+		return f.Name(), true
+	}
+	return "", false
+}
+
+// LockObject resolves the receiver of a mutex method call (s.mu.Lock())
+// to a stable identity: the struct field or package-level variable
+// holding the mutex. The second result is a printable name like
+// "Scheduler.mu" or "pkgVarMu"; ok=false when the receiver is not a
+// trackable location (e.g. a local variable or a function result).
+func LockObject(pass *Pass, call *ast.CallExpr) (types.Object, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	switch recv := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := pass.Info.Selections[recv]; ok && s.Kind() == types.FieldVal {
+			obj := s.Obj()
+			name := obj.Name()
+			// Prefix with the owning named type when the receiver chain
+			// makes it resolvable, for readable diagnostics.
+			if named := namedOf(s.Recv()); named != nil {
+				name = named.Obj().Name() + "." + name
+			}
+			return obj, name, true
+		}
+		if obj, ok := pass.Info.Uses[recv.Sel].(*types.Var); ok {
+			return obj, obj.Name(), true
+		}
+	case *ast.Ident:
+		obj, ok := pass.Info.Uses[recv].(*types.Var)
+		if !ok {
+			return nil, "", false
+		}
+		if obj.IsField() {
+			// Bare field access inside a method body (embedded struct).
+			return obj, obj.Name(), true
+		}
+		if obj.Pkg() != nil && obj.Pkg().Scope().Lookup(obj.Name()) == obj {
+			return obj, obj.Name(), true
+		}
+		// Local mutex variables are still meaningful for held-region
+		// analysis even though they cannot participate in cross-function
+		// cycles; track them by object identity.
+		return obj, obj.Name(), true
+	}
+	return nil, "", false
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// BlockingCall classifies a statically resolved callee as an operation
+// that can block for an unbounded or I/O-bound time: fsync and
+// fsync-adjacent durability calls, sleeps, and WaitGroup/Cond waits.
+// The description names the operation for diagnostics.
+func BlockingCall(f *types.Func) (string, bool) {
+	if f == nil || f.Pkg() == nil {
+		return "", false
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		if f.Name() == "Sleep" {
+			return "time.Sleep", true
+		}
+	case "sync":
+		if f.Name() == "Wait" {
+			return "sync." + recvName(f) + ".Wait", true
+		}
+	case "os":
+		if f.Name() == "Sync" && recvName(f) == "File" {
+			return "os.File.Sync (fsync)", true
+		}
+	case "repro/internal/serve/fsio":
+		switch f.Name() {
+		case "Sync":
+			return "fsio.File.Sync (fsync)", true
+		case "SyncDir":
+			return "fsio.FS.SyncDir (directory fsync)", true
+		case "WriteFileAtomic":
+			return "fsio.WriteFileAtomic (write+fsync+rename)", true
+		}
+	case "repro/internal/serve/journal":
+		if f.Name() == "Append" {
+			return "journal.Append (write+fsync)", true
+		}
+	}
+	return "", false
+}
+
+func recvName(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	if n := namedOf(sig.Recv().Type()); n != nil {
+		return n.Obj().Name()
+	}
+	return ""
+}

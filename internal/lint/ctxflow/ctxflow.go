@@ -1,0 +1,260 @@
+// Package ctxflow enforces context discipline in the concurrent service
+// packages. Three rules:
+//
+//  1. A function that already receives a context.Context must not mint
+//     context.Background() or context.TODO() — detaching from the caller
+//     silently discards its deadline and cancellation, the exact bug
+//     class the PR 4 review fixed by hand in the script-replay path.
+//  2. A function that receives a context must not perform a bare
+//     blocking channel operation (send, receive, or a select with no
+//     default and no Done() case): the operation outlives the caller's
+//     cancellation and turns drain deadlines into hangs.
+//  3. An unbounded `for {}` loop must consult some completion signal —
+//     ctx.Done()/ctx.Err(), a receive from a Done() channel, or a
+//     select case that exits the loop — or it is a daemon nothing can
+//     stop.
+//
+// Intentional detachment (root contexts in main-like entry points are
+// fine — those functions have no ctx parameter and are not flagged) and
+// deliberately unbounded joins are annotated with
+// `//lint:allow ctxflow -- <reason>`.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the context-flow check.
+var Analyzer = &lint.Analyzer{
+	Name: "ctxflow",
+	Doc:  "report detached contexts, blocking channel ops that ignore a ctx parameter, and unstoppable loops",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	if !lint.InConcurrencyScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			checkFunc(pass, decl)
+		}
+	}
+	return nil
+}
+
+// hasCtxParam reports whether the function declares a context.Context
+// parameter, returning its name for diagnostics.
+func hasCtxParam(pass *lint.Pass, decl *ast.FuncDecl) (string, bool) {
+	for _, field := range decl.Type.Params.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		if len(field.Names) > 0 {
+			return field.Names[0].Name, true
+		}
+		return "_", true
+	}
+	return "", false
+}
+
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func checkFunc(pass *lint.Pass, decl *ast.FuncDecl) {
+	ctxName, hasCtx := hasCtxParam(pass, decl)
+	name := decl.Name.Name
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !hasCtx {
+				return true
+			}
+			callee := lint.CalleeFunc(pass.Info, n)
+			if lint.IsPkgFunc(callee, "context", "Background", "TODO") {
+				pass.Reportf(n.Pos(),
+					"context.%s() inside %s, which already receives %s; thread the caller's context (or annotate an intentional detachment with //lint:allow ctxflow -- <reason>)",
+					callee.Name(), name, ctxName)
+			}
+		case *ast.SendStmt:
+			if hasCtx && !insideSelect(decl.Body, n.Pos()) {
+				pass.Reportf(n.Pos(),
+					"blocking channel send in %s ignores its %s parameter; select on %s.Done() alongside it, or annotate with //lint:allow ctxflow -- <reason>",
+					name, ctxName, ctxName)
+			}
+		case *ast.UnaryExpr:
+			// Receiving from a Done()-style channel IS consuming the
+			// completion signal; only receives from other channels detach
+			// from cancellation.
+			if hasCtx && n.Op == token.ARROW && !isDoneChan(n.X) && !insideSelect(decl.Body, n.Pos()) {
+				pass.Reportf(n.Pos(),
+					"blocking channel receive in %s ignores its %s parameter; select on %s.Done() alongside it, or annotate with //lint:allow ctxflow -- <reason>",
+					name, ctxName, ctxName)
+			}
+		case *ast.SelectStmt:
+			if hasCtx && !selectHasEscape(pass, n) {
+				pass.Reportf(n.Pos(),
+					"select in %s has neither a default case nor a Done() case; it blocks past %s's cancellation, add a case <-%s.Done() or annotate with //lint:allow ctxflow -- <reason>",
+					name, ctxName, ctxName)
+			}
+		case *ast.ForStmt:
+			if n.Cond == nil && n.Init == nil && n.Post == nil && !loopConsultsSignal(pass, n) {
+				pass.Reportf(n.Pos(),
+					"unbounded for-loop in %s never consults a context or completion signal; nothing can stop it — thread a ctx/stop channel through, or annotate an intentional daemon with //lint:allow ctxflow -- <reason>",
+					name)
+			}
+		}
+		return true
+	})
+}
+
+// insideSelect reports whether the position sits inside a select
+// statement's communication clauses in the function body. Channel ops
+// that are select comm cases are judged by the SelectStmt rule instead.
+func insideSelect(body *ast.BlockStmt, pos token.Pos) bool {
+	inside := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			if cc.Comm.Pos() <= pos && pos <= cc.Comm.End() {
+				inside = true
+			}
+		}
+		return true
+	})
+	return inside
+}
+
+// selectHasEscape reports whether a select can always make progress or
+// observe cancellation: it has a default case, or one of its cases
+// receives from a Done()-style completion channel.
+func selectHasEscape(pass *lint.Pass, sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default
+		}
+		if commIsDoneReceive(cc.Comm) {
+			return true
+		}
+	}
+	return false
+}
+
+// commIsDoneReceive matches `<-x.Done()` (and `v := <-x.Done()`)
+// communication clauses: receives from context-style completion
+// channels, including job.Done() and timer channels built the same way.
+func commIsDoneReceive(s ast.Stmt) bool {
+	var expr ast.Expr
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		expr = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			expr = s.Rhs[0]
+		}
+	}
+	un, ok := ast.Unparen(expr).(*ast.UnaryExpr)
+	if !ok || un.Op != token.ARROW {
+		return false
+	}
+	return isDoneChan(un.X)
+}
+
+// isDoneChan matches `x.Done()` operands of a receive.
+func isDoneChan(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Done"
+}
+
+// loopConsultsSignal reports whether an unbounded loop can terminate or
+// observe cancellation: it references ctx.Done()/ctx.Err(), receives
+// from a Done() channel, returns, or breaks out of itself. Only loops
+// with none of these are unstoppable daemons.
+func loopConsultsSignal(pass *lint.Pass, loop *ast.ForStmt) bool {
+	found := false
+	// inNested tracks statements where an unlabeled break no longer
+	// binds to this loop (nested for/range/switch/select).
+	var scan func(n ast.Node, inNested bool)
+	scan = func(n ast.Node, inNested bool) {
+		if n == nil || found {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure's returns do not exit this loop; its body may be
+			// a goroutine that never runs inline.
+			return
+		case *ast.ReturnStmt:
+			found = true
+			return
+		case *ast.BranchStmt:
+			if !inNested && (n.Tok == token.BREAK || n.Tok == token.GOTO) && n.Label == nil {
+				found = true
+			}
+			return
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			if sel, ok := n.(*ast.SelectStmt); ok {
+				for _, c := range sel.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil && commIsDoneReceive(cc.Comm) {
+						found = true
+						return
+					}
+				}
+			}
+			inNested = true
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Done", "Err":
+					if tv, ok := pass.Info.Types[sel.X]; ok && isContextType(tv.Type) {
+						found = true
+						return
+					}
+				}
+			}
+		}
+		nested := inNested
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == nil || c == n {
+				return true
+			}
+			scan(c, nested)
+			return false
+		})
+	}
+	for _, s := range loop.Body.List {
+		scan(s, false)
+	}
+	return found
+}

@@ -1,0 +1,16 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/ctxflow"
+	"repro/internal/lint/linttest"
+)
+
+func TestGolden(t *testing.T) {
+	linttest.Run(t, "../testdata/ctxflow", "repro/internal/serve", ctxflow.Analyzer)
+}
+
+func TestOutOfScope(t *testing.T) {
+	linttest.Run(t, "../testdata/scopecheck", "repro/internal/core", ctxflow.Analyzer)
+}

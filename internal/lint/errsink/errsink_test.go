@@ -1,0 +1,16 @@
+package errsink_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/errsink"
+	"repro/internal/lint/linttest"
+)
+
+func TestGolden(t *testing.T) {
+	linttest.Run(t, "../testdata/errsink", "repro/internal/serve", errsink.Analyzer)
+}
+
+func TestOutOfScope(t *testing.T) {
+	linttest.Run(t, "../testdata/scopecheck", "repro/internal/core", errsink.Analyzer)
+}

@@ -1,0 +1,126 @@
+// Package goleak reports goroutines launched without a visible join or
+// exit path. A goroutine the function cannot wait for and nothing can
+// stop outlives drains and tests, holds its captures alive, and — in a
+// daemon that re-execs under the crash harness — accumulates across
+// restarts. The check is syntactic and local by design: the goroutine
+// body (a function literal, or the body of a same-package function the
+// go statement calls) must contain at least one of
+//
+//   - a sync.WaitGroup Done call (the launcher joins via Wait),
+//   - a channel send or close (a consumer observes completion),
+//   - a channel receive or a range over a channel (a stop/work channel
+//     bounds its life),
+//
+// which together cover every legitimate launch shape in this tree.
+// Intentional process-lifetime daemons are annotated at the go
+// statement with `//lint:allow goleak -- <reason>`.
+package goleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the goroutine-leak check.
+var Analyzer = &lint.Analyzer{
+	Name: "goleak",
+	Doc:  "report goroutines launched without a WaitGroup, channel-join, or stop-channel exit path",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	if !lint.InConcurrencyScope(pass.Pkg.Path()) {
+		return nil
+	}
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if decl, ok := d.(*ast.FuncDecl); ok && decl.Body != nil {
+				if fn, ok := pass.Info.Defs[decl.Name].(*types.Func); ok {
+					decls[fn] = decl
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, desc := goroutineBody(pass, decls, g)
+			if body == nil {
+				pass.Reportf(g.Pos(),
+					"goroutine body %s is not statically visible (function value or cross-package call); if it is joined elsewhere annotate with //lint:allow goleak -- <reason>",
+					desc)
+				return true
+			}
+			if !hasExitPath(pass, body) {
+				pass.Reportf(g.Pos(),
+					"goroutine %s has no visible join or exit path (no WaitGroup Done, channel send/close, or stop-channel receive); join it, or annotate an intentional daemon with //lint:allow goleak -- <reason>",
+					desc)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// goroutineBody resolves the launched body: a function literal inline,
+// or the declaration of a same-package function/method.
+func goroutineBody(pass *lint.Pass, decls map[*types.Func]*ast.FuncDecl, g *ast.GoStmt) (*ast.BlockStmt, string) {
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		return lit.Body, "(func literal)"
+	}
+	callee := lint.CalleeFunc(pass.Info, g.Call)
+	if callee == nil {
+		return nil, "(dynamic call)"
+	}
+	if decl, ok := decls[callee]; ok {
+		return decl.Body, callee.Name()
+	}
+	return nil, callee.Name()
+}
+
+// hasExitPath scans a goroutine body for any of the accepted join/exit
+// signals. Nested function literals count: a goroutine that defers a
+// cleanup closure containing wg.Done still joins.
+func hasExitPath(pass *lint.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			callee := lint.CalleeFunc(pass.Info, n)
+			if callee != nil && callee.Pkg() != nil {
+				if callee.Pkg().Path() == "sync" && callee.Name() == "Done" {
+					found = true
+				}
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,16 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/goleak"
+	"repro/internal/lint/linttest"
+)
+
+func TestGolden(t *testing.T) {
+	linttest.Run(t, "../testdata/goleak", "repro/internal/obs", goleak.Analyzer)
+}
+
+func TestOutOfScope(t *testing.T) {
+	linttest.Run(t, "../testdata/scopecheck", "repro/internal/core", goleak.Analyzer)
+}

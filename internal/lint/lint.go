@@ -92,6 +92,10 @@ var ScopePaths = []string{
 	// serve entry is ever narrowed.
 	"repro/internal/serve/fsio",
 	"repro/internal/serve/journal",
+	// Span synthesis replays recorded event streams; like the durability
+	// packages it is pinned explicitly (the obs prefix covers it today) so
+	// trace reconstruction can never silently fall out of scope.
+	"repro/internal/obs/span",
 	"repro/cmd",
 	"repro/majorcan",
 }

@@ -1,0 +1,454 @@
+// Package lockorder builds a static mutex-acquisition graph per package
+// and reports the two concurrency hazards the service layer cannot
+// tolerate: lock-order inversions (lock B acquired while A is held in
+// one function, A acquired while B is held in another — a deadlock the
+// race detector cannot see because it needs the unlucky interleaving)
+// and blocking work performed under a lock (fsync, journal appends,
+// sleeps, unbounded channel operations), which turns one slow disk into
+// a stall of every reader contending for the same mutex.
+//
+// Locks are keyed by struct field or package-level variable, like the
+// atomicmix analyzer: every instance of Scheduler.mu is one node in the
+// graph, which is the standard (conservative) lock-order model. Held
+// regions are tracked linearly through each function body — branches
+// fork a copy of the held set, goroutine bodies start empty — and calls
+// into same-package functions propagate their transitive acquisitions
+// and blocking operations. Calls through interfaces or function values
+// are dead ends, as in the intra-package call graph.
+//
+// Intentional blocking under a lock (a mutex whose entire purpose is to
+// serialize an fsync, for example) is annotated with
+// `//lint:allow lockorder -- <reason>` on the offending call.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the lock-order and blocking-under-lock check.
+var Analyzer = &lint.Analyzer{
+	Name: "lockorder",
+	Doc:  "report lock-order cycles and blocking I/O or channel operations performed while a mutex is held",
+	Run:  run,
+}
+
+// funcFacts is what one function does directly: which shared locks it
+// acquires and whether it performs a blocking operation.
+type funcFacts struct {
+	acquires map[types.Object]string // lock object -> printable name
+	blocks   string                  // description of the first blocking op, "" if none
+}
+
+type edge struct {
+	from, to types.Object
+	fromName string
+	toName   string
+	pos      token.Pos
+	via      string // callee name for indirect acquisitions, "" for direct Lock calls
+}
+
+type analysis struct {
+	pass   *lint.Pass
+	graph  *lint.CallGraph
+	direct map[*types.Func]*funcFacts
+	// transitive closures over the intra-package call graph
+	acquiresTrans map[*types.Func]map[types.Object]string
+	blocksTrans   map[*types.Func]string
+	edges         []edge
+}
+
+func run(pass *lint.Pass) error {
+	if !lint.InConcurrencyScope(pass.Pkg.Path()) {
+		return nil
+	}
+	a := &analysis{
+		pass:          pass,
+		graph:         lint.NewCallGraph(pass),
+		direct:        make(map[*types.Func]*funcFacts),
+		acquiresTrans: make(map[*types.Func]map[types.Object]string),
+		blocksTrans:   make(map[*types.Func]string),
+	}
+	for fn, decl := range a.graph.Decls {
+		a.direct[fn] = a.collectFacts(decl)
+	}
+	for fn := range a.graph.Decls {
+		a.closeOver(fn, make(map[*types.Func]bool))
+	}
+	for _, decl := range a.graph.Decls {
+		a.walkStmts(decl.Body.List, nil)
+	}
+	a.reportCycles()
+	return nil
+}
+
+// collectFacts scans one function body for direct lock acquisitions and
+// blocking operations, ignoring goroutine bodies (they run on their own
+// stack and do not hold the caller's locks).
+func (a *analysis) collectFacts(decl *ast.FuncDecl) *funcFacts {
+	f := &funcFacts{acquires: make(map[types.Object]string)}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			callee := lint.CalleeFunc(a.pass.Info, n)
+			if name, ok := lint.MutexMethod(callee); ok {
+				if name == "Lock" || name == "RLock" {
+					if obj, lname, ok := lint.LockObject(a.pass, n); ok && sharedLock(obj) {
+						f.acquires[obj] = lname
+					}
+				}
+				return true
+			}
+			if desc, ok := lint.BlockingCall(callee); ok && f.blocks == "" {
+				f.blocks = desc
+			}
+		}
+		return true
+	})
+	return f
+}
+
+// sharedLock reports whether the lock object can be contended across
+// functions: a struct field or a package-level variable. Locals cannot
+// participate in cross-function cycles.
+func sharedLock(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	if v.IsField() {
+		return true
+	}
+	return v.Pkg() != nil && v.Pkg().Scope().Lookup(v.Name()) == v
+}
+
+// closeOver computes the transitive acquisition set and blocking
+// description of fn over the intra-package call graph.
+func (a *analysis) closeOver(fn *types.Func, visiting map[*types.Func]bool) (map[types.Object]string, string) {
+	if acq, done := a.acquiresTrans[fn]; done {
+		return acq, a.blocksTrans[fn]
+	}
+	if visiting[fn] {
+		d := a.direct[fn]
+		if d == nil {
+			return nil, ""
+		}
+		return d.acquires, d.blocks
+	}
+	visiting[fn] = true
+	defer delete(visiting, fn)
+
+	acq := make(map[types.Object]string)
+	blocks := ""
+	if d := a.direct[fn]; d != nil {
+		for o, n := range d.acquires {
+			acq[o] = n
+		}
+		blocks = d.blocks
+	}
+	for _, callee := range a.graph.Edges[fn] {
+		cAcq, cBlocks := a.closeOver(callee, visiting)
+		for o, n := range cAcq {
+			if _, ok := acq[o]; !ok {
+				acq[o] = n
+			}
+		}
+		if blocks == "" && cBlocks != "" {
+			blocks = cBlocks + " via " + callee.Name()
+		}
+	}
+	a.acquiresTrans[fn] = acq
+	a.blocksTrans[fn] = blocks
+	return acq, blocks
+}
+
+// heldLock is one entry of the held-region stack.
+type heldLock struct {
+	obj  types.Object
+	name string
+}
+
+// walkStmts simulates lock state linearly through a statement list.
+// Branch bodies get a copy of the held stack so an unlock on one path
+// does not leak into the other; the copy-on-branch model is
+// conservative in both directions but matches how the tree's lock
+// regions are actually written (lock … unlock in straight lines, or
+// defer unlock to function end).
+func (a *analysis) walkStmts(stmts []ast.Stmt, held []heldLock) {
+	for _, s := range stmts {
+		held = a.walkStmt(s, held)
+	}
+}
+
+func (a *analysis) walkStmt(s ast.Stmt, held []heldLock) []heldLock {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if next, handled := a.lockEvent(call, held); handled {
+				return next
+			}
+		}
+		a.checkExpr(s.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function end, which
+		// the linear walk models by simply not popping it. Other
+		// deferred calls run after every unlock point we can see, so
+		// checking them against the current held set would be wrong;
+		// skip them.
+		if _, ok := lint.MutexMethod(lint.CalleeFunc(a.pass.Info, s.Call)); !ok {
+			for _, arg := range s.Call.Args {
+				a.checkExpr(arg, nil)
+			}
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			a.checkExpr(rhs, held)
+		}
+		for _, lhs := range s.Lhs {
+			a.checkExpr(lhs, held)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			a.checkExpr(r, held)
+		}
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			a.pass.Reportf(s.Pos(),
+				"channel send while %s is held can block indefinitely; move it outside the critical section, use a select with default, or annotate with //lint:allow lockorder -- <reason>",
+				held[len(held)-1].name)
+		}
+		a.checkExpr(s.Value, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = a.walkStmt(s.Init, held)
+		}
+		a.checkExpr(s.Cond, held)
+		a.walkStmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			a.walkStmt(s.Else, copyHeld(held))
+		}
+	case *ast.BlockStmt:
+		a.walkStmts(s.List, copyHeld(held))
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = a.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			a.checkExpr(s.Cond, held)
+		}
+		a.walkStmts(s.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		a.checkExpr(s.X, held)
+		a.walkStmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = a.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			a.checkExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				a.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				a.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault && len(held) > 0 {
+			a.pass.Reportf(s.Pos(),
+				"select without a default case blocks while %s is held; add a default, move it outside the critical section, or annotate with //lint:allow lockorder -- <reason>",
+				held[len(held)-1].name)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				a.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.GoStmt:
+		// The goroutine starts with no locks held; its body is checked
+		// independently.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			a.walkStmts(lit.Body.List, nil)
+		}
+		for _, arg := range s.Call.Args {
+			a.checkExpr(arg, held)
+		}
+	case *ast.LabeledStmt:
+		return a.walkStmt(s.Stmt, held)
+	}
+	return held
+}
+
+func copyHeld(held []heldLock) []heldLock {
+	return append([]heldLock(nil), held...)
+}
+
+// lockEvent handles a statement-level mutex call, returning the updated
+// held stack and handled=true when the call was a lock or unlock.
+func (a *analysis) lockEvent(call *ast.CallExpr, held []heldLock) ([]heldLock, bool) {
+	name, ok := lint.MutexMethod(lint.CalleeFunc(a.pass.Info, call))
+	if !ok {
+		return held, false
+	}
+	obj, lname, ok := lint.LockObject(a.pass, call)
+	if !ok {
+		return held, true
+	}
+	switch name {
+	case "Lock", "RLock":
+		for _, h := range held {
+			if h.obj == obj {
+				a.pass.Reportf(call.Pos(),
+					"%s is acquired while already held (self-deadlock on the same lock)", lname)
+				continue
+			}
+			a.edges = append(a.edges, edge{
+				from: h.obj, to: obj, fromName: h.name, toName: lname, pos: call.Pos(),
+			})
+		}
+		return append(copyHeld(held), heldLock{obj: obj, name: lname}), true
+	case "Unlock", "RUnlock":
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i].obj == obj {
+				return append(copyHeld(held[:i]), held[i+1:]...), true
+			}
+		}
+		return held, true
+	}
+	return held, true
+}
+
+// checkExpr inspects an expression for calls and channel receives made
+// while locks are held.
+func (a *analysis) checkExpr(e ast.Expr, held []heldLock) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A literal passed as a callback may run later, without the
+			// caller's locks; its body is checked with an empty held set.
+			a.walkStmts(n.Body.List, nil)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && len(held) > 0 {
+				a.pass.Reportf(n.Pos(),
+					"channel receive while %s is held can block indefinitely; move it outside the critical section or annotate with //lint:allow lockorder -- <reason>",
+					held[len(held)-1].name)
+			}
+		case *ast.CallExpr:
+			a.checkCall(n, held)
+		}
+		return true
+	})
+}
+
+// checkCall reports blocking callees and records indirect acquisition
+// edges for a call made while locks are held.
+func (a *analysis) checkCall(call *ast.CallExpr, held []heldLock) {
+	if len(held) == 0 {
+		return
+	}
+	callee := lint.CalleeFunc(a.pass.Info, call)
+	if callee == nil {
+		return
+	}
+	if _, ok := lint.MutexMethod(callee); ok {
+		return // handled by the held-region walk
+	}
+	top := held[len(held)-1]
+	if desc, ok := lint.BlockingCall(callee); ok {
+		a.pass.Reportf(call.Pos(),
+			"%s while %s is held stalls every contender on that lock; move the blocking work outside the critical section or annotate with //lint:allow lockorder -- <reason>",
+			desc, top.name)
+		return
+	}
+	if callee.Pkg() != a.pass.Pkg {
+		return
+	}
+	if blocks := a.blocksTrans[callee]; blocks != "" {
+		a.pass.Reportf(call.Pos(),
+			"call to %s performs %s while %s is held; move the blocking work outside the critical section or annotate with //lint:allow lockorder -- <reason>",
+			callee.Name(), blocks, top.name)
+	}
+	for obj, lname := range a.acquiresTrans[callee] {
+		for _, h := range held {
+			if h.obj == obj {
+				a.pass.Reportf(call.Pos(),
+					"call to %s re-acquires %s which is already held (self-deadlock)",
+					callee.Name(), lname)
+				continue
+			}
+			a.edges = append(a.edges, edge{
+				from: h.obj, to: obj, fromName: h.name, toName: lname,
+				pos: call.Pos(), via: callee.Name(),
+			})
+		}
+	}
+}
+
+// reportCycles finds lock-order cycles in the acquisition graph and
+// reports every edge that participates in one.
+func (a *analysis) reportCycles() {
+	adj := make(map[types.Object]map[types.Object]bool)
+	for _, e := range a.edges {
+		if adj[e.from] == nil {
+			adj[e.from] = make(map[types.Object]bool)
+		}
+		adj[e.from][e.to] = true
+	}
+	reaches := func(from, to types.Object) bool {
+		seen := make(map[types.Object]bool)
+		var dfs func(types.Object) bool
+		dfs = func(o types.Object) bool {
+			if o == to {
+				return true
+			}
+			if seen[o] {
+				return false
+			}
+			seen[o] = true
+			for n := range adj[o] {
+				if dfs(n) {
+					return true
+				}
+			}
+			return false
+		}
+		return dfs(from)
+	}
+	// Sort for deterministic reporting order.
+	sort.Slice(a.edges, func(i, j int) bool { return a.edges[i].pos < a.edges[j].pos })
+	reported := make(map[token.Pos]bool)
+	for _, e := range a.edges {
+		if reported[e.pos] || !reaches(e.to, e.from) {
+			continue
+		}
+		reported[e.pos] = true
+		via := ""
+		if e.via != "" {
+			via = " (via " + e.via + ")"
+		}
+		a.pass.Reportf(e.pos,
+			"lock order cycle: %s is acquired while %s is held%s, but elsewhere the acquisition order is reversed; pick one order (deadlock risk), or annotate with //lint:allow lockorder -- <reason>",
+			e.toName, e.fromName, via)
+	}
+}

@@ -1,0 +1,18 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/lockorder"
+)
+
+func TestGolden(t *testing.T) {
+	linttest.Run(t, "../testdata/lockorder", "repro/internal/serve", lockorder.Analyzer)
+}
+
+// TestOutOfScope pins the scope gate: the same package under a
+// simulator-core import path produces no findings.
+func TestOutOfScope(t *testing.T) {
+	linttest.Run(t, "../testdata/scopecheck", "repro/internal/core", lockorder.Analyzer)
+}

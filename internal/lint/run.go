@@ -23,7 +23,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			// report it so the convention stays documented.
 			for line, ds := range allows[pkg.Fset.Position(f.Pos()).Filename] {
 				for _, d := range ds {
-					if d.reason == "" {
+					// line == d.line skips the comment-group alias entry, so
+					// a malformed directive is reported exactly once.
+					if d.reason == "" && line == d.line {
 						diags = append(diags, Diagnostic{
 							Analyzer: "allow",
 							Pos: token.Position{

@@ -6,9 +6,13 @@ import (
 
 	"repro/internal/lint"
 	"repro/internal/lint/atomicmix"
+	"repro/internal/lint/ctxflow"
 	"repro/internal/lint/determinism"
+	"repro/internal/lint/errsink"
 	"repro/internal/lint/eventcontract"
+	"repro/internal/lint/goleak"
 	"repro/internal/lint/hotpath"
+	"repro/internal/lint/lockorder"
 )
 
 // TestRepoIsClean pins the whole tree at zero findings: every
@@ -25,9 +29,13 @@ func TestRepoIsClean(t *testing.T) {
 	}
 	diags, err := lint.Run(pkgs, []*lint.Analyzer{
 		atomicmix.Analyzer,
+		ctxflow.Analyzer,
 		determinism.Analyzer,
+		errsink.Analyzer,
 		eventcontract.Analyzer,
+		goleak.Analyzer,
 		hotpath.Analyzer,
+		lockorder.Analyzer,
 	})
 	if err != nil {
 		t.Fatalf("running analyzers: %v", err)

@@ -1,0 +1,156 @@
+// Package serve is golden data for the ctxflow analyzer: detached
+// contexts, blocking channel operations that ignore a ctx parameter,
+// unstoppable loops, and the allow escape hatch.
+package serve
+
+import (
+	"context"
+	"time"
+)
+
+type job struct {
+	done chan struct{}
+}
+
+func (j *job) Done() <-chan struct{} { return j.done }
+
+func run(ctx context.Context, spec string) error { _ = spec; <-ctx.Done(); return nil }
+
+// --- rule 1: minting a root context where a caller context is in scope ---
+
+func replay(ctx context.Context, spec string) error {
+	return run(context.Background(), spec) // want `context.Background\(\) inside replay, which already receives ctx`
+}
+
+func replayTODO(ctx context.Context, spec string) error {
+	return run(context.TODO(), spec) // want `context.TODO\(\) inside replayTODO, which already receives ctx`
+}
+
+func replayThreaded(ctx context.Context, spec string) error {
+	return run(ctx, spec) // threads the caller's context: fine
+}
+
+func replayAllowed(ctx context.Context, spec string) error {
+	//lint:allow ctxflow -- golden: detached on purpose, the replay must outlive the request
+	return run(context.Background(), spec)
+}
+
+// no ctx parameter: a root-construction site, not a detachment
+func entryPoint(spec string) error {
+	return run(context.Background(), spec)
+}
+
+// --- rule 2: blocking channel ops that ignore the ctx parameter ---
+
+func waitBare(ctx context.Context, idle chan struct{}) {
+	<-idle // want `blocking channel receive in waitBare ignores its ctx parameter`
+}
+
+func sendBare(ctx context.Context, out chan int) {
+	out <- 1 // want `blocking channel send in sendBare ignores its ctx parameter`
+}
+
+func waitAllowed(ctx context.Context, idle chan struct{}) {
+	//lint:allow ctxflow -- golden: bounded join, the workers observe cancellation themselves
+	<-idle
+}
+
+func waitSelect(ctx context.Context, idle chan struct{}) error {
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func waitDeaf(ctx context.Context, idle, other chan struct{}) {
+	select { // want `select in waitDeaf has neither a default case nor a Done\(\) case`
+	case <-idle:
+	case <-other:
+	}
+}
+
+func pollSelect(ctx context.Context, in chan int) (int, bool) {
+	select {
+	case v := <-in:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+func waitDone(ctx context.Context) {
+	<-ctx.Done() // consuming the completion signal: fine
+}
+
+func waitJob(ctx context.Context, j *job) {
+	select {
+	case <-j.Done(): // Done()-shaped completion channel: fine
+	case <-time.After(time.Second):
+	}
+}
+
+// --- rule 3: unstoppable loops ---
+
+func pump(work func()) {
+	for { // want `unbounded for-loop in pump never consults a context or completion signal`
+		work()
+	}
+}
+
+func pumpStoppable(stop chan struct{}, work func()) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		work()
+	}
+}
+
+func pumpCtx(ctx context.Context, work func()) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		work()
+	}
+}
+
+func pumpAllowed(work func()) {
+	//lint:allow ctxflow -- golden: process-lifetime daemon, stopped by exit
+	for {
+		work()
+	}
+}
+
+func bounded(n int, work func()) {
+	for i := 0; i < n; i++ { // bounded loop: fine
+		work()
+	}
+}
+
+// data-bounded loop: exits via break when the input is consumed
+func split(buf []byte, emit func([]byte)) {
+	for {
+		if len(buf) == 0 {
+			break
+		}
+		emit(buf[:1])
+		buf = buf[1:]
+	}
+}
+
+// a break that binds to a nested switch does not make the loop stoppable
+func dispatch(next func() int, handle func(int)) {
+	for { // want `unbounded for-loop in dispatch never consults a context or completion signal`
+		switch v := next(); v {
+		case 0:
+			break
+		default:
+			handle(v)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Package serve is golden data for the errsink analyzer: discarded
+// error returns from durability-critical callees, and the allow escape
+// hatch for reviewed best-effort calls.
+package serve
+
+import (
+	"encoding/json"
+	"os"
+
+	"repro/internal/serve/fsio"
+	"repro/internal/serve/journal"
+)
+
+// --- discarded fsio errors ---
+
+func spoolWrite(fs fsio.FS, path string, data []byte) {
+	_ = fsio.WriteFileAtomic(fs, path, data) // want `error from fsio.WriteFileAtomic is discarded`
+}
+
+func spoolWriteChecked(fs fsio.FS, path string, data []byte) error {
+	return fsio.WriteFileAtomic(fs, path, data)
+}
+
+func quarantine(fs fsio.FS, path string) {
+	_ = fs.Rename(path, path+".corrupt") // want `error from fsio.FS.Rename is discarded`
+}
+
+func quarantineAllowed(fs fsio.FS, path string) {
+	//lint:allow errsink -- golden: quarantine is best-effort on an already-failing path
+	_ = fs.Rename(path, path+".corrupt")
+}
+
+func closeLoudly(f fsio.File) {
+	f.Close() // want `error from fsio.File.Close is discarded`
+}
+
+func syncDeferred(f fsio.File) {
+	defer f.Sync() // want `error from fsio.File.Sync is discarded`
+}
+
+// --- discarded journal errors ---
+
+func appendRecord(j *journal.Journal, rec journal.Record) {
+	j.Append(rec) // want `error from journal.Journal.Append is discarded`
+}
+
+func appendChecked(j *journal.Journal, rec journal.Record) error {
+	return j.Append(rec)
+}
+
+// --- raw os forms ---
+
+func rawRename(oldp, newp string) {
+	_ = os.Rename(oldp, newp) // want `error from os.Rename is discarded`
+}
+
+func rawSync(f *os.File) {
+	_ = f.Sync() // want `error from os.File.Sync is discarded`
+}
+
+// --- Save-shaped checkpoint function fields ---
+
+type checkpointIO struct {
+	Save func(json.RawMessage) error
+	Load func() (json.RawMessage, bool)
+}
+
+func checkpoint(ck checkpointIO, b json.RawMessage) {
+	_ = ck.Save(b) // want `error from checkpointIO.Save is discarded`
+}
+
+func checkpointHandled(ck checkpointIO, b json.RawMessage) error {
+	return ck.Save(b)
+}
+
+// --- non-durability discards are not errsink's business ---
+
+func ignoreParse(s string) {
+	var v any
+	_ = json.Unmarshal([]byte(s), &v)
+}

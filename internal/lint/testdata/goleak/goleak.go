@@ -1,0 +1,112 @@
+// Package obs is golden data for the goleak analyzer: goroutines with
+// and without a visible join or exit path, and the allow escape hatch.
+package obs
+
+import "sync"
+
+// --- leak: nothing joins it, nothing can stop it ---
+
+func leakPoller(poll func()) {
+	go func() { // want `goroutine \(func literal\) has no visible join or exit path`
+		for {
+			poll()
+		}
+	}()
+}
+
+// --- WaitGroup join ---
+
+func joined(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// --- channel-result join ---
+
+func channelJoin(work func() error) error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- work()
+	}()
+	return <-errc
+}
+
+// --- close-signal join ---
+
+func closeJoin(work func()) chan struct{} {
+	idle := make(chan struct{})
+	go func() {
+		work()
+		close(idle)
+	}()
+	return idle
+}
+
+// --- stop-channel exit path ---
+
+type ticker struct {
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func (t *ticker) loop() {
+	for {
+		select {
+		case <-t.stop:
+			return
+		default:
+		}
+	}
+}
+
+func (t *ticker) start() {
+	go t.loop() // resolves to loop, which receives from t.stop: fine
+}
+
+// --- work-channel range: exits when the channel closes ---
+
+type pool struct {
+	ch chan int
+	wg sync.WaitGroup
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for v := range p.ch {
+		_ = v
+	}
+}
+
+func (p *pool) startWorkers(n int) {
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+}
+
+// --- leak through a named function ---
+
+func spin() {
+	for {
+	}
+}
+
+func leakNamed() {
+	go spin() // want `goroutine spin has no visible join or exit path`
+}
+
+// --- intentional daemon, annotated ---
+
+func daemon(poll func()) {
+	//lint:allow goleak -- golden: process-lifetime poller, dies with the process
+	go func() {
+		for {
+			poll()
+		}
+	}()
+}

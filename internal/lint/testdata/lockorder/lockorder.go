@@ -1,0 +1,189 @@
+// Package serve is golden data for the lockorder analyzer: lock-order
+// cycles, blocking work under a mutex, and the allow escape hatch.
+package serve
+
+import (
+	"os"
+	"sync"
+)
+
+// --- lock-order cycle: ab locks A then B, ba locks B then A ---
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *pair) ab() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock() // want `lock order cycle: pair.b is acquired while pair.a is held`
+	defer p.b.Unlock()
+}
+
+func (p *pair) ba() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock() // want `lock order cycle: pair.a is acquired while pair.b is held`
+	defer p.a.Unlock()
+}
+
+// --- indirect cycle through a same-package callee ---
+
+type store struct {
+	mu    sync.Mutex
+	index sync.RWMutex
+}
+
+func (s *store) lockIndex() {
+	s.index.Lock()
+	s.index.Unlock()
+}
+
+func (s *store) update() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lockIndex() // want `lock order cycle: store.index is acquired while store.mu is held \(via lockIndex\)`
+}
+
+func (s *store) rebuild() {
+	s.index.Lock()
+	defer s.index.Unlock()
+	s.mu.Lock() // want `lock order cycle: store.mu is acquired while store.index is held`
+	s.mu.Unlock()
+}
+
+// --- consistent order is not a cycle ---
+
+type layered struct {
+	outer sync.Mutex
+	inner sync.Mutex
+}
+
+func (l *layered) first() {
+	l.outer.Lock()
+	defer l.outer.Unlock()
+	l.inner.Lock()
+	l.inner.Unlock()
+}
+
+func (l *layered) second() {
+	l.outer.Lock()
+	defer l.outer.Unlock()
+	l.inner.Lock()
+	l.inner.Unlock()
+}
+
+// --- blocking I/O under a lock ---
+
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func (j *journal) append(b []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(b); err != nil {
+		return err
+	}
+	return j.f.Sync() // want `os.File.Sync \(fsync\) while journal.mu is held`
+}
+
+func (j *journal) appendAllowed(b []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	//lint:allow lockorder -- golden: this mutex exists to serialize the fsync
+	return j.f.Sync()
+}
+
+// blocking via a same-package callee, seen transitively
+func (j *journal) fsync() {
+	_ = j.f.Sync()
+}
+
+func (j *journal) flush() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.fsync() // want `call to fsync performs os.File.Sync \(fsync\)( via \w+)? while journal.mu is held`
+}
+
+// --- channel operations under a lock ---
+
+type queue struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (q *queue) blockingSend(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.ch <- v // want `channel send while queue.mu is held`
+}
+
+func (q *queue) nonBlockingSend(v int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+func (q *queue) blockingRecv() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return <-q.ch // want `channel receive while queue.mu is held`
+}
+
+func (q *queue) recvOutside() int {
+	q.mu.Lock()
+	q.mu.Unlock()
+	return <-q.ch // unlocked before the receive: fine
+}
+
+// --- self-deadlock ---
+
+type recursive struct {
+	mu sync.Mutex
+}
+
+func (r *recursive) helper() {
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+func (r *recursive) outer() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.helper() // want `call to helper re-acquires recursive.mu which is already held`
+}
+
+// --- goroutine bodies do not inherit the launcher's locks ---
+
+type launcher struct {
+	mu   sync.Mutex
+	done chan struct{}
+}
+
+func (l *launcher) spawn() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	go func() {
+		<-l.done // runs on its own stack, no lock held
+	}()
+}
+
+// --- sleeping under a lock ---
+
+type sleeper struct {
+	mu sync.Mutex
+}
+
+func (s *sleeper) nap(pause func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pause() // function value: statically invisible, not flagged
+}

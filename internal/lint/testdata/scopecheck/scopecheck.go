@@ -1,0 +1,56 @@
+// Package core is golden data for the concurrency analyzers' scope
+// gate: it would trip every one of them — a lock-order cycle, blocking
+// fsync under a mutex, a detached context, a bare receive ignoring ctx,
+// an unjoined goroutine, and a discarded durability error — but it is
+// loaded under a simulator-core import path, which the concurrency
+// scope excludes, so the analyzers must stay silent. The file carries
+// no expectations on purpose: any finding is a test failure.
+package core
+
+import (
+	"context"
+	"os"
+	"sync"
+)
+
+type tangle struct {
+	a, b sync.Mutex
+	f    *os.File
+}
+
+func (t *tangle) ab() {
+	t.a.Lock()
+	defer t.a.Unlock()
+	t.b.Lock()
+	t.b.Unlock()
+}
+
+func (t *tangle) ba() {
+	t.b.Lock()
+	defer t.b.Unlock()
+	t.a.Lock()
+	t.a.Unlock()
+}
+
+func (t *tangle) flush() {
+	t.a.Lock()
+	defer t.a.Unlock()
+	_ = t.f.Sync()
+}
+
+func detached(ctx context.Context, idle chan struct{}) {
+	_ = context.Background()
+	<-idle
+}
+
+func unjoined(poll func()) {
+	go func() {
+		for {
+			poll()
+		}
+	}()
+}
+
+func discard(f *os.File) {
+	_ = f.Sync()
+}

@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof handlers
 	"os"
@@ -12,8 +14,14 @@ import (
 // StartProfiling wires the standard Go profilers from CLI flag values:
 // cpuProfile/memProfile name output files (empty to skip), pprofAddr
 // starts a net/http/pprof listener (empty to skip). It returns a stop
-// function that finalises the profiles; callers should defer it and also
-// invoke it explicitly before os.Exit paths.
+// function that finalises the profiles and shuts the pprof server down;
+// callers should defer it and also invoke it explicitly before os.Exit
+// paths.
+//
+// The listener is opened synchronously so an unusable address fails the
+// start instead of printing from a goroutine after the caller has moved
+// on, and stop closes the server and joins its serve goroutine so no
+// socket or goroutine outlives the run.
 func StartProfiling(cpuProfile, memProfile, pprofAddr string) (stop func() error, err error) {
 	var cpuFile *os.File
 	if cpuProfile != "" {
@@ -26,12 +34,27 @@ func StartProfiling(cpuProfile, memProfile, pprofAddr string) (stop func() error
 			return nil, fmt.Errorf("cpuprofile: %w", err)
 		}
 	}
+	var (
+		srv       *http.Server
+		serveDone chan struct{}
+	)
 	if pprofAddr != "" {
-		ln := pprofAddr
+		ln, err := net.Listen("tcp", pprofAddr)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, fmt.Errorf("pprof listen: %w", err)
+		}
+		// DefaultServeMux already has the pprof handlers from the blank
+		// import. Serve errors after a successful listen are non-fatal to
+		// the run.
+		srv = &http.Server{Handler: http.DefaultServeMux}
+		serveDone = make(chan struct{})
 		go func() {
-			// DefaultServeMux already has the pprof handlers from the
-			// blank import. Serve errors are non-fatal to the run.
-			if err := http.ListenAndServe(ln, nil); err != nil {
+			defer close(serveDone)
+			if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
 			}
 		}()
@@ -42,6 +65,12 @@ func StartProfiling(cpuProfile, memProfile, pprofAddr string) (stop func() error
 			return nil
 		}
 		stopped = true
+		if srv != nil {
+			if err := srv.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server close: %v\n", err)
+			}
+			<-serveDone
+		}
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
 			if err := cpuFile.Close(); err != nil {
@@ -61,4 +90,59 @@ func StartProfiling(cpuProfile, memProfile, pprofAddr string) (stop func() error
 		}
 		return nil
 	}, nil
+}
+
+// StartContention turns on the runtime's mutex-contention and
+// blocking-event samplers and returns a stop function that writes the
+// accumulated profiles to the named files (empty name = that profiler
+// stays off) and restores the previous sampling rates. Sampling every
+// event is deliberate: the flags are opt-in diagnostics for a service
+// being profiled on purpose, where completeness beats overhead.
+func StartContention(mutexProfile, blockProfile string) (stop func() error) {
+	prevMutex := -1
+	if mutexProfile != "" {
+		prevMutex = runtime.SetMutexProfileFraction(1)
+	}
+	if blockProfile != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	var stopped bool
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		if mutexProfile != "" {
+			runtime.SetMutexProfileFraction(prevMutex)
+		}
+		if blockProfile != "" {
+			runtime.SetBlockProfileRate(0)
+		}
+		write := func(name, path string) error {
+			p := pprof.Lookup(name)
+			if p == nil {
+				return fmt.Errorf("%s profile: not registered", name)
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				return fmt.Errorf("%s profile: %w", name, err)
+			}
+			if err := p.WriteTo(f, 0); err != nil {
+				f.Close()
+				return fmt.Errorf("%s profile: %w", name, err)
+			}
+			return f.Close()
+		}
+		if mutexProfile != "" {
+			if err := write("mutex", mutexProfile); err != nil {
+				return err
+			}
+		}
+		if blockProfile != "" {
+			if err := write("block", blockProfile); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 }

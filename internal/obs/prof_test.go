@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestStartProfilingBadAddr pins the synchronous-listen contract: an
+// unusable pprof address must fail StartProfiling itself, not print
+// from a goroutine after the caller has moved on.
+func TestStartProfilingBadAddr(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	stop, err := StartProfiling("", "", ln.Addr().String())
+	if err == nil {
+		stop()
+		t.Fatal("StartProfiling on an occupied address: err = nil, want a listen error")
+	}
+	if !strings.Contains(err.Error(), "pprof listen") {
+		t.Fatalf("error = %v, want a pprof listen error", err)
+	}
+}
+
+// TestStartProfilingStopFreesPort pins the shutdown contract: stop must
+// close the pprof server and join its serve goroutine, so the port is
+// immediately reusable and nothing outlives the run.
+func TestStartProfilingStopFreesPort(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	stop, err := StartProfiling("", "", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		stop()
+		t.Fatalf("pprof index: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		stop()
+		t.Fatalf("pprof index status = %d, want 200", resp.StatusCode)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	ln, err = net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port not released after stop: %v", err)
+	}
+	ln.Close()
+
+	// stop is idempotent: a deferred call after an explicit one is a no-op.
+	if err := stop(); err != nil {
+		t.Fatalf("second stop: %v", err)
+	}
+}
+
+// TestStartProfilingWritesFiles checks the file-backed profiles survive
+// a full start/stop cycle.
+func TestStartProfilingWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := StartProfiling(cpu, mem, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestStartContentionWritesProfiles checks the mutex/block samplers
+// write their profiles on stop and that stop is idempotent.
+func TestStartContentionWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	mutexPath := filepath.Join(dir, "mutex.pprof")
+	blockPath := filepath.Join(dir, "block.pprof")
+	stop := StartContention(mutexPath, blockPath)
+
+	// Generate at least one contended acquisition and one blocking
+	// channel event so the profiles have something to record.
+	var mu sync.Mutex
+	ch := make(chan struct{})
+	mu.Lock()
+	go func() {
+		mu.Lock()
+		mu.Unlock()
+		close(ch)
+	}()
+	mu.Unlock()
+	<-ch
+
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{mutexPath, blockPath} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("second stop: %v", err)
+	}
+}

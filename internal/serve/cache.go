@@ -156,6 +156,7 @@ func (c *Cache) decodeSpool(d Digest, data []byte) (Entry, bool) {
 		return Entry{Spec: se.Spec, Result: se.Result}, true
 	}
 	c.quarantined.Add(1)
+	//lint:allow errsink -- best-effort quarantine of an already-corrupt spool file; the miss is the real signal
 	_ = c.fs.Rename(c.spoolPath(d), c.spoolPath(d)+".corrupt")
 	return Entry{}, false
 }

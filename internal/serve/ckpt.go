@@ -79,6 +79,7 @@ func (cs *CheckpointStore) Load(d Digest) (json.RawMessage, bool) {
 		return cf.Data, true
 	}
 	cs.quarantined.Add(1)
+	//lint:allow errsink -- best-effort quarantine of an already-corrupt checkpoint; the counter is the signal
 	_ = cs.fs.Rename(cs.path(d), cs.path(d)+".corrupt")
 	return nil, false
 }

@@ -43,6 +43,8 @@ func DaemonMain(args []string) int {
 		portFile     = fs.String("portfile", "", "write the bound listen address to this file once serving")
 		logFormat    = fs.String("log-format", "text", "log output format: text or json")
 		captureEv    = fs.Int("capture-events", 0, "per-job trace capture buffer in events (0 = default)")
+		mutexProf    = fs.String("mutexprofile", "", "write a mutex-contention profile here on clean exit")
+		blockProf    = fs.String("blockprofile", "", "write a blocking-event profile here on clean exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -53,6 +55,16 @@ func DaemonMain(args []string) int {
 		return 2
 	}
 	logger = logger.With("component", "mcservd")
+
+	// Contention profiling is opt-in and sampled at full rate; the
+	// profiles are written when the daemon exits cleanly, so a drain (not
+	// a SIGKILL) is required to get them.
+	stopContention := obs.StartContention(*mutexProf, *blockProf)
+	defer func() {
+		if err := stopContention(); err != nil {
+			logger.Warn("contention profile", "err", err)
+		}
+	}()
 
 	resolve := func(v, def string) string {
 		switch v {

@@ -162,6 +162,7 @@ func (f *Faulty) Rename(oldpath, newpath string) error {
 		}
 		_, werr := w.Write(torn)
 		cerr := w.Close()
+		//lint:allow errsink -- fault injector simulating a torn rename; leftover source is part of the simulated damage
 		_ = f.Base.Remove(oldpath)
 		if werr != nil {
 			return werr

@@ -103,13 +103,16 @@ func WriteFileAtomic(fs FS, path string, data []byte) error {
 		return err
 	}
 	name := tmp.Name()
+	//lint:allow errsink -- best-effort removal of a temp file on the failure path; the write error is returned
 	cleanup := func() { _ = fs.Remove(name) }
 	if _, err := tmp.Write(data); err != nil {
+		//lint:allow errsink -- close on the failure path; the write error is the one the caller needs
 		tmp.Close()
 		cleanup()
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
+		//lint:allow errsink -- close on the failure path; the sync error is the one the caller needs
 		tmp.Close()
 		cleanup()
 		return err

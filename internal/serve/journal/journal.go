@@ -27,6 +27,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -77,10 +78,14 @@ type Journal struct {
 
 	fsyncHist *obs.Histogram // fsync latency in microseconds
 
-	mu       sync.Mutex
-	f        fsio.File
-	degraded bool
-	appends  uint64
+	mu sync.Mutex
+	f  fsio.File
+
+	// degraded and appends are atomics, not mu-guarded state: the stat
+	// accessors (Degraded, Appends) feed /v1/stats, and a read path must
+	// never queue behind an append's fsync on j.mu.
+	degraded atomic.Bool
+	appends  atomic.Uint64
 }
 
 // RecoveryInfo summarises what Open found.
@@ -114,6 +119,7 @@ func Open(fs fsio.FS, path string) (*Journal, RecoveryInfo, error) {
 		// Unreadable journal: quarantine the path (best effort) and start
 		// fresh rather than refusing to serve.
 		info.Quarantined = path + ".corrupt"
+		//lint:allow errsink -- best-effort quarantine of an unreadable journal; Info.Quarantined reports it either way
 		_ = fs.Rename(path, info.Quarantined)
 		data = nil
 	}
@@ -129,6 +135,7 @@ func Open(fs fsio.FS, path string) (*Journal, RecoveryInfo, error) {
 			info.TruncatedBytes = len(rest)
 		} else {
 			info.Quarantined = path + ".corrupt"
+			//lint:allow errsink -- best-effort quarantine of a mid-file-corrupt journal; Info.Quarantined reports it either way
 			_ = fs.Rename(path, info.Quarantined)
 		}
 	}
@@ -247,22 +254,23 @@ func (j *Journal) Append(r Record) error {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.degraded || j.f == nil {
+	if j.degraded.Load() || j.f == nil {
 		return ErrDegraded
 	}
 	if _, err := j.f.Write(frame); err != nil {
-		j.degraded = true
+		j.degraded.Store(true)
 		return fmt.Errorf("journal: append: %w", err)
 	}
 	//lint:allow determinism -- fsync latency telemetry; never feeds simulation state
 	syncStart := time.Now()
+	//lint:allow lockorder -- Journal.mu exists precisely to serialize the frame write with this fsync; contenders are other appends, which must wait anyway
 	if err := j.f.Sync(); err != nil {
-		j.degraded = true
+		j.degraded.Store(true)
 		return fmt.Errorf("journal: sync: %w", err)
 	}
 	//lint:allow determinism -- fsync latency telemetry; never feeds simulation state
 	j.fsyncHist.Observe(uint64(time.Since(syncStart).Microseconds()))
-	j.appends++
+	j.appends.Add(1)
 	return nil
 }
 
@@ -279,17 +287,15 @@ func (j *Journal) FsyncQuantile(q float64) uint64 {
 }
 
 // Degraded reports whether the journal has fallen back to memory-only.
+// Lock-free on purpose: stats readers must not wait out an fsync.
 func (j *Journal) Degraded() bool {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.degraded
+	return j.degraded.Load()
 }
 
 // Appends returns the number of records durably appended since Open.
+// Lock-free on purpose: stats readers must not wait out an fsync.
 func (j *Journal) Appends() uint64 {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.appends
+	return j.appends.Load()
 }
 
 // Close releases the journal file.

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve/fsio"
+)
+
+// gateFS wraps an FS so that, once armed, every file Sync parks until
+// the gate channel is closed, signalling entered when it does. It makes
+// a slow journal fsync deterministic instead of a sleep-and-hope race.
+type gateFS struct {
+	fsio.FS
+	armed   atomic.Bool
+	gate    chan struct{}
+	entered chan struct{}
+}
+
+func (g *gateFS) OpenFile(path string, flag int, perm os.FileMode) (fsio.File, error) {
+	f, err := g.FS.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &gateFile{File: f, g: g}, nil
+}
+
+type gateFile struct {
+	fsio.File
+	g *gateFS
+}
+
+func (f *gateFile) Sync() error {
+	if f.g.armed.Load() {
+		select {
+		case f.g.entered <- struct{}{}:
+		default:
+		}
+		<-f.g.gate
+	}
+	return f.File.Sync()
+}
+
+// TestReadersNotBlockedByAdmissionFsync pins the admission-lock split:
+// the write-ahead accept append (an fsync) happens under Scheduler.admit
+// and must not hold Scheduler.mu, so Stats and Job lookups stay
+// responsive while an admission is stalled on a slow disk. Before the
+// split, both probes below deadlocked for the duration of the fsync.
+func TestReadersNotBlockedByAdmissionFsync(t *testing.T) {
+	dir := t.TempDir()
+	g := &gateFS{FS: fsio.OrOS(nil), gate: make(chan struct{}), entered: make(chan struct{}, 1)}
+	release := make(chan struct{})
+	s, err := NewScheduler(Config{
+		Shards:       1,
+		QueueDepth:   8,
+		CacheEntries: 8,
+		SpoolDir:     filepath.Join(dir, "spool"),
+		JournalPath:  filepath.Join(dir, "wal"),
+		FS:           g,
+		Runner: func(ctx context.Context, spec *JobSpec, _ ExecOptions) (json.RawMessage, error) {
+			select {
+			case <-release:
+				return json.RawMessage(`{"ok":true}`), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var openGate sync.Once
+	releaseGate := func() {
+		g.armed.Store(false)
+		openGate.Do(func() { close(g.gate) })
+	}
+	defer s.Stop()
+	defer releaseGate() // runs before Stop, so a failed probe cannot hang the drain
+
+	// Admit one job normally so there is a record to look up.
+	j1, _, err := s.Submit(sweepSpec(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm the gate: the next admission parks inside its accept fsync with
+	// admit held.
+	g.armed.Store(true)
+	submitted := make(chan error, 1)
+	go func() {
+		_, _, err := s.Submit(sweepSpec(t, 2))
+		submitted <- err
+	}()
+	<-g.entered
+
+	probe := func(name string, f func()) {
+		done := make(chan struct{})
+		go func() { f(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			buf := make([]byte, 1<<20)
+			t.Fatalf("%s blocked behind the admission fsync\n%s", name, buf[:runtime.Stack(buf, true)])
+		}
+	}
+	probe("Stats", func() { _ = s.Stats() })
+	probe("Job", func() { _, _ = s.Job(j1.Digest()) })
+
+	releaseGate()
+	if err := <-submitted; err != nil {
+		t.Fatalf("submit during fsync: %v", err)
+	}
+	close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

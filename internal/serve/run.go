@@ -97,8 +97,19 @@ func sweepResume(ck *CheckpointIO) *sim.SweepResume {
 	return r
 }
 
+// ckptGiveUpAfter is how many consecutive Save failures campaignResume
+// tolerates before it stops checkpointing for the rest of the job. It
+// mirrors the CheckpointStore degrade policy: checkpoints are an
+// optimization, so a dead store must cost redundant work on the next
+// restart, never fail the job — but hammering a failing disk at every
+// trial boundary for the rest of a long campaign helps nobody.
+const ckptGiveUpAfter = 3
+
 // campaignResume adapts CheckpointIO to the campaign engine: the payload
-// is a CampaignProgress snapshot, persisted every Every trial boundaries.
+// is a CampaignProgress snapshot, persisted every Every trial
+// boundaries. Save errors are counted, not discarded: one failure is
+// retried at the next boundary (transient ENOSPC heals), a consecutive
+// run of them disables checkpointing for the remainder of the job.
 func campaignResume(ck *CheckpointIO) (*chaos.CampaignProgress, func(chaos.CampaignProgress)) {
 	if ck == nil {
 		return nil, nil
@@ -115,14 +126,21 @@ func campaignResume(ck *CheckpointIO) (*chaos.CampaignProgress, func(chaos.Campa
 		every = 1
 	}
 	boundaries := 0
+	failStreak := 0
 	onProgress := func(p chaos.CampaignProgress) {
 		boundaries++
-		if boundaries%every != 0 {
+		if boundaries%every != 0 || failStreak >= ckptGiveUpAfter {
 			return
 		}
-		if b, err := json.Marshal(p); err == nil {
-			_ = ck.Save(b)
+		b, err := json.Marshal(p)
+		if err != nil {
+			return
 		}
+		if err := ck.Save(b); err != nil {
+			failStreak++
+			return
+		}
+		failStreak = 0
 	}
 	return resume, onProgress
 }

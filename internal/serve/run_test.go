@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// TestCampaignResumeSaveGiveUp pins the checkpoint give-up latch: a
+// consecutive run of Save failures disables checkpointing for the rest
+// of the job instead of hammering a dead disk at every trial boundary.
+func TestCampaignResumeSaveGiveUp(t *testing.T) {
+	saves := 0
+	ck := &CheckpointIO{
+		Load:  func() (json.RawMessage, bool) { return nil, false },
+		Save:  func(json.RawMessage) error { saves++; return errors.New("disk gone") },
+		Every: 1,
+	}
+	_, onProgress := campaignResume(ck)
+	for i := 1; i <= 20; i++ {
+		onProgress(chaos.CampaignProgress{Trial: i})
+	}
+	if saves != ckptGiveUpAfter {
+		t.Fatalf("Save calls = %d, want exactly %d before the latch trips", saves, ckptGiveUpAfter)
+	}
+}
+
+// TestCampaignResumeSaveStreakResets checks that one successful Save
+// clears the failure streak: isolated transient failures (a blip of
+// ENOSPC that heals) never disable checkpointing.
+func TestCampaignResumeSaveStreakResets(t *testing.T) {
+	outcomes := []error{
+		errors.New("blip"), errors.New("blip"), nil, // streak 2, then reset
+		errors.New("gone"), errors.New("gone"), errors.New("gone"), // streak 3: latch
+	}
+	saves := 0
+	ck := &CheckpointIO{
+		Load: func() (json.RawMessage, bool) { return nil, false },
+		Save: func(json.RawMessage) error {
+			err := outcomes[saves%len(outcomes)]
+			saves++
+			return err
+		},
+		Every: 1,
+	}
+	_, onProgress := campaignResume(ck)
+	for i := 1; i <= 20; i++ {
+		onProgress(chaos.CampaignProgress{Trial: i})
+	}
+	if saves != len(outcomes) {
+		t.Fatalf("Save calls = %d, want %d (streak resets on success, latches after %d consecutive failures)",
+			saves, len(outcomes), ckptGiveUpAfter)
+	}
+}
+
+// TestCampaignResumeSaveCadence checks the boundary cadence still holds
+// alongside the latch: with Every=3, only every third boundary saves.
+func TestCampaignResumeSaveCadence(t *testing.T) {
+	saves := 0
+	ck := &CheckpointIO{
+		Load:  func() (json.RawMessage, bool) { return nil, false },
+		Save:  func(json.RawMessage) error { saves++; return nil },
+		Every: 3,
+	}
+	_, onProgress := campaignResume(ck)
+	for i := 1; i <= 9; i++ {
+		onProgress(chaos.CampaignProgress{Trial: i})
+	}
+	if saves != 3 {
+		t.Fatalf("Save calls = %d, want 3 (boundaries 3, 6, 9)", saves)
+	}
+}

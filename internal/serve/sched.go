@@ -269,6 +269,14 @@ type Scheduler struct {
 	jnlClose   sync.Once
 	start      time.Time
 
+	// admit serializes admission and the drain transition: Submit holds
+	// it across the write-ahead accept append (an fsync) and the shard
+	// enqueue, and Drain holds it while flipping draining and closing the
+	// shard channels, so no send can race a close. Keeping that span off
+	// mu means readers (Job, Stats, the event streams) never wait on a
+	// disk flush. Lock order: admit before mu, never the reverse.
+	admit sync.Mutex
+
 	mu        sync.Mutex
 	draining  bool
 	inflight  map[Digest]*Job
@@ -448,6 +456,10 @@ func (s *Scheduler) recoverJob(rec journal.Record) {
 	s.inflight[digest] = j
 	s.remember(j)
 	s.mu.Unlock()
+	// No admit lock here: recovery runs inside the constructor, before the
+	// scheduler escapes, so no Submit or Drain can be concurrent. The send
+	// may still block when recovered jobs outnumber the queue — the
+	// workers are already running and drain it.
 	s.shards[sh].ch <- j
 	s.recoveredJobs.Add(1)
 }
@@ -495,38 +507,61 @@ func (s *Scheduler) Submit(spec *JobSpec) (*Job, Admission, error) {
 		return nil, AdmissionNew, err
 	}
 
+	// Admission is serialized end-to-end by s.admit: the draining check,
+	// the single-flight decision, the write-ahead append and the enqueue
+	// all happen under it, so two identical specs can never both miss the
+	// inflight table, and a send can never race Drain's channel close.
+	// s.mu is taken only for the map touches inside that span — readers
+	// never block behind the accept fsync.
+	s.admit.Lock()
+	defer s.admit.Unlock()
+
 	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
 		s.rejectedDraining.Add(1)
 		return nil, AdmissionNew, ErrDraining
 	}
 	if ent, ok := s.cache.Get(digest); ok {
 		j := s.cachedJob(spec, canonical, digest, ent.Result)
+		s.mu.Lock()
 		s.remember(j)
 		s.mu.Unlock()
 		s.submitted.Add(1)
 		return j, AdmissionCached, nil
 	}
+	s.mu.Lock()
 	if j := s.inflight[digest]; j != nil {
+		s.mu.Unlock()
 		j.mu.Lock()
 		j.coalesced++
 		j.mu.Unlock()
-		s.mu.Unlock()
 		s.submitted.Add(1)
 		s.coalescedTotal.Add(1)
 		return j, AdmissionCoalesced, nil
 	}
+	s.mu.Unlock()
 
 	j := s.newJob(spec, canonical, digest)
 	sh := s.shardOf(digest)
 	j.shard = sh
+	// The job enters the single-flight table before it is enqueued: the
+	// worker that runs it deletes the entry when it finishes, so inserting
+	// after the send would race a fast completion and leak a duplicate
+	// admission. The entry is undone below if the queue turns out full.
+	s.mu.Lock()
+	s.inflight[digest] = j
+	s.mu.Unlock()
 	// Write-ahead: the accept record must be durable before the job is
 	// visible to a worker (and before the API layer's 202), so a crash at
-	// any later point replays it. The append happens under s.mu, which
-	// also guarantees a job's accept record precedes its terminal record.
+	// any later point replays it. The append happens under s.admit — which
+	// orders it before the enqueue and before this job's terminal record —
+	// deliberately not under s.mu, so the fsync stalls only concurrent
+	// admissions, never the read paths.
 	//lint:allow determinism -- journal latency phase timestamps; not simulation state
 	jnlStart := time.Now()
+	//lint:allow lockorder -- admit exists to hold the accept fsync ordered against enqueue and drain; readers use Scheduler.mu and never wait on it
 	s.journalAppend(journal.Record{Op: journal.OpAccept, ID: string(digest), Spec: canonical})
 	if s.jnl != nil {
 		//lint:allow determinism -- journal latency phase timestamps; not simulation state
@@ -535,14 +570,17 @@ func (s *Scheduler) Submit(spec *JobSpec) (*Job, Admission, error) {
 	select {
 	case s.shards[sh].ch <- j:
 	default:
+		s.mu.Lock()
+		delete(s.inflight, digest)
 		s.mu.Unlock()
 		s.rejectedFull.Add(1)
 		// Close out the journaled accept so the rejected job is not
 		// replayed on restart; the client got a 429, not a 202.
+		//lint:allow lockorder -- same admission-ordering rationale as the accept append above
 		s.journalAppend(journal.Record{Op: journal.OpFail, ID: string(digest)})
 		return nil, AdmissionNew, ErrQueueFull
 	}
-	s.inflight[digest] = j
+	s.mu.Lock()
 	s.remember(j)
 	s.mu.Unlock()
 	s.submitted.Add(1)
@@ -721,8 +759,8 @@ func (s *Scheduler) runJob(sh *shard, j *Job) {
 	}
 
 	//lint:allow determinism -- serving-layer latency measurement; not simulation state
-	finished := time.Now()
-	elapsedMs := uint64(finished.Sub(start).Milliseconds())
+	runEnd := time.Now()
+	elapsedMs := uint64(runEnd.Sub(start).Milliseconds())
 	sh.executed.Add(1)
 	sh.busyMs.Add(elapsedMs)
 	s.executed.Add(1)
@@ -763,7 +801,12 @@ func (s *Scheduler) runJob(sh *shard, j *Job) {
 		s.logWarn("job failed", "job", j.digest.Short(), "ms", elapsedMs, "error", err.Error())
 	}
 	j.mu.Lock()
-	j.finished = finished
+	// finished is stamped after the durability writes above, so the root
+	// job span in a trace encloses its cache-put and journal-done child
+	// phases even when an fsync runs long; the latency metrics measure
+	// only the run itself (runEnd) on purpose.
+	//lint:allow determinism -- serving-layer phase timestamp; not simulation state
+	j.finished = time.Now()
 	if err == nil {
 		j.state = StateDone
 		j.result = res
@@ -833,6 +876,11 @@ func (s *Scheduler) Draining() bool {
 // jobs are cancelled through their run contexts and Drain waits for the
 // workers to observe it, returning ctx's error.
 func (s *Scheduler) Drain(ctx context.Context) error {
+	// admit is held while flipping draining and closing the shard
+	// channels: Submit holds it across its enqueue, so once we have it no
+	// send can race the close (lock order: admit before mu). An admission
+	// mid-fsync delays the transition by one append, which is bounded.
+	s.admit.Lock()
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
@@ -841,6 +889,7 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 		}
 	}
 	s.mu.Unlock()
+	s.admit.Unlock()
 
 	idle := make(chan struct{})
 	go func() {
@@ -862,6 +911,7 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 		return nil
 	case <-ctx.Done():
 		s.rootCancel()
+		//lint:allow ctxflow -- bounded join: rootCancel has already fired, every worker observes it and exits
 		<-idle
 		closeJournal()
 		return ctx.Err()
