@@ -9,7 +9,9 @@
 //	mcctl stats -watch                                      # live-refresh summary line
 //	mcctl trace <digest>                                    # Perfetto trace download
 //	mcctl metrics -lint                                     # Prometheus scrape + lint
-//	mcctl health                                            # ok | draining
+//	mcctl health                                            # ok | degraded | draining
+//	mcctl fleet                                             # coordinator: workers + shard progress
+//	mcctl fleet -watch                                      # stream fleet lifecycle events
 //
 // Job specs are the canonical JSON format shared with mcsim -spec and
 // chaos -spec: byte-identical resubmits are answered from the service's
@@ -29,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -54,7 +57,11 @@ commands:
                                               (Chrome trace-event JSON; open in ui.perfetto.dev)
   metrics [-lint]                             print the Prometheus /metrics exposition;
                                               -lint validates the format and prints nothing
-  health                                      print service health`)
+  health                                      print service health
+  fleet [-watch]                              against a coordinator: print the worker pool
+                                              and per-job shard progress; -watch streams the
+                                              fleet event log as NDJSON, reconnecting
+                                              dropped streams`)
 }
 
 func run() int {
@@ -87,6 +94,8 @@ func run() int {
 		err = cmdMetrics(ctx, client, args)
 	case "health":
 		err = cmdHealth(ctx, client)
+	case "fleet":
+		err = cmdFleet(ctx, client, args)
 	default:
 		fmt.Fprintf(os.Stderr, "mcctl: unknown command %q\n", cmd)
 		usage()
@@ -339,4 +348,32 @@ func cmdHealth(ctx context.Context, client *serve.Client) error {
 	}
 	fmt.Println(status)
 	return nil
+}
+
+// cmdFleet talks to a coordinator: the default prints the /v1/fleet
+// view (worker pool plus per-job shard progress) as JSON; -watch
+// streams the coordinator-wide event log, riding the same reconnecting
+// NDJSON engine the per-job watch uses — dropped connections resume at
+// the last seen line.
+func cmdFleet(ctx context.Context, client *serve.Client, args []string) error {
+	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
+	watch := fs.Bool("watch", false, "stream fleet lifecycle events as NDJSON until interrupted")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *watch {
+		err := client.WatchLines(ctx, "/v1/fleet/events", func(line []byte) error {
+			_, werr := fmt.Fprintf(os.Stdout, "%s\n", line)
+			return werr
+		}, nil)
+		if ctx.Err() != nil {
+			return nil // interrupted: a clean exit, not a stream failure
+		}
+		return err
+	}
+	var view fleet.FleetView
+	if err := client.GetJSON(ctx, "/v1/fleet", &view); err != nil {
+		return err
+	}
+	return printJSON(view)
 }

@@ -11,6 +11,18 @@
 // progress, and a restart replays accepted-but-unfinished jobs from
 // where they stopped (disable with -journal none / -checkpoints none).
 //
+// The same binary also runs as a fleet coordinator, fronting the
+// identical /v1 jobs API while splitting each logical job into
+// content-addressed shards dispatched to worker daemons and merging
+// the results byte-identically to a single-node run (internal/fleet):
+//
+//	mcservd -worker -addr 127.0.0.1:9001 &
+//	mcservd -worker -addr 127.0.0.1:9002 &
+//	mcservd -coordinator -workers http://127.0.0.1:9001,http://127.0.0.1:9002
+//
+// -worker is the default role; the flag exists so fleet scripts can be
+// explicit about which process is which.
+//
 // SIGTERM or SIGINT drains gracefully: in-flight jobs finish, new
 // submissions are rejected with 503, and the process exits once every
 // shard is idle (bounded by -drain-timeout).
@@ -19,11 +31,30 @@ package main
 import (
 	"os"
 
+	"repro/internal/fleet"
 	"repro/internal/serve"
 )
 
-// main delegates to serve.DaemonMain so the crash-recovery harness can
-// run the identical daemon body inside a re-executed test binary.
+// main delegates to the role's DaemonMain so the crash-recovery harness
+// can run the identical daemon body inside a re-executed test binary.
+// The role flags are peeled off before the role's own flag set parses
+// the rest.
 func main() {
-	os.Exit(serve.DaemonMain(os.Args[1:]))
+	args := os.Args[1:]
+	coordinator := false
+	rest := make([]string, 0, len(args))
+	for _, a := range args {
+		switch a {
+		case "-coordinator", "--coordinator":
+			coordinator = true
+		case "-worker", "--worker":
+			coordinator = false
+		default:
+			rest = append(rest, a)
+		}
+	}
+	if coordinator {
+		os.Exit(fleet.DaemonMain(rest))
+	}
+	os.Exit(serve.DaemonMain(rest))
 }

@@ -20,6 +20,13 @@ type Campaign struct {
 	Base Script
 	// Trials is the number of random scripts to execute.
 	Trials int
+	// StartTrial is the global index of the first trial: the campaign
+	// runs trials [StartTrial, StartTrial+Trials). Because every trial
+	// draws from its own seed-derived RNG, a partition of contiguous
+	// trial ranges across workers reproduces exactly the trials a single
+	// [0, total) run would draw — the fleet coordinator's shard contract.
+	// Finding.Trial records the global index either way.
+	StartTrial int
 	// MaxFaults bounds the faults per trial (>= 1; default 4).
 	MaxFaults int
 	// FaultKinds restricts the fault classes drawn (default: all).
@@ -214,11 +221,14 @@ func (c *Campaign) RunContext(ctx context.Context) (*CampaignResult, error) {
 	}
 	tel := Telemetry{Events: cc.Events, Metrics: cc.Metrics}
 	res := &CampaignResult{Name: cc.Name, Trials: cc.Trials}
-	start := 0
-	if cc.Resume != nil {
+	start, end := cc.StartTrial, cc.StartTrial+cc.Trials
+	if cc.Resume != nil && cc.Resume.Trial >= cc.StartTrial {
+		// Resume.Trial is a global watermark ("trials below this are
+		// done"); one below StartTrial belongs to a different trial
+		// window and is ignored rather than trusted.
 		start = cc.Resume.Trial
-		if start > cc.Trials {
-			start = cc.Trials
+		if start > end {
+			start = end
 		}
 		res.Executions = cc.Resume.Executions
 		res.Findings = append(res.Findings, cc.Resume.Findings...)
@@ -240,7 +250,7 @@ func (c *Campaign) RunContext(ctx context.Context) (*CampaignResult, error) {
 	// Per-trial RNGs keep trial t reproducible regardless of how many
 	// faults earlier trials drew.
 	const trialStride int64 = 0x5E3779B97F4A7C15 // odd constant decorrelates trials
-	for trial := start; trial < cc.Trials; trial++ {
+	for trial := start; trial < end; trial++ {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}

@@ -25,6 +25,12 @@ type CampaignSpec struct {
 	Frames int `json:"frames"`
 	// Trials is the number of random scripts executed (default 100).
 	Trials int `json:"trials"`
+	// TrialOffset is the global index of the first trial: the campaign
+	// runs trials [TrialOffset, TrialOffset+Trials). Per-trial RNGs are
+	// seeded by the global index, so splitting a [0, N) campaign into
+	// contiguous offset ranges reproduces exactly the same trials — the
+	// fleet coordinator's shard handle. Zero is the whole-campaign default.
+	TrialOffset int `json:"trialOffset,omitempty"`
 	// MaxFaults bounds the faults per trial (default 4).
 	MaxFaults int `json:"maxFaults"`
 	// Seed makes the search reproducible.
@@ -114,6 +120,9 @@ func (c CampaignSpec) Campaign() (Campaign, error) {
 	if c.Trials < 0 || c.MaxFaults < 0 {
 		return Campaign{}, fmt.Errorf("chaos: negative trials or maxFaults")
 	}
+	if c.TrialOffset < 0 {
+		return Campaign{}, fmt.Errorf("chaos: negative trialOffset")
+	}
 	camp := Campaign{
 		Name: "spec",
 		Base: Script{
@@ -128,6 +137,7 @@ func (c CampaignSpec) Campaign() (Campaign, error) {
 			SlotsPerFrame:    c.SlotsPerFrame,
 		},
 		Trials:      c.Trials,
+		StartTrial:  c.TrialOffset,
 		MaxFaults:   c.MaxFaults,
 		FaultKinds:  append([]FaultKind(nil), c.Kinds...),
 		Seed:        c.Seed,

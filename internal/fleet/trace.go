@@ -1,0 +1,163 @@
+package fleet
+
+import (
+	"time"
+
+	"repro/internal/obs/span"
+	"repro/internal/serve"
+)
+
+// BuildTrace renders a finished fleet job's timeline as a Perfetto
+// trace: the coordinator track group carries the root job span and the
+// aggregate queue wait, and each shard gets its own track with its
+// dispatch span plus the worker-reported queue/run sub-spans scaled
+// into the dispatch window — the coordinator→worker causality in one
+// picture. Timestamps are microseconds relative to submission.
+func BuildTrace(j *FleetJob) (*span.Trace, error) {
+	j.mu.Lock()
+	state := j.state
+	submitted, started, finished := j.submitted, j.started, j.finished
+	type shardSnap struct {
+		shard    Shard
+		state    ShardState
+		worker   string
+		attempts int
+		queuedMs int64
+		runMs    int64
+		start    time.Time
+		end      time.Time
+		cached   bool
+		errMsg   string
+	}
+	shards := make([]shardSnap, 0, len(j.shards))
+	for _, sr := range j.shards {
+		shards = append(shards, shardSnap{
+			shard: sr.shard, state: sr.state, worker: sr.worker,
+			attempts: sr.attempts, queuedMs: sr.queuedMs, runMs: sr.runMs,
+			start: sr.start, end: sr.end, cached: sr.cached, errMsg: sr.errMsg,
+		})
+	}
+	cached := j.cachedHit
+	recovered := j.recovered
+	errMsg := j.errMsg
+	j.mu.Unlock()
+	if state != serve.StateDone && state != serve.StateFailed {
+		return nil, serve.ErrJobRunning
+	}
+
+	t0 := submitted
+	if t0.IsZero() {
+		t0 = started
+	}
+	us := func(t time.Time) float64 {
+		if t.IsZero() || t.Before(t0) {
+			return 0
+		}
+		return float64(t.Sub(t0).Microseconds())
+	}
+
+	tr := &span.Trace{}
+	tr.Process(0, "coordinator", 0)
+	tr.Thread(0, 0, "job")
+
+	rootArgs := map[string]any{
+		"id":     j.plan.Digest.Short(),
+		"kind":   string(j.plan.Spec.Kind),
+		"state":  string(state),
+		"shards": len(shards),
+	}
+	if cached {
+		rootArgs["cached"] = true
+	}
+	if recovered {
+		rootArgs["recovered"] = true
+	}
+	if errMsg != "" {
+		rootArgs["error"] = errMsg
+	}
+	tr.Add(span.Span{
+		Name: "fleet job", Cat: "fleet", Pid: 0, Tid: 0,
+		Start: 0, Dur: us(finished), Args: rootArgs,
+	})
+	if !started.IsZero() && !submitted.IsZero() {
+		tr.Add(span.Span{
+			Name: "plan + queue", Cat: "fleet", Pid: 0, Tid: 0,
+			Start: 0, Dur: us(started),
+		})
+	}
+
+	for i, sn := range shards {
+		tid := int64(i + 1)
+		tr.Thread(0, tid, shardLabel(sn.shard.Index))
+		args := map[string]any{
+			"shard":    sn.shard.Index,
+			"digest":   sn.shard.Digest.Short(),
+			"state":    string(sn.state),
+			"attempts": sn.attempts,
+		}
+		if sn.worker != "" {
+			args["worker"] = workerShort(sn.worker)
+		}
+		if sn.cached {
+			args["cached"] = true
+		}
+		if sn.errMsg != "" {
+			args["error"] = sn.errMsg
+		}
+		if sn.cached || sn.start.IsZero() {
+			// Spool-recovered shard: no dispatch window; a zero-width marker
+			// at the job start records it was adopted, not run.
+			tr.Add(span.Span{
+				Name: "dispatch (spooled)", Cat: "fleet", Pid: 0, Tid: tid,
+				Start: us(started), Dur: 0, Args: args,
+			})
+			continue
+		}
+		dispatchStart, dispatchEnd := us(sn.start), us(sn.end)
+		tr.Add(span.Span{
+			Name: "dispatch", Cat: "fleet", Pid: 0, Tid: tid,
+			Start: dispatchStart, Dur: dispatchEnd - dispatchStart, Args: args,
+		})
+		// Worker-side phases, anchored to the end of the dispatch window:
+		// the worker finished running the shard right before the blocking
+		// submit returned, so [end-run, end] approximates execution and the
+		// queue wait sits immediately before it. Millisecond-grain numbers
+		// from JobStatus, placed on the coordinator's clock.
+		runUs := float64(sn.runMs) * 1000
+		queuedUs := float64(sn.queuedMs) * 1000
+		window := dispatchEnd - dispatchStart
+		if runUs+queuedUs > window {
+			// A reassigned shard's dispatch window can be shorter than the
+			// successful attempt's worker-side numbers suggest; clip rather
+			// than overhang the track.
+			scale := window / (runUs + queuedUs)
+			runUs *= scale
+			queuedUs *= scale
+		}
+		if runUs > 0 {
+			tr.Add(span.Span{
+				Name: "worker run", Cat: "worker", Pid: 0, Tid: tid,
+				Start: dispatchEnd - runUs, Dur: runUs,
+				Args: map[string]any{"runMs": sn.runMs},
+			})
+		}
+		if queuedUs > 0 {
+			tr.Add(span.Span{
+				Name: "worker queue", Cat: "worker", Pid: 0, Tid: tid,
+				Start: dispatchEnd - runUs - queuedUs, Dur: queuedUs,
+				Args: map[string]any{"queuedMs": sn.queuedMs},
+			})
+		}
+	}
+
+	if !finished.IsZero() {
+		// The merge itself is microseconds of pure CPU; a zero-width marker
+		// records where it happened.
+		tr.Add(span.Span{
+			Name: "merge", Cat: "fleet", Pid: 0, Tid: 0,
+			Start: us(finished), Dur: 0,
+			Args: map[string]any{"shards": len(shards)},
+		})
+	}
+	return tr, nil
+}

@@ -21,6 +21,10 @@ var ConcurrencyScopePaths = []string{
 	"repro/internal/obs",
 	"repro/internal/obs/span",
 	"repro/internal/chaos",
+	// The fleet coordinator dispatches shards concurrently over shared
+	// job and registry state and must obey the same lock and context
+	// discipline as the worker scheduler it fronts.
+	"repro/internal/fleet",
 }
 
 // InConcurrencyScope reports whether the import path falls under

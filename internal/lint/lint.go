@@ -96,6 +96,10 @@ var ScopePaths = []string{
 	// packages it is pinned explicitly (the obs prefix covers it today) so
 	// trace reconstruction can never silently fall out of scope.
 	"repro/internal/obs/span",
+	// The fleet coordinator replans jobs deterministically on recovery
+	// and merges shard results byte-identically; stray wall-clock or RNG
+	// use there would silently break the single-node equivalence.
+	"repro/internal/fleet",
 	"repro/cmd",
 	"repro/majorcan",
 }

@@ -168,6 +168,17 @@ func (c *Cache) decodeSpool(d Digest, data []byte) (Entry, bool) {
 // are never spooled (see Get), so the spool holds only files named by
 // true content addresses.
 func (c *Cache) Put(d Digest, e Entry) {
+	// Normalize both raw messages to the exact bytes a spool read-back
+	// yields: Marshal compacts and HTML-escapes RawMessage fields when
+	// embedding, so a CRC over indented or differently-escaped input
+	// would not survive the round trip and the entry would be
+	// quarantined as corrupt on its first Get.
+	if s, err := json.Marshal(e.Spec); err == nil {
+		e.Spec = s
+	}
+	if r, err := json.Marshal(e.Result); err == nil {
+		e.Result = r
+	}
 	c.insert(d, e)
 	if !c.spoolActive(d) {
 		return

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
@@ -16,13 +17,34 @@ import (
 )
 
 // Client talks to a simulation service over its /v1 API. The zero-value
-// HTTP client is fine for same-host use; long waits ride on the request
-// context, not on the transport timeout.
+// HTTP client rides defaultHTTP's pooled transport; long waits ride on
+// the request context, not on a transport timeout.
 type Client struct {
 	// BaseURL is the service root, e.g. "http://127.0.0.1:8329".
 	BaseURL string
-	// HTTP is the underlying client (http.DefaultClient when nil).
+	// HTTP is the underlying client (defaultHTTP when nil).
 	HTTP *http.Client
+}
+
+// defaultHTTP is the shared client behind every zero-value Client:
+// explicit dial, handshake and idle-pool bounds, where
+// http.DefaultClient would hold unlimited idle sockets forever — a leak
+// under fleet worker churn, where coordinators open connections to
+// workers that keep dying. No overall or response-header timeout: a
+// blocking ?wait= submit legitimately holds its response open for the
+// whole job, so deadlines belong to the request context.
+var defaultHTTP = &http.Client{
+	Transport: &http.Transport{
+		DialContext: (&net.Dialer{
+			Timeout:   5 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConns:          64,
+		MaxIdleConnsPerHost:   8,
+		IdleConnTimeout:       90 * time.Second,
+		TLSHandshakeTimeout:   5 * time.Second,
+		ExpectContinueTimeout: time.Second,
+	},
 }
 
 // NewClient creates a client for the given service root.
@@ -34,7 +56,7 @@ func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return defaultHTTP
 }
 
 // APIError is a non-2xx reply from the service.
@@ -152,7 +174,16 @@ func (c *Client) Events(ctx context.Context, id Digest, fn func(line []byte) err
 // line index from (the server replays its buffered tail from there), so
 // a caller that counted received lines can resume a dropped stream.
 func (c *Client) EventsFrom(ctx context.Context, id Digest, from uint64, fn func(line []byte) error) error {
-	url := c.BaseURL + "/v1/jobs/" + string(id) + "/events"
+	return c.Lines(ctx, "/v1/jobs/"+string(id)+"/events", from, fn)
+}
+
+// Lines streams one NDJSON endpoint (a service-root-relative path whose
+// server replays a line tail honouring ?from=N) starting at absolute
+// line index from, calling fn per line. It is the single-connection
+// primitive under EventsFrom and WatchLines; fleet endpoints reuse it
+// for their own event streams.
+func (c *Client) Lines(ctx context.Context, path string, from uint64, fn func(line []byte) error) error {
+	url := c.BaseURL + path
 	if from > 0 {
 		url += "?from=" + strconv.FormatUint(from, 10)
 	}
@@ -199,6 +230,22 @@ const watchMaxFailures = 8
 // every line exactly once across reconnects. It returns nil once the job
 // is terminal and its stream is drained.
 func (c *Client) Watch(ctx context.Context, id Digest, fn func(line []byte) error) error {
+	return c.WatchLines(ctx, "/v1/jobs/"+string(id)+"/events", fn, func(ctx context.Context) bool {
+		st, err := c.Job(ctx, id)
+		return err == nil && (st.State == StateDone || st.State == StateFailed)
+	})
+}
+
+// WatchLines streams any ?from=N-resumable NDJSON endpoint with Watch's
+// reconnect discipline: on a drop it backs off (exponentially, with
+// jitter) and resumes at the line count it already delivered, so fn
+// sees every line exactly once across reconnects. finished, if non-nil,
+// is consulted after a clean EOF: returning true ends the watch with
+// nil (the stream's source is terminal and drained); with finished nil
+// a clean EOF is treated as a drop and the watch reconnects until the
+// no-progress budget runs out or ctx ends. It is the shared reconnect
+// engine for job event streams and the fleet's shard-progress stream.
+func (c *Client) WatchLines(ctx context.Context, path string, fn func(line []byte) error, finished func(ctx context.Context) bool) error {
 	var seen uint64
 	failures := 0
 	backoff := 200 * time.Millisecond
@@ -206,7 +253,7 @@ func (c *Client) Watch(ctx context.Context, id Digest, fn func(line []byte) erro
 	jitter := rand.New(rand.NewSource(time.Now().UnixNano()))
 	for {
 		progressed := false
-		err := c.EventsFrom(ctx, id, seen, func(line []byte) error {
+		err := c.Lines(ctx, path, seen, func(line []byte) error {
 			seen++
 			progressed = true
 			return fn(line)
@@ -215,28 +262,23 @@ func (c *Client) Watch(ctx context.Context, id Digest, fn func(line []byte) erro
 		if errors.As(err, &cb) {
 			return cb.err
 		}
-		if err == nil {
-			// Clean EOF: either the job finished and the stream drained, or
-			// the connection dropped without an error. Disambiguate by
-			// asking for the job's state.
-			st, jerr := c.Job(ctx, id)
-			if jerr == nil && (st.State == StateDone || st.State == StateFailed) {
-				return nil
-			}
+		if err == nil && finished != nil && finished(ctx) {
+			// Clean EOF and the source is terminal: the stream is drained.
+			return nil
 		}
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
 		var ae *APIError
 		if errors.As(err, &ae) && ae.Code == http.StatusNotFound {
-			return err // the job does not exist; retrying cannot help
+			return err // the resource does not exist; retrying cannot help
 		}
 		if progressed {
 			failures = 0
 			backoff = 200 * time.Millisecond
 		} else if failures++; failures >= watchMaxFailures {
 			if err == nil {
-				err = fmt.Errorf("serve: watch %s: no progress after %d reconnects", id.Short(), failures)
+				err = fmt.Errorf("serve: watch %s: no progress after %d reconnects", path, failures)
 			}
 			return err
 		}
@@ -268,6 +310,7 @@ func (c *Client) SubmitRetry(ctx context.Context, spec *JobSpec, wait time.Durat
 	//lint:allow determinism -- client-side retry jitter; not simulation state
 	jitter := rand.New(rand.NewSource(time.Now().UnixNano()))
 	var lastErr error
+	fallback := time.Second
 	for i := 0; i < attempts; i++ {
 		sr, err := c.Submit(ctx, spec, wait)
 		var ae *APIError
@@ -277,7 +320,12 @@ func (c *Client) SubmitRetry(ctx context.Context, spec *JobSpec, wait time.Durat
 		lastErr = err
 		delay := ae.RetryAfter
 		if delay <= 0 {
-			delay = time.Second
+			// No Retry-After estimate: grow our own backoff so repeated
+			// blind retries spread out instead of arriving every second.
+			delay = fallback
+			if fallback *= 2; fallback > 30*time.Second {
+				fallback = 30 * time.Second
+			}
 		}
 		//lint:allow determinism -- client-side retry jitter; not simulation state
 		delay += time.Duration(jitter.Int63n(int64(delay) / 2))
@@ -309,6 +357,29 @@ func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 		return nil, fmt.Errorf("serve: decode stats: %w", err)
 	}
 	return &st, nil
+}
+
+// GetJSON fetches an arbitrary service path and decodes the JSON reply
+// into v — the escape hatch for endpoints outside the core job API
+// (e.g. a coordinator's /v1/fleet), keeping the transport, error
+// envelope and timeout behaviour of the typed helpers.
+func (c *Client) GetJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeAPIError(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return fmt.Errorf("serve: decode %s: %w", path, err)
+	}
+	return nil
 }
 
 // Trace downloads a finished job's Perfetto trace (Chrome trace-event
@@ -354,20 +425,31 @@ func (c *Client) MetricsText(ctx context.Context) ([]byte, error) {
 	return data, nil
 }
 
-// Healthz reports the service health status string ("ok" or "draining").
+// Healthz reports the service health status string ("ok", "degraded"
+// or "draining").
 func (c *Client) Healthz(ctx context.Context) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/healthz", nil)
+	h, err := c.Health(ctx)
 	if err != nil {
 		return "", err
 	}
+	return h.Status, nil
+}
+
+// Health fetches the full health report: status, per-store durability
+// state and build identity — what a fleet registry heartbeat consumes.
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	var h HealthResponse
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
-		return "", fmt.Errorf("serve: decode healthz: %w", err)
+		return nil, fmt.Errorf("serve: decode healthz: %w", err)
 	}
-	return h.Status, nil
+	return &h, nil
 }

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -156,7 +158,7 @@ type Job struct {
 	done    chan struct{}
 
 	streamMu chan struct{} // capacity-1 try-lock for the events streamer
-	tail     *lineTail     // rendered NDJSON lines, for ?from= reconnects
+	tail     *LineTail     // rendered NDJSON lines, for ?from= reconnects
 
 	mu        sync.Mutex
 	phases    []jobPhase
@@ -601,7 +603,7 @@ func (s *Scheduler) newJob(spec *JobSpec, canonical []byte, digest Digest) *Job 
 		metrics:   s.metrics.Fork(),
 		done:      make(chan struct{}),
 		streamMu:  make(chan struct{}, 1),
-		tail:      newLineTail(tailCapacity),
+		tail:      NewLineTail(tailCapacity),
 		state:     StateQueued,
 	}
 	// Surface the first lost live-stream event instead of letting the
@@ -1051,6 +1053,47 @@ func (s *Scheduler) Stats() Stats {
 		}
 	}
 	return st
+}
+
+// Health snapshots the scheduler's health for GET /v1/healthz: the
+// draining/degraded summary, per-store durability state, and build
+// identity. Cheap enough for per-second registry heartbeats.
+func (s *Scheduler) Health() HealthResponse {
+	storeState := func(enabled, degraded bool) string {
+		switch {
+		case !enabled:
+			return "disabled"
+		case degraded:
+			return "degraded"
+		}
+		return "ok"
+	}
+	h := HealthResponse{
+		Status:      "ok",
+		Version:     BuildVersion(),
+		GoVersion:   runtime.Version(),
+		Journal:     storeState(s.jnl != nil, s.jnl != nil && s.jnl.Degraded()),
+		Spool:       storeState(s.cfg.SpoolDir != "", s.cache.Degraded()),
+		Checkpoints: storeState(s.ckpt != nil, s.ckpt != nil && s.ckpt.Degraded()),
+	}
+	if h.Degraded() {
+		h.Status = "degraded"
+	}
+	if s.Draining() {
+		h.Status = "draining"
+	}
+	return h
+}
+
+// BuildVersion is the main module's version as stamped by the Go
+// toolchain ("(devel)" for plain builds, a tag or pseudo-version for
+// module-aware installs). Exported for the fleet coordinator, whose
+// healthz carries the same build identity.
+func BuildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
 }
 
 // RetryAfter estimates how long a rejected caller should back off:

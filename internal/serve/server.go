@@ -214,12 +214,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	// The renderer drains ring events into the tail; the loop below ships
 	// tail lines to the client. Decoupling the two is what makes resume
 	// work: every rendered line is indexed before it is sent anywhere.
-	render := obs.NewJSONLStream(&lineSplitter{fn: job.tail.append}, runTag(job.spec), nil)
+	render := obs.NewJSONLStream(&lineSplitter{fn: job.tail.Append}, runTag(job.spec), nil)
 	cursor := from
 	ship := func() bool {
 		job.ring.Drain(render)
 		_ = render.Flush()
-		lines, first := job.tail.since(cursor)
+		lines, first := job.tail.Since(cursor)
 		cursor = first
 		for _, ln := range lines {
 			if _, err := w.Write(ln); err != nil {
@@ -269,17 +269,37 @@ func runTag(spec *JobSpec) int64 {
 	}
 }
 
-// HealthResponse is the GET /v1/healthz reply.
+// HealthResponse is the GET /v1/healthz reply. Status is the summary a
+// load balancer switches on; the per-store fields let a fleet registry
+// distinguish a healthy worker from one whose durability has degraded
+// to memory-only (still serving, but a crash loses work), and the build
+// fields identify what is actually running on the other end.
 type HealthResponse struct {
-	Status string `json:"status"` // ok | draining
+	Status    string `json:"status"` // ok | degraded | draining
+	Version   string `json:"version,omitempty"`
+	GoVersion string `json:"goVersion,omitempty"`
+	// Journal / Spool / Checkpoints: ok | degraded | disabled.
+	Journal     string `json:"journal,omitempty"`
+	Spool       string `json:"spool,omitempty"`
+	Checkpoints string `json:"checkpoints,omitempty"`
+}
+
+// Degraded reports whether any configured durability store has failed
+// over to memory-only operation.
+func (h HealthResponse) Degraded() bool {
+	return h.Journal == "degraded" || h.Spool == "degraded" || h.Checkpoints == "degraded"
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.sched.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "draining"})
-		return
+	h := s.sched.Health()
+	code := http.StatusOK
+	if h.Status == "draining" {
+		// Draining stays 503 so dumb health checks pull the instance;
+		// degraded is 200 — the service still answers correctly, the
+		// body says what it lost.
+		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+	writeJSON(w, code, h)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -10,27 +10,27 @@ import (
 // events were actually streamed pay it.
 const tailCapacity = 8192
 
-// lineTail is a bounded buffer of rendered NDJSON event lines with
+// LineTail is a bounded buffer of rendered NDJSON event lines with
 // absolute indexing: line i is the i-th line ever rendered for the job,
 // regardless of how many have been dropped since. It is what lets a
 // dropped /events client reconnect with ?from=N and resume exactly where
 // it stopped, instead of re-reading from an already-drained ring.
-type lineTail struct {
+type LineTail struct {
 	mu    sync.Mutex
 	start uint64 // absolute index of lines[0]
 	lines [][]byte
 	max   int
 }
 
-func newLineTail(max int) *lineTail {
+func NewLineTail(max int) *LineTail {
 	if max < 1 {
 		max = 1
 	}
-	return &lineTail{max: max}
+	return &LineTail{max: max}
 }
 
 // append records one rendered line, dropping the oldest beyond capacity.
-func (t *lineTail) append(line []byte) {
+func (t *LineTail) Append(line []byte) {
 	cp := append([]byte(nil), line...)
 	t.mu.Lock()
 	t.lines = append(t.lines, cp)
@@ -44,7 +44,7 @@ func (t *lineTail) append(line []byte) {
 // since returns copies of the buffered lines at absolute index >= from
 // and the absolute index of the first returned line (callers detect a
 // gap by comparing it against the index they asked for).
-func (t *lineTail) since(from uint64) ([][]byte, uint64) {
+func (t *LineTail) Since(from uint64) ([][]byte, uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	first := t.start
@@ -63,7 +63,7 @@ func (t *lineTail) since(from uint64) ([][]byte, uint64) {
 }
 
 // next returns the absolute index one past the newest buffered line.
-func (t *lineTail) next() uint64 {
+func (t *LineTail) Next() uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.start + uint64(len(t.lines))

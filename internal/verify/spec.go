@@ -26,6 +26,11 @@ type Spec struct {
 	CrashSweep bool `json:"crashSweep,omitempty"`
 	// SlotsBudget bounds each simulation (default 6000).
 	SlotsBudget int `json:"slotsBudget,omitempty"`
+	// PatternStart and PatternCount window the pattern enumeration to a
+	// contiguous index range (see Config.PatternStart): the fleet
+	// coordinator's shard handle. Zero values mean the whole space.
+	PatternStart int `json:"patternStart,omitempty"`
+	PatternCount int `json:"patternCount,omitempty"`
 }
 
 // Normalize fills defaulted fields in place.
@@ -49,7 +54,25 @@ func (s Spec) Validate() error {
 	if s.MaxFlips < 0 {
 		return fmt.Errorf("verify: spec maxFlips %d negative", s.MaxFlips)
 	}
+	if s.PatternStart < 0 {
+		return fmt.Errorf("verify: spec patternStart %d negative", s.PatternStart)
+	}
+	if s.PatternCount < 0 {
+		return fmt.Errorf("verify: spec patternCount %d negative", s.PatternCount)
+	}
 	return nil
+}
+
+// PatternSpace returns the total size of the spec's pattern enumeration,
+// ignoring any PatternStart/PatternCount window — what a coordinator
+// partitions into shard ranges.
+func (s Spec) PatternSpace() (int, error) {
+	s.Normalize()
+	cfg, err := s.Config(1)
+	if err != nil {
+		return 0, err
+	}
+	return cfg.PatternSpace(), nil
 }
 
 // Config resolves the spec to a Config with the given parallelism.
@@ -62,13 +85,15 @@ func (s Spec) Config(parallelism int) (Config, error) {
 		return Config{}, err
 	}
 	return Config{
-		Policy:      policy,
-		Stations:    s.Stations,
-		MaxFlips:    s.MaxFlips,
-		Positions:   s.Positions,
-		SlotsBudget: s.SlotsBudget,
-		CrashSweep:  s.CrashSweep,
-		Parallelism: parallelism,
+		Policy:       policy,
+		Stations:     s.Stations,
+		MaxFlips:     s.MaxFlips,
+		Positions:    s.Positions,
+		SlotsBudget:  s.SlotsBudget,
+		CrashSweep:   s.CrashSweep,
+		Parallelism:  parallelism,
+		PatternStart: s.PatternStart,
+		PatternCount: s.PatternCount,
 	}, nil
 }
 

@@ -121,6 +121,18 @@ type Config struct {
 	// errors. Consistency is then judged among the remaining correct
 	// nodes.
 	CrashSweep bool
+	// PatternStart / PatternCount select a contiguous slice of the
+	// pattern enumeration: patterns are indexed 0..PatternSpace-1 in the
+	// DFS pre-order the walk emits them, and only indices in
+	// [PatternStart, PatternStart+PatternCount) are simulated and
+	// counted. PatternCount == 0 with PatternStart == 0 means the whole
+	// space; PatternCount == 0 with PatternStart > 0 means "from
+	// PatternStart to the end". The enumeration order is a pure function
+	// of (Stations, Positions, MaxFlips), so a partition of index ranges
+	// across workers checks exactly the full space once — the fleet
+	// coordinator's shard contract.
+	PatternStart int
+	PatternCount int
 	// Parallelism bounds the number of concurrent simulations. Every
 	// pattern runs on its own private cluster, so the search is
 	// embarrassingly parallel; values < 1 mean serial execution.
@@ -178,6 +190,29 @@ func Exhaustive(cfg Config) (*Report, error) {
 	return ExhaustiveContext(context.Background(), cfg)
 }
 
+// PatternSpace returns the size of cfg's pattern enumeration — the
+// number of flip combinations of size 1..MaxFlips over the
+// Stations×positions fault sites, before any PatternStart/PatternCount
+// windowing. The fleet coordinator uses it to partition index ranges.
+func (c Config) PatternSpace() int {
+	stations := c.Stations
+	if stations == 0 {
+		stations = 4
+	}
+	n := stations * c.positions()
+	total := 0
+	for k := 1; k <= c.MaxFlips && k <= n; k++ {
+		// C(n, k) built multiplicatively; the spaces in scope here are
+		// small enough that int never overflows (n tens, k single digits).
+		comb := 1
+		for i := 0; i < k; i++ {
+			comb = comb * (n - i) / (i + 1)
+		}
+		total += comb
+	}
+	return total
+}
+
 // ExhaustiveContext is Exhaustive with cancellation: when ctx is
 // cancelled the enumeration stops early and the partial report is
 // returned alongside ctx's error, so a server drain or per-job timeout
@@ -218,10 +253,12 @@ func ExhaustiveContext(ctx context.Context, cfg Config) (*Report, error) {
 		parallelism = 1
 	}
 	type job struct {
+		seq     int
 		pattern Pattern
 		crash   int
 	}
 	type result struct {
+		seq       int
 		violation Violation
 		bad       bool
 		err       error
@@ -235,12 +272,19 @@ func ExhaustiveContext(ctx context.Context, cfg Config) (*Report, error) {
 			defer wg.Done()
 			for j := range jobs {
 				v, bad, err := runPattern(cfg, j.pattern, j.crash)
-				results <- result{violation: v, bad: bad, err: err}
+				results <- result{seq: j.seq, violation: v, bad: bad, err: err}
 			}
 		}()
 	}
 
 	// Collector: drains results while the producer enumerates patterns.
+	// Violations arrive in worker-completion order; the seq tag recovers
+	// the enumeration order afterwards.
+	type tagged struct {
+		seq int
+		v   Violation
+	}
+	var found []tagged
 	var collectErr error
 	collected := make(chan struct{})
 	go func() {
@@ -250,23 +294,39 @@ func ExhaustiveContext(ctx context.Context, cfg Config) (*Report, error) {
 				collectErr = r.err
 			}
 			if r.bad {
-				rep.Violations = append(rep.Violations, r.violation)
+				found = append(found, tagged{seq: r.seq, v: r.violation})
 			}
 		}
 	}()
 
+	// The pattern window: indices [windowStart, windowEnd) of the DFS
+	// pre-order enumeration are simulated, everything else is walked past.
+	// The default window is the whole space.
+	windowStart := cfg.PatternStart
+	windowEnd := int(^uint(0) >> 1)
+	if cfg.PatternCount > 0 {
+		windowEnd = windowStart + cfg.PatternCount
+	}
+	idx := 0 // global pre-order pattern index, windowed or not
 	pattern := make(Pattern, 0, cfg.MaxFlips)
 	var walk func(start, remaining int)
 	walk = func(start, remaining int) {
-		if ctx.Err() != nil {
+		if ctx.Err() != nil || idx >= windowEnd {
 			return
 		}
 		if len(pattern) > 0 {
-			rep.PatternsBy[len(pattern)]++
-			rep.Checked++
-			for _, crash := range crashes {
-				jobs <- job{pattern: append(Pattern(nil), pattern...), crash: crash}
+			if idx >= windowStart {
+				rep.PatternsBy[len(pattern)]++
+				rep.Checked++
+				for ci, crash := range crashes {
+					jobs <- job{
+						seq:     idx*len(crashes) + ci,
+						pattern: append(Pattern(nil), pattern...),
+						crash:   crash,
+					}
+				}
 			}
+			idx++
 		}
 		if remaining == 0 {
 			return
@@ -285,12 +345,17 @@ func ExhaustiveContext(ctx context.Context, cfg Config) (*Report, error) {
 	if collectErr != nil {
 		return nil, collectErr
 	}
+	// Enumeration order is the report's canonical violation order: a pure
+	// function of the config, so a run is reproducible across worker
+	// counts and a partition of pattern windows merges by concatenation.
+	sort.Slice(found, func(i, j int) bool { return found[i].seq < found[j].seq })
+	rep.Violations = make([]Violation, 0, len(found))
+	for _, t := range found {
+		rep.Violations = append(rep.Violations, t.v)
+	}
 	if err := ctx.Err(); err != nil {
 		return rep, err
 	}
-	sort.Slice(rep.Violations, func(i, j int) bool {
-		return len(rep.Violations[i].Pattern) < len(rep.Violations[j].Pattern)
-	})
 	return rep, nil
 }
 
