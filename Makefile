@@ -23,13 +23,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# BENCHTIME=1x gives a fast smoke pass (the CI default); raise it for
-# stable numbers (e.g. BENCHTIME=2s). Results land in BENCH_pr7.json as
-# test2json lines for machine consumption.
+# BENCHTIME=1x gives a fast smoke pass; raise it for stable numbers
+# (e.g. BENCHTIME=2s). Results land in $(BENCH_OUT) as test2json lines
+# for machine consumption — cmd/benchdiff compares two such files and
+# is the CI regression gate on bitslots/s.
 BENCHTIME ?= 1x
+BENCH_OUT ?= BENCH_pr10.json
 
+# -p 1 serializes the per-package test binaries: without it `go test
+# ./...` runs several benchmark processes at once and they steal each
+# other's cores, depressing every number.
 bench:
-	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -json ./... | tee BENCH_pr7.json
+	$(GO) test -p 1 -run '^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) -json ./... | tee $(BENCH_OUT)
 
 # Short coverage-guided fuzz pass over the bit-stuffing codec (the CI
 # smoke); raise FUZZTIME locally for a deeper run.

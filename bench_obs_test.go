@@ -66,6 +66,45 @@ func BenchmarkMonteCarlo1k(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineBitslots compares the fast bit-slot engine against the
+// reference per-slot loop on the two workloads that matter (DESIGN.md
+// §15): an undisturbed sweep, where quiescent fast-forward batches
+// whole frame bodies, and the disturbed EOF-only Monte Carlo, where the
+// gated error model lets windows persist between draws. The bitslots/s
+// metric is the repo's throughput currency; the engines produce
+// bit-identical traces (see internal/sim CompareEngines), so this is a
+// pure like-for-like comparison.
+func BenchmarkEngineBitslots(b *testing.B) {
+	workloads := map[string]sim.MCConfig{
+		"undisturbed-sweep": {
+			Policy: core.MustMajorCAN(5), Nodes: 5, Frames: 500,
+			Seed: 7, ResetCounters: true,
+		},
+		"disturbed-mc": {
+			Policy: core.MustMajorCAN(5), Nodes: 5, Frames: 500,
+			BerStar: 0.02, EOFOnly: true, Seed: 7, ResetCounters: true,
+		},
+	}
+	for wname, cfg := range workloads {
+		for _, engine := range []sim.EngineChoice{sim.EngineFast, sim.EngineReference} {
+			cfg := cfg
+			cfg.Engine = engine
+			b.Run(wname+"/"+string(engine), func(b *testing.B) {
+				var slots uint64
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := sim.MonteCarlo(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					slots = res.Slots
+				}
+				b.ReportMetric(float64(slots)*float64(b.N)/b.Elapsed().Seconds(), "bitslots/s")
+			})
+		}
+	}
+}
+
 // discardSink counts events without retaining them, isolating emission
 // cost from sink cost.
 type discardSink struct{ n int }

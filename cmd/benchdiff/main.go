@@ -1,0 +1,183 @@
+// Command benchdiff compares two benchmark result files produced by
+// `make bench` (test2json streams from `go test -bench -json`) and fails
+// when a benchmark's throughput regressed beyond a threshold. It is the
+// CI gate for the bitslots/s currency: a PR that slows the simulator by
+// more than the threshold on any benchmark both files report turns the
+// bench job red, with no external tooling involved.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_pr10.json -new bench_new.json
+//
+// Benchmarks present in only one file are listed but never fail the
+// comparison: new benchmarks appear and obsolete ones disappear as the
+// tree evolves, and only like-for-like numbers are meaningful.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of a test2json line benchdiff reads.
+type event struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// parseBench extracts per-benchmark metric values from a test2json
+// stream. The result maps benchmark name (the Test field, e.g.
+// "BenchmarkMonteCarlo1k/can") to metric unit (e.g. "bitslots/s") to
+// value. When a benchmark reports a metric more than once (-count > 1),
+// the best value wins: for higher-is-better metrics that is the max, and
+// comparing best against best is the least noise-sensitive choice on
+// shared CI runners.
+func parseBench(path string, higherIsBetter func(unit string) bool) (map[string]map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 || line[0] != '{' {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			continue // interleaved non-JSON noise is not ours to police
+		}
+		if ev.Action != "output" || !strings.HasPrefix(ev.Test, "Benchmark") {
+			continue
+		}
+		// Each unit updates its own key of the result map, so visiting
+		// order cannot change the outcome.
+		//lint:allow determinism -- per-unit updates are independent; the result is order-insensitive
+		for unit, value := range parseMetrics(ev.Output) {
+			m := out[ev.Test]
+			if m == nil {
+				m = make(map[string]float64)
+				out[ev.Test] = m
+			}
+			old, seen := m[unit]
+			better := value > old
+			if !higherIsBetter(unit) {
+				better = value < old
+			}
+			if !seen || better {
+				m[unit] = value
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseMetrics reads "value unit" pairs from a benchmark output line,
+// e.g. "  355  7189468 ns/op  8906230 bitslots/s  4617993 B/op". The
+// leading iteration count has no unit and is skipped.
+func parseMetrics(s string) map[string]float64 {
+	fields := strings.Fields(s)
+	var out map[string]float64
+	for i := 0; i+1 < len(fields); i++ {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		unit := fields[i+1]
+		if _, err := strconv.ParseFloat(unit, 64); err == nil || !strings.Contains(unit, "/") {
+			continue // two adjacent numbers, or a bare word: not a metric
+		}
+		if out == nil {
+			out = make(map[string]float64)
+		}
+		out[unit] = v
+		i++ // consume the unit
+	}
+	return out
+}
+
+func main() {
+	var (
+		oldPath   = flag.String("old", "", "baseline bench file (test2json)")
+		newPath   = flag.String("new", "", "candidate bench file (test2json)")
+		metric    = flag.String("metric", "bitslots/s", "metric unit to gate on (higher is better)")
+		threshold = flag.Float64("threshold", 0.20, "max allowed fractional regression (0.20 = 20%)")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	code, report, err := diff(*oldPath, *newPath, *metric, *threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fmt.Print(report)
+	os.Exit(code)
+}
+
+// diff compares the metric across both files and renders a report. Exit
+// code 0 means no benchmark regressed beyond the threshold, 1 means at
+// least one did.
+func diff(oldPath, newPath, metric string, threshold float64) (int, string, error) {
+	higher := func(string) bool { return true } // the gated metric is a throughput
+	oldB, err := parseBench(oldPath, higher)
+	if err != nil {
+		return 0, "", fmt.Errorf("parse %s: %w", oldPath, err)
+	}
+	newB, err := parseBench(newPath, higher)
+	if err != nil {
+		return 0, "", fmt.Errorf("parse %s: %w", newPath, err)
+	}
+
+	var names []string
+	//lint:allow determinism -- keys are collected here and sorted below before any output
+	for name, m := range oldB {
+		if _, ok := m[metric]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	regressed := 0
+	compared := 0
+	for _, name := range names {
+		ov := oldB[name][metric]
+		nv, ok := newB[name][metric]
+		if !ok {
+			fmt.Fprintf(&b, "  %-60s %14.0f -> (absent)\n", name, ov)
+			continue
+		}
+		compared++
+		ratio := nv / ov
+		mark := ""
+		if nv < ov*(1-threshold) {
+			regressed++
+			mark = "  REGRESSED"
+		}
+		fmt.Fprintf(&b, "  %-60s %14.0f -> %14.0f  (%0.2fx)%s\n", name, ov, nv, ratio, mark)
+	}
+	head := fmt.Sprintf("benchdiff: %s, %d benchmark(s) compared, threshold %0.0f%%\n",
+		metric, compared, threshold*100)
+	if compared == 0 {
+		return 1, head + "  no common benchmarks report the metric; nothing was gated\n", nil
+	}
+	if regressed > 0 {
+		return 1, head + b.String() + fmt.Sprintf("FAIL: %d benchmark(s) regressed more than %0.0f%%\n", regressed, threshold*100), nil
+	}
+	return 0, head + b.String() + "OK\n", nil
+}

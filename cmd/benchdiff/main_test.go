@@ -1,0 +1,160 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBench renders a minimal test2json stream with one output line per
+// (benchmark, ns/op, bitslots/s) triple, in the shape `go test -json`
+// emits for sub-benchmarks.
+func writeBench(t *testing.T, name string, rows []benchRow) string {
+	t.Helper()
+	var b strings.Builder
+	for _, r := range rows {
+		b.WriteString(`{"Time":"2026-08-08T00:00:00Z","Action":"run","Package":"repro","Test":"` + r.name + `"}` + "\n")
+		b.WriteString(`{"Time":"2026-08-08T00:00:00Z","Action":"output","Package":"repro","Test":"` + r.name +
+			`","Output":"    100\t  ` + r.nsPerOp + ` ns/op\t  ` + r.bitslots + ` bitslots/s\t 1024 B/op\t 12 allocs/op\n"}` + "\n")
+	}
+	b.WriteString(`{"Time":"2026-08-08T00:00:00Z","Action":"pass","Package":"repro"}` + "\n")
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+type benchRow struct {
+	name     string
+	nsPerOp  string
+	bitslots string
+}
+
+func TestParseBenchExtractsMetrics(t *testing.T) {
+	path := writeBench(t, "old.json", []benchRow{
+		{"BenchmarkEngineBitslots/undisturbed-sweep/fast", "5000", "17000000"},
+		{"BenchmarkEngineBitslots/undisturbed-sweep/fast", "5200", "16000000"}, // -count=2: best wins
+		{"BenchmarkMonteCarlo1k/can", "9000", "2500000"},
+	})
+	got, err := parseBench(path, func(u string) bool { return u == "bitslots/s" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := got["BenchmarkEngineBitslots/undisturbed-sweep/fast"]
+	if fast["bitslots/s"] != 17000000 {
+		t.Errorf("bitslots/s = %v, want best of repeated runs (17000000)", fast["bitslots/s"])
+	}
+	if fast["ns/op"] != 5000 {
+		t.Errorf("ns/op = %v, want 5000 (min kept under lower-is-better)", fast["ns/op"])
+	}
+	if fast["B/op"] != 1024 || fast["allocs/op"] != 12 {
+		t.Errorf("memory metrics not parsed: %v", fast)
+	}
+	if got["BenchmarkMonteCarlo1k/can"]["bitslots/s"] != 2500000 {
+		t.Errorf("second benchmark missing: %v", got)
+	}
+}
+
+func TestParseMetricsSkipsIterationCount(t *testing.T) {
+	m := parseMetrics("     355\t   7189468 ns/op\t 8906230 bitslots/s")
+	if len(m) != 2 {
+		t.Fatalf("want 2 metrics, got %v", m)
+	}
+	if m["ns/op"] != 7189468 || m["bitslots/s"] != 8906230 {
+		t.Errorf("parsed %v", m)
+	}
+}
+
+func TestDiffPassesWithinThreshold(t *testing.T) {
+	oldPath := writeBench(t, "old.json", []benchRow{
+		{"BenchmarkA/x", "5000", "10000000"},
+		{"BenchmarkB/y", "5000", "2000000"},
+	})
+	newPath := writeBench(t, "new.json", []benchRow{
+		{"BenchmarkA/x", "5500", "9000000"}, // -10%: within 20%
+		{"BenchmarkB/y", "4000", "2600000"}, // improvement
+	})
+	code, report, err := diff(oldPath, newPath, "bitslots/s", 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0; report:\n%s", code, report)
+	}
+	if !strings.Contains(report, "OK") {
+		t.Errorf("report missing OK:\n%s", report)
+	}
+}
+
+func TestDiffFailsOnRegression(t *testing.T) {
+	oldPath := writeBench(t, "old.json", []benchRow{
+		{"BenchmarkA/x", "5000", "10000000"},
+		{"BenchmarkB/y", "5000", "2000000"},
+	})
+	newPath := writeBench(t, "new.json", []benchRow{
+		{"BenchmarkA/x", "9000", "7000000"}, // -30%: beyond 20%
+		{"BenchmarkB/y", "5000", "2000000"},
+	})
+	code, report, err := diff(oldPath, newPath, "bitslots/s", 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1; report:\n%s", code, report)
+	}
+	if !strings.Contains(report, "REGRESSED") || !strings.Contains(report, "BenchmarkA/x") {
+		t.Errorf("report does not flag the regressed benchmark:\n%s", report)
+	}
+}
+
+func TestDiffIgnoresBenchmarksMissingFromOneSide(t *testing.T) {
+	oldPath := writeBench(t, "old.json", []benchRow{
+		{"BenchmarkGone/x", "5000", "10000000"},
+		{"BenchmarkKept/y", "5000", "2000000"},
+	})
+	newPath := writeBench(t, "new.json", []benchRow{
+		{"BenchmarkKept/y", "5000", "2100000"},
+		{"BenchmarkNew/z", "5000", "9000000"},
+	})
+	code, report, err := diff(oldPath, newPath, "bitslots/s", 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0 (absent benchmarks never gate); report:\n%s", code, report)
+	}
+	if !strings.Contains(report, "(absent)") {
+		t.Errorf("report should list the vanished benchmark:\n%s", report)
+	}
+}
+
+func TestDiffFailsWhenNothingCompared(t *testing.T) {
+	oldPath := writeBench(t, "old.json", []benchRow{{"BenchmarkA/x", "5000", "10000000"}})
+	newPath := writeBench(t, "new.json", nil)
+	code, _, err := diff(oldPath, newPath, "bitslots/s", 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1 when no benchmark pairs up (a silently empty gate is no gate)", code)
+	}
+}
+
+func TestRealBaselineParses(t *testing.T) {
+	// The checked-in pr4 baseline must stay parseable: the CI gate
+	// compares fresh runs against a checked-in file of this format.
+	path := filepath.Join("..", "..", "BENCH_pr4.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Skip("baseline not present")
+	}
+	got, err := parseBench(path, func(string) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := got["BenchmarkMonteCarlo1k/majorcan_5"]["bitslots/s"]
+	if v < 1e6 {
+		t.Errorf("majorcan_5 bitslots/s = %v, want the checked-in baseline (~3.0e6)", v)
+	}
+}

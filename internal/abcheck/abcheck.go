@@ -203,8 +203,17 @@ func Check(tr Trace) *Report {
 	}
 
 	// Per-node delivery sequences (correct nodes only are judged, but we
-	// build all for diagnostics).
+	// build all for diagnostics), sized exactly with a counting pass.
 	perNode := make([][]Delivery, tr.Nodes)
+	nodeCount := make([]int, tr.Nodes)
+	for _, d := range tr.Deliveries {
+		if d.Node >= 0 && d.Node < tr.Nodes {
+			nodeCount[d.Node]++
+		}
+	}
+	for node := range perNode {
+		perNode[node] = make([]Delivery, 0, nodeCount[node])
+	}
 	for _, d := range tr.Deliveries {
 		if d.Node < 0 || d.Node >= tr.Nodes {
 			r.Violations = append(r.Violations, Violation{
@@ -216,13 +225,25 @@ func Check(tr Trace) *Report {
 		perNode[d.Node] = append(perNode[d.Node], d)
 	}
 
-	deliveredBy := make(map[MsgKey]map[int]int) // key -> node -> count
+	// key -> per-node delivery counts. A count slice (indexed by node)
+	// instead of a nested map: the trace of a long sweep holds one key per
+	// frame, and incrementing a slice cell is a plain store where a nested
+	// map would pay an allocation plus a hash per delivery. The count
+	// slices are carved out of chunked arenas so a long trace costs a
+	// handful of allocations, not one per key.
+	deliveredBy := make(map[MsgKey][]int, len(tr.Broadcasts))
+	var arena []int
 	for node, ds := range perNode {
 		for _, d := range ds {
-			if deliveredBy[d.Key] == nil {
-				deliveredBy[d.Key] = make(map[int]int)
+			counts := deliveredBy[d.Key]
+			if counts == nil {
+				if len(arena) < tr.Nodes {
+					arena = make([]int, tr.Nodes*max(16, len(tr.Broadcasts)))
+				}
+				counts, arena = arena[:tr.Nodes:tr.Nodes], arena[tr.Nodes:]
+				deliveredBy[d.Key] = counts
 			}
-			deliveredBy[d.Key][node]++
+			counts[node]++
 		}
 	}
 
@@ -237,8 +258,8 @@ func Check(tr Trace) *Report {
 	}
 
 	// AB3 At-most-once.
-	for key, nodes := range deliveredBy {
-		for node, count := range nodes {
+	for key, counts := range deliveredBy {
+		for node, count := range counts {
 			if count > 1 && tr.Correct(node) {
 				r.DuplicateDeliveries++
 				r.Violations = append(r.Violations, Violation{
@@ -255,8 +276,8 @@ func Check(tr Trace) *Report {
 			continue // AB1 only quantifies over correct broadcasters
 		}
 		anyCorrect := false
-		for node := range deliveredBy[b.Key] {
-			if tr.Correct(node) {
+		for node, count := range deliveredBy[b.Key] {
+			if count > 0 && tr.Correct(node) {
 				anyCorrect = true
 				break
 			}
@@ -268,10 +289,10 @@ func Check(tr Trace) *Report {
 			})
 		}
 	}
-	for key, nodes := range deliveredBy {
+	for key, counts := range deliveredBy {
 		deliveredToCorrect := false
-		for node := range nodes {
-			if tr.Correct(node) {
+		for node, count := range counts {
+			if count > 0 && tr.Correct(node) {
 				deliveredToCorrect = true
 				break
 			}
@@ -279,7 +300,7 @@ func Check(tr Trace) *Report {
 		if !deliveredToCorrect {
 			continue
 		}
-		missing := []int{}
+		var missing []int
 		for node := 0; node < tr.Nodes; node++ {
 			if !tr.Correct(node) {
 				continue
@@ -289,7 +310,7 @@ func Check(tr Trace) *Report {
 				// itself; traces may or may not record a local delivery.
 				continue
 			}
-			if nodes[node] == 0 {
+			if counts[node] == 0 {
 				missing = append(missing, node)
 			}
 		}
@@ -304,43 +325,49 @@ func Check(tr Trace) *Report {
 
 	// AB5 Total order: for every pair of correct nodes, the common
 	// messages must appear in the same relative order (first deliveries
-	// are compared; duplicates are an AB3 matter).
+	// are compared; duplicates are an AB3 matter). perNode is already in
+	// delivery order, so one scan per node yields both the first-delivery
+	// index map and the keys sorted by first delivery.
 	firstIndex := make([]map[MsgKey]int, tr.Nodes)
+	firstKeys := make([][]MsgKey, tr.Nodes)
 	for node, ds := range perNode {
-		firstIndex[node] = make(map[MsgKey]int, len(ds))
+		fi := make(map[MsgKey]int, len(ds))
+		keys := make([]MsgKey, 0, len(ds))
 		for idx, d := range ds {
-			if _, seen := firstIndex[node][d.Key]; !seen {
-				firstIndex[node][d.Key] = idx
+			if _, seen := fi[d.Key]; !seen {
+				fi[d.Key] = idx
+				keys = append(keys, d.Key)
 			}
 		}
+		firstIndex[node], firstKeys[node] = fi, keys
 	}
 	for a := 0; a < tr.Nodes; a++ {
 		if !tr.Correct(a) {
 			continue
 		}
+		ordered := firstKeys[a]
 		for b := a + 1; b < tr.Nodes; b++ {
 			if !tr.Correct(b) {
 				continue
 			}
-			common := make([]MsgKey, 0)
-			for key := range firstIndex[a] {
-				if _, ok := firstIndex[b][key]; ok {
-					common = append(common, key)
+			// Walk a's keys in a's order, restricted to those b also
+			// delivered; b's first-delivery indices must be monotone.
+			prev := -1
+			var prevKey MsgKey
+			for _, key := range ordered {
+				ib, ok := firstIndex[b][key]
+				if !ok {
+					continue
 				}
-			}
-			sort.Slice(common, func(i, j int) bool {
-				return firstIndex[a][common[i]] < firstIndex[a][common[j]]
-			})
-			for i := 1; i < len(common); i++ {
-				// common is sorted by a's order; b's order must agree.
-				if firstIndex[b][common[i-1]] > firstIndex[b][common[i]] {
+				if prev >= 0 && prev > ib {
 					r.OrderInversions++
 					r.Violations = append(r.Violations, Violation{
 						Property: TotalOrder,
 						Detail: fmt.Sprintf("nodes %d and %d deliver %s and %s in opposite orders",
-							a, b, common[i-1], common[i]),
+							a, b, prevKey, key),
 					})
 				}
+				prev, prevKey = ib, key
 			}
 		}
 	}

@@ -163,6 +163,18 @@ type Probe interface {
 	OnBit(slot uint64, busLevel bitstream.Level, drives, samples []bitstream.Level, views []ViewContext)
 }
 
+// Engine is a pluggable bit-slot executor for Run and RunUntil. An
+// installed engine may batch-advance the simulation (skipping per-slot
+// dispatch during provably quiescent stretches) but must produce exactly
+// the state, event stream and RNG consumption the reference Step loop
+// would: trace equivalence is the engine's contract, checked by the
+// differential oracle in internal/bus/fastpath.
+type Engine interface {
+	// Advance simulates between 1 and budget bit slots (budget >= 1) and
+	// returns how many it consumed.
+	Advance(budget int) int
+}
+
 // Network couples stations through the wired-AND medium.
 type Network struct {
 	stations     []Station
@@ -171,6 +183,8 @@ type Network struct {
 	skews        []SkewFault
 	probes       []Probe
 	emitter      obs.Sink
+	engine       Engine
+	version      uint64
 	slot         uint64
 	prevLevel    bitstream.Level
 
@@ -182,7 +196,7 @@ type Network struct {
 
 // NewNetwork creates an empty network.
 func NewNetwork() *Network {
-	return &Network{prevLevel: bitstream.Recessive}
+	return &Network{prevLevel: bitstream.Recessive, version: 1}
 }
 
 // Attach adds a station to the bus and returns its station index.
@@ -191,6 +205,7 @@ func (n *Network) Attach(s Station) int {
 	n.drives = append(n.drives, bitstream.Recessive)
 	n.samples = append(n.samples, bitstream.Recessive)
 	n.views = append(n.views, ViewContext{})
+	n.version++
 	return len(n.stations) - 1
 }
 
@@ -198,6 +213,7 @@ func (n *Network) Attach(s Station) int {
 // a bit is flipped when an odd number of them fire (each flip inverts).
 func (n *Network) AddDisturber(d Disturber) {
 	n.disturbers = append(n.disturbers, d)
+	n.version++
 }
 
 // AddOutputFault registers a transceiver-level output override. Faults
@@ -205,26 +221,89 @@ func (n *Network) AddDisturber(d Disturber) {
 // previous one.
 func (n *Network) AddOutputFault(f OutputFault) {
 	n.outputFaults = append(n.outputFaults, f)
+	n.version++
 }
 
 // AddSkew registers a sample-point skew fault.
 func (n *Network) AddSkew(f SkewFault) {
 	n.skews = append(n.skews, f)
+	n.version++
 }
 
 // AddProbe registers a per-bit observer.
 func (n *Network) AddProbe(p Probe) {
 	n.probes = append(n.probes, p)
+	n.version++
 }
 
 // SetEmitter attaches a telemetry sink for bus-level events (frame
 // starts). A nil sink turns emission off.
 func (n *Network) SetEmitter(sink obs.Sink) {
 	n.emitter = sink
+	n.version++
 }
+
+// SetEngine installs (or, with nil, removes) a batch executor consulted
+// by Run and RunUntil. Step always runs the reference loop, so per-slot
+// callers keep exact single-slot semantics regardless of the engine.
+//
+// With an engine installed, RunUntil evaluates cond at batch boundaries
+// only. This is sound for quiescence-style conditions because a
+// conforming engine never batches across a slot in which the bus could
+// become quiescent (see internal/bus/fastpath: fast-forward windows
+// always contain an in-frame transmitter).
+func (n *Network) SetEngine(e Engine) {
+	n.engine = e
+}
+
+// Version counts configuration changes (attached stations, registered
+// disturbers/faults/probes, emitter swaps). Engines compare it against
+// the version they planned for and re-plan on mismatch, so disturbers
+// added after construction are never missed.
+func (n *Network) Version() uint64 { return n.version }
 
 // Stations returns the number of attached stations.
 func (n *Network) Stations() int { return len(n.stations) }
+
+// StationAt returns the station attached at index i.
+func (n *Network) StationAt(i int) Station { return n.stations[i] }
+
+// DisturberList exposes the registered disturbers in registration order
+// for engine planning. The returned slice is the network's own: callers
+// must not mutate it.
+func (n *Network) DisturberList() []Disturber { return n.disturbers }
+
+// NumOutputFaults returns how many output faults are registered.
+func (n *Network) NumOutputFaults() int { return len(n.outputFaults) }
+
+// NumSkews returns how many skew faults are registered.
+func (n *Network) NumSkews() int { return len(n.skews) }
+
+// NumProbes returns how many probes are registered.
+func (n *Network) NumProbes() int { return len(n.probes) }
+
+// Emitter returns the bus-level telemetry sink (nil when off).
+func (n *Network) Emitter() obs.Sink { return n.emitter }
+
+// PrevLevel returns the bus level of the previous slot (Recessive before
+// the first), the edge-detection state frame-start emission keys on.
+func (n *Network) PrevLevel() bitstream.Level { return n.prevLevel }
+
+// CommitSlot records the completion of one bit slot executed outside
+// Step: it advances the slot counter and the previous-level latch. Part
+// of the engine seam; callers other than an installed Engine must not
+// use it.
+func (n *Network) CommitSlot(level bitstream.Level) {
+	n.prevLevel = level
+	n.slot++
+}
+
+// SkipSlots records the completion of k batch-executed bit slots whose
+// last bus level was last. Part of the engine seam, like CommitSlot.
+func (n *Network) SkipSlots(k int, last bitstream.Level) {
+	n.prevLevel = last
+	n.slot += uint64(k)
+}
 
 // Slot returns the index of the next bit slot to be simulated.
 func (n *Network) Slot() uint64 { return n.slot }
@@ -297,21 +376,38 @@ func (n *Network) emitFrameStart() {
 	})
 }
 
-// Run simulates the given number of bit slots.
+// Run simulates the given number of bit slots, batching through the
+// installed engine when one is set.
 func (n *Network) Run(slots int) {
-	for i := 0; i < slots; i++ {
-		n.Step()
+	if n.engine == nil {
+		for i := 0; i < slots; i++ {
+			n.Step()
+		}
+		return
+	}
+	for done := 0; done < slots; {
+		done += n.engine.Advance(slots - done)
 	}
 }
 
 // RunUntil steps the network until cond returns true or the slot budget is
-// exhausted; it reports whether the condition was met.
+// exhausted; it reports whether the condition was met. With an engine
+// installed, cond is evaluated at batch boundaries (see SetEngine).
 func (n *Network) RunUntil(cond func() bool, maxSlots int) bool {
-	for i := 0; i < maxSlots; i++ {
+	if n.engine == nil {
+		for i := 0; i < maxSlots; i++ {
+			if cond() {
+				return true
+			}
+			n.Step()
+		}
+		return cond()
+	}
+	for done := 0; done < maxSlots; {
 		if cond() {
 			return true
 		}
-		n.Step()
+		done += n.engine.Advance(maxSlots - done)
 	}
 	return cond()
 }

@@ -1,0 +1,394 @@
+// Differential tests for the fast bit-slot engine: every test drives
+// the same simulation under the reference per-slot loop and the fast
+// engine and demands identical observables — events, deliveries,
+// verdicts, digests, final state. The sweep-spec oracle lives next to
+// CompareEngines in internal/sim; here live the engine-level checks:
+// the lockstep fuzz property (fast-forward never skips across an armed
+// hazard), the scripted figure scenarios, chaos campaign digests, and
+// the zero-allocation pin on the hot loop.
+package fastpath_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/bus"
+	"repro/internal/bus/fastpath"
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/errmodel"
+	"repro/internal/frame"
+	"repro/internal/node"
+	"repro/internal/obs"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// world is one half of a lockstep comparison: a cluster under one
+// engine with its full event stream captured.
+type world struct {
+	cluster *sim.Cluster
+	mem     *obs.Memory
+}
+
+func newWorld(t *testing.T, engine sim.EngineChoice, nodes int, policyName string) *world {
+	t.Helper()
+	policy, err := core.ParsePolicy(policyName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := obs.NewMemory()
+	c, err := sim.NewCluster(sim.ClusterOptions{
+		Nodes:  nodes,
+		Policy: policy,
+		Events: mem,
+		Engine: engine,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &world{cluster: c, mem: mem}
+}
+
+// forceLevel is a test output fault: station drives level in [from, to).
+type forceLevel struct {
+	station  int
+	from, to uint64
+	level    bitstream.Level
+}
+
+func (f forceLevel) Apply(slot uint64, station int, lvl bitstream.Level) bitstream.Level {
+	if station == f.station && slot >= f.from && slot < f.to {
+		return f.level
+	}
+	return lvl
+}
+
+// skewAt is a test sampling skew: station samples one slot late at slot.
+type skewAt struct {
+	station int
+	slot    uint64
+}
+
+func (s skewAt) Skew(slot uint64, station int) bool {
+	return station == s.station && slot == s.slot
+}
+
+// TestFastForwardNeverSkipsArmedHazard is the fuzzed safety property of
+// quiescent fast-forward: whatever gets armed — a scripted disturber, an
+// output fault, a sampling skew, a gated random error model, a crash, a
+// competing enqueue — and whenever it gets armed relative to the engine's
+// skip horizon (pre-run or at a random chunk boundary mid-run), the fast
+// engine must not batch across a slot the hazard would have touched. The
+// test runs randomized hazard schedules under both engines in lockstep
+// and requires byte-identical event streams and final states.
+func TestFastForwardNeverSkipsArmedHazard(t *testing.T) {
+	policies := []string{"can", "minorcan", "majorcan_3", "majorcan_5"}
+	iters := 60
+	if testing.Short() {
+		iters = 12
+	}
+	for iter := 0; iter < iters; iter++ {
+		iter := iter
+		t.Run(fmt.Sprintf("iter%02d", iter), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(1000 + iter)))
+			nodes := 3 + rng.Intn(4)
+			policyName := policies[rng.Intn(len(policies))]
+
+			ref := newWorld(t, sim.EngineReference, nodes, policyName)
+			fast := newWorld(t, sim.EngineFast, nodes, policyName)
+			worlds := []*world{ref, fast}
+
+			// A schedule is a list of steps applied identically to both
+			// worlds; stateful hazard objects are built fresh per world.
+			type step func(w *world)
+			var plan []step
+
+			run := func(slots int) step {
+				return func(w *world) { w.cluster.Net.Run(slots) }
+			}
+			enqueue := func(station int, f frame.Frame) step {
+				return func(w *world) {
+					fc := f
+					fc.Data = append([]byte(nil), f.Data...)
+					if err := w.cluster.Nodes[station].Enqueue(&fc); err != nil {
+						t.Errorf("enqueue at n%d: %v", station, err)
+					}
+				}
+			}
+
+			// Always at least one frame up front so the bus is busy and
+			// fast-forward windows actually open.
+			plan = append(plan, enqueue(0, frame.Frame{ID: 0x100, Data: []byte{0xA5, 0x5A, 1, 2}}))
+
+			// 1-3 hazards, each armed either up front or mid-run.
+			hazards := 1 + rng.Intn(3)
+			for h := 0; h < hazards; h++ {
+				station := rng.Intn(nodes)
+				armSlot := uint64(rng.Intn(1200))
+				var arm step
+				switch rng.Intn(6) {
+				case 0: // scripted view flip at an absolute slot
+					arm = func(w *world) {
+						w.cluster.Net.AddDisturber(errmodel.NewScript(
+							errmodel.AtSlot([]int{station}, armSlot)))
+					}
+				case 1: // scripted view flip in the EOF region
+					rel := 1 + rng.Intn(7)
+					attempt := 1 + rng.Intn(2)
+					arm = func(w *world) {
+						w.cluster.Net.AddDisturber(errmodel.NewScript(
+							errmodel.AtEOFBit([]int{station}, rel, attempt)))
+					}
+				case 2: // output fault window (stuck dominant or mute)
+					lvl := bitstream.Dominant
+					if rng.Intn(2) == 0 {
+						lvl = bitstream.Recessive
+					}
+					until := armSlot + uint64(1+rng.Intn(20))
+					arm = func(w *world) {
+						w.cluster.Net.AddOutputFault(forceLevel{
+							station: station, from: armSlot, to: until, level: lvl})
+					}
+				case 3: // one-slot sampling skew
+					arm = func(w *world) {
+						w.cluster.Net.AddSkew(skewAt{station: station, slot: armSlot})
+					}
+				case 4: // gated random error model
+					ber := []float64{0.005, 0.02, 0.05}[rng.Intn(3)]
+					seed := rng.Int63()
+					arm = func(w *world) {
+						w.cluster.Net.AddDisturber(errmodel.EOFOnly{
+							Inner: errmodel.NewRandom(ber, seed)})
+					}
+				default: // crash a non-origin station
+					victim := 1 + rng.Intn(nodes-1)
+					arm = func(w *world) { w.cluster.Nodes[victim].Crash() }
+				}
+				if rng.Intn(2) == 0 {
+					plan = append(plan, arm) // pre-armed
+				} else {
+					defer func() {}() // mid-run: spliced below with the chunks
+					plan = append(plan, run(1+rng.Intn(400)), arm)
+				}
+			}
+
+			// Competing traffic: extra frames from random stations at
+			// random points (pending transmit-queue arrivals).
+			extra := rng.Intn(3)
+			for x := 0; x < extra; x++ {
+				st := rng.Intn(nodes)
+				plan = append(plan,
+					run(1+rng.Intn(300)),
+					enqueue(st, frame.Frame{ID: uint32(0x110 + x*8 + st), Data: []byte{byte(x), byte(st), 3}}))
+			}
+
+			// Run out the clock in random chunk sizes, so fast-forward
+			// budgets land everywhere relative to frame boundaries.
+			for budget := 2500; budget > 0; {
+				k := 1 + rng.Intn(400)
+				if k > budget {
+					k = budget
+				}
+				plan = append(plan, run(k))
+				budget -= k
+			}
+
+			for _, s := range plan {
+				for _, w := range worlds {
+					s(w)
+				}
+			}
+
+			if rs, fs := ref.cluster.Net.Slot(), fast.cluster.Net.Slot(); rs != fs {
+				t.Fatalf("slot counters diverged: reference %d, fast %d", rs, fs)
+			}
+			re, fe := ref.mem.Events(), fast.mem.Events()
+			if len(re) != len(fe) {
+				t.Fatalf("event counts diverged: reference %d, fast %d", len(re), len(fe))
+			}
+			for i := range re {
+				if re[i] != fe[i] {
+					t.Fatalf("event %d diverged:\n  reference: %s\n  fast:      %s", i, re[i], fe[i])
+				}
+			}
+			for n := 0; n < nodes; n++ {
+				rd, fd := ref.cluster.Deliveries[n], fast.cluster.Deliveries[n]
+				if len(rd) != len(fd) {
+					t.Fatalf("n%d delivery counts diverged: reference %d, fast %d", n, len(rd), len(fd))
+				}
+				for i := range rd {
+					if rd[i].Slot != fd[i].Slot || !rd[i].Frame.Equal(fd[i].Frame) {
+						t.Fatalf("n%d delivery %d diverged: reference %v@%d, fast %v@%d",
+							n, i, rd[i].Frame, rd[i].Slot, fd[i].Frame, fd[i].Slot)
+					}
+				}
+				rv, fv := ref.cluster.Verdicts[n], fast.cluster.Verdicts[n]
+				if len(rv) != len(fv) {
+					t.Fatalf("n%d verdict counts diverged: reference %d, fast %d", n, len(rv), len(fv))
+				}
+				for i := range rv {
+					if rv[i] != fv[i] {
+						t.Fatalf("n%d verdict %d diverged: reference %v, fast %v", n, i, rv[i], fv[i])
+					}
+				}
+				if rm, fm := ref.cluster.Nodes[n].Mode(), fast.cluster.Nodes[n].Mode(); rm != fm {
+					t.Fatalf("n%d mode diverged: reference %v, fast %v", n, rm, fm)
+				}
+			}
+		})
+	}
+}
+
+// withDefaultEngine runs f with the process default engine set to
+// choice, restoring the built-in default afterwards. Tests using it
+// must not run in parallel (the default is process-wide).
+func withDefaultEngine(t *testing.T, choice sim.EngineChoice, f func()) {
+	t.Helper()
+	if err := sim.SetDefaultEngine(choice); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := sim.SetDefaultEngine(sim.EngineAuto); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	f()
+}
+
+// TestScenarioFiguresEngineTransparent replays the paper's Fig. 3
+// scenarios — the scripted inconsistency patterns — under both engines
+// and compares the complete outcomes. Scripted disturbances force the
+// engine's reference plan, so this pins the delegation path: an
+// installed engine must be invisible for configurations it does not
+// accelerate.
+func TestScenarioFiguresEngineTransparent(t *testing.T) {
+	figures := map[string]func() (*scenario.Outcome, error){
+		"Fig3a": scenario.Fig3a,
+		"Fig3b": scenario.Fig3b,
+	}
+	for name, fig := range figures {
+		t.Run(name, func(t *testing.T) {
+			var fastOut, refOut *scenario.Outcome
+			withDefaultEngine(t, sim.EngineFast, func() {
+				o, err := fig()
+				if err != nil {
+					t.Fatal(err)
+				}
+				fastOut = o
+			})
+			withDefaultEngine(t, sim.EngineReference, func() {
+				o, err := fig()
+				if err != nil {
+					t.Fatal(err)
+				}
+				refOut = o
+			})
+			if got, want := fastOut.Summary(), refOut.Summary(); got != want {
+				t.Fatalf("outcomes diverged:\n  fast:      %s\n  reference: %s", got, want)
+			}
+			if fastOut.IMO != refOut.IMO || fastOut.DoubleReception != refOut.DoubleReception {
+				t.Fatalf("verdicts diverged: fast IMO=%v dup=%v, reference IMO=%v dup=%v",
+					fastOut.IMO, fastOut.DoubleReception, refOut.IMO, refOut.DoubleReception)
+			}
+		})
+	}
+}
+
+// TestChaosCampaignEngineTransparent runs a small randomized chaos
+// campaign under both engines and requires identical outcomes — trial
+// counts, findings, and every finding's bit-level trace digest.
+func TestChaosCampaignEngineTransparent(t *testing.T) {
+	spec := chaos.CampaignSpec{Protocol: "CAN", Nodes: 4, Trials: 15, Seed: 7}
+	outcomes := make(map[sim.EngineChoice][]byte)
+	for _, choice := range []sim.EngineChoice{sim.EngineFast, sim.EngineReference} {
+		withDefaultEngine(t, choice, func() {
+			out, err := chaos.RunCampaignSpec(context.Background(), spec, chaos.Telemetry{}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := json.Marshal(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			outcomes[choice] = b
+		})
+	}
+	if string(outcomes[sim.EngineFast]) != string(outcomes[sim.EngineReference]) {
+		t.Fatalf("campaign outcomes diverged:\n  fast:      %s\n  reference: %s",
+			outcomes[sim.EngineFast], outcomes[sim.EngineReference])
+	}
+}
+
+// TestZeroAllocsPerSlot pins the packed core's allocation behaviour: in
+// a sustained run — frame bodies, fast-forward windows, error
+// signalling, retransmissions — the engine allocates nothing per slot.
+// The scenario is an infinitely retransmitting frame: the only other
+// station is crashed, so every attempt ends in a missing ACK and the
+// transmitter retries forever, exercising encode (cached after the
+// first attempt), error flags and the interframe machinery in a loop
+// with no per-frame delivery (delivery hands the application a fresh
+// frame, which necessarily allocates and is out of scope here).
+func TestZeroAllocsPerSlot(t *testing.T) {
+	net := bus.NewNetwork()
+	tx := node.New("tx", core.NewStandard(), node.Options{})
+	rx := node.New("rx", core.NewStandard(), node.Options{})
+	net.Attach(tx)
+	net.Attach(rx)
+	rx.Crash()
+	fastpath.Install(net)
+	if err := tx.Enqueue(&frame.Frame{ID: 0x123, Data: []byte{0xDE, 0xAD, 0xBE, 0xEF}}); err != nil {
+		t.Fatal(err)
+	}
+	// Reach steady state: encode cache warm, transmitter error-passive
+	// (the ACK-error exception then holds TEC constant, so the retry
+	// loop runs forever without a mode change).
+	net.Run(5000)
+	if tx.TxSuccesses() != 0 {
+		t.Fatal("frame must never succeed with the only receiver crashed")
+	}
+	if tx.Mode() == node.BusOff {
+		t.Fatal("transmitter must not reach bus-off in the no-ACK loop")
+	}
+	allocs := testing.AllocsPerRun(20, func() { net.Run(512) })
+	if allocs != 0 {
+		t.Fatalf("allocations per 512-slot batch = %g, want 0", allocs)
+	}
+}
+
+// TestEngineReplansOnReconfiguration pins the version seam: a network
+// reconfigured after the engine is installed (here: a probe added,
+// which the fast plan cannot model) must fall back to the reference
+// plan at the next Advance, not act on the stale plan.
+func TestEngineReplansOnReconfiguration(t *testing.T) {
+	ref := newWorld(t, sim.EngineReference, 3, "can")
+	fast := newWorld(t, sim.EngineFast, 3, "can")
+	for _, w := range []*world{ref, fast} {
+		if err := w.cluster.Nodes[0].Enqueue(&frame.Frame{ID: 0x77, Data: []byte{1}}); err != nil {
+			t.Fatal(err)
+		}
+		w.cluster.Net.Run(40) // mid-frame: the fast world is inside windows
+		w.cluster.Net.AddProbe(countProbe{n: new(int)})
+		w.cluster.Net.Run(400)
+	}
+	re, fe := ref.mem.Events(), fast.mem.Events()
+	if len(re) != len(fe) {
+		t.Fatalf("event counts diverged after reconfiguration: reference %d, fast %d", len(re), len(fe))
+	}
+	for i := range re {
+		if re[i] != fe[i] {
+			t.Fatalf("event %d diverged after reconfiguration:\n  reference: %s\n  fast:      %s", i, re[i], fe[i])
+		}
+	}
+}
+
+type countProbe struct{ n *int }
+
+func (p countProbe) OnBit(uint64, bitstream.Level, []bitstream.Level, []bitstream.Level, []bus.ViewContext) {
+	*p.n++
+}

@@ -50,6 +50,15 @@ func (r *Random) Fork(seed int64) *Random {
 
 // Disturb implements bus.Disturber.
 func (r *Random) Disturb(_ uint64, _ int, _ bus.ViewContext) bool {
+	return r.Sample()
+}
+
+// Sample draws the next flip decision from the disturber's stream,
+// advancing the RNG and the flip counters exactly as one Disturb call
+// would. It is the draw primitive the fast bit-slot engine replicates
+// the reference Disturb-call pattern with: one Sample per (slot,
+// station) in ascending station order yields a bit-identical stream.
+func (r *Random) Sample() bool {
 	if r.rng.Float64() < r.berStar {
 		for p := r; p != nil; p = p.parent {
 			p.flips.Add(1)
@@ -58,6 +67,13 @@ func (r *Random) Disturb(_ uint64, _ int, _ bus.ViewContext) bool {
 	}
 	return false
 }
+
+// AlwaysClean reports that the disturber can never fire: its rate is
+// zero, so skipping its draws entirely is observationally equivalent
+// (nothing reads the RNG stream position, and the flip counter stays
+// zero either way). The fast engine uses this as its next-disturbance
+// lookahead for rate-zero models: the answer is "never".
+func (r *Random) AlwaysClean() bool { return r.berStar <= 0 }
 
 // Flips returns the number of bit flips injected so far by this disturber
 // and all disturbers forked from it. It is safe to call concurrently with
@@ -95,6 +111,15 @@ func NewGlobalRandom(ber float64, seed int64) *GlobalRandom {
 // Disturb implements bus.Disturber: one draw per slot, applied to every
 // station.
 func (g *GlobalRandom) Disturb(slot uint64, _ int, _ bus.ViewContext) bool {
+	return g.SampleSlot(slot)
+}
+
+// SampleSlot draws (or returns the cached) flip decision for the given
+// slot, advancing the RNG and flip counter exactly as the first Disturb
+// call of that slot would. Repeated calls for the same slot are
+// idempotent, matching the per-station Disturb fan-out of the reference
+// step loop; the fast engine calls it directly.
+func (g *GlobalRandom) SampleSlot(slot uint64) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if slot != g.slot {
@@ -107,11 +132,37 @@ func (g *GlobalRandom) Disturb(slot uint64, _ int, _ bus.ViewContext) bool {
 	return g.flip
 }
 
+// AlwaysClean reports a zero-rate model, as for Random.AlwaysClean.
+func (g *GlobalRandom) AlwaysClean() bool { return g.ber <= 0 }
+
 // Flips returns the number of disturbed slots so far.
 func (g *GlobalRandom) Flips() uint64 {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.flips
+}
+
+// EOFOnly gates a disturber on the end-of-frame region: the inner model
+// is consulted — and its RNG stream advanced — only when the station's
+// view places it inside an EOF episode (view.EOFRel != 0). This is the
+// paper's importance-sampling device (all inconsistency scenarios live
+// in the EOF region) and doubles as the fast engine's next-disturbance
+// lookahead: while no station is in an EOF episode, a gated model can
+// neither fire nor consume randomness, so those slots are provably
+// disturbance-free and may be fast-forwarded.
+type EOFOnly struct {
+	// Inner is the gated disturbance model.
+	Inner bus.Disturber
+}
+
+var _ bus.Disturber = EOFOnly{}
+
+// Disturb implements bus.Disturber.
+func (e EOFOnly) Disturb(slot uint64, station int, view bus.ViewContext) bool {
+	if view.EOFRel == 0 {
+		return false
+	}
+	return e.Inner.Disturb(slot, station, view)
 }
 
 // Rule is one scripted disturbance: it fires for the stations in Stations

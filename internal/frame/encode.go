@@ -22,6 +22,12 @@ type Encoding struct {
 	EOFBits int
 	// StuffCount is the number of stuff bits inserted.
 	StuffCount int
+	// AckIndex is the offset within Bits of the ACK slot bit, cached at
+	// encode time so per-window code does not rescan Refs. The stretch
+	// Bits[pos:AckIndex] for any pos past SOF is the deterministic part
+	// of the transmission: every bit up to (excluding) the ACK slot is
+	// driven by the transmitter alone.
+	AckIndex int
 }
 
 // Len returns the total number of bit times of the encoded frame
@@ -32,7 +38,7 @@ func (e *Encoding) Len() int { return len(e.Bits) }
 // the given field, skipping stuff bits. It returns -1 if not present.
 func (e *Encoding) IndexOf(f Field, idx int) int {
 	for i, r := range e.Refs {
-		if !r.Stuff && r.Field == f && r.Index == idx {
+		if !r.Stuff && r.Field == f && int(r.Index) == idx {
 			return i
 		}
 	}
@@ -50,65 +56,49 @@ func (e *Encoding) FieldLen(f Field) int {
 	return n
 }
 
-// unstuffed returns the frame's bit layout before stuffing, split into the
-// stuffed region (SOF..CRC) and the fixed-form tail (CRC delimiter..EOF).
-func unstuffed(f *Frame, eofBits int) (stuffRegion, tail bitstream.Sequence, stuffRefs, tailRefs []Ref) {
-	push := func(region *bitstream.Sequence, refs *[]Ref, field Field, l bitstream.Level) {
-		idx := 0
-		for i := len(*refs) - 1; i >= 0; i-- {
-			if (*refs)[i].Field == field {
-				idx = (*refs)[i].Index + 1
-				break
-			}
-		}
-		*region = append(*region, l)
-		*refs = append(*refs, Ref{Field: field, Index: idx})
-	}
-	pushUint := func(region *bitstream.Sequence, refs *[]Ref, field Field, v uint64, width int) {
-		for i := width - 1; i >= 0; i-- {
-			push(region, refs, field, bitstream.FromBit(uint8(v>>uint(i)&1)))
-		}
-	}
+// encWriter streams a frame's bits into an Encoding in one pass: every
+// stuffed-region bit goes through the bit stuffer (inserting stuff bits
+// as they occur) and, before the CRC field, through the running CRC
+// register. Encoding runs once per frame body in a sweep, so this writer
+// replaces the two-pass build (layout, then restuff into fresh slices)
+// that used to dominate the simulator's allocation profile.
+type encWriter struct {
+	enc *Encoding
+	st  bitstream.Stuffer
+	crc bitstream.CRC15
+}
 
-	rtr := bitstream.Dominant
-	if f.Remote {
-		rtr = bitstream.Recessive
+// stuffed appends one bit of the stuffed region (SOF through the CRC
+// sequence), plus the stuff bit the stuffer may insert after it. Stuff
+// bits carry the Field/Index of the preceding data bit.
+func (w *encWriter) stuffed(field Field, idx int, l bitstream.Level) {
+	w.enc.Bits = append(w.enc.Bits, l)
+	w.enc.Refs = append(w.enc.Refs, Ref{Field: field, Index: int16(idx)})
+	if sb, ok := w.st.Push(l); ok {
+		w.enc.Bits = append(w.enc.Bits, sb)
+		w.enc.Refs = append(w.enc.Refs, Ref{Field: field, Index: int16(idx), Stuff: true})
+		w.enc.StuffCount++
 	}
+}
 
-	push(&stuffRegion, &stuffRefs, FieldSOF, bitstream.Dominant)
-	switch f.EffectiveFormat() {
-	case Extended:
-		base := f.ID >> 18 & MaxStandardID
-		ext := f.ID & (1<<18 - 1)
-		pushUint(&stuffRegion, &stuffRefs, FieldID, uint64(base), 11)
-		push(&stuffRegion, &stuffRefs, FieldSRR, bitstream.Recessive)
-		push(&stuffRegion, &stuffRefs, FieldIDE, bitstream.Recessive)
-		pushUint(&stuffRegion, &stuffRefs, FieldExtID, uint64(ext), 18)
-		push(&stuffRegion, &stuffRefs, FieldRTR, rtr)
-		push(&stuffRegion, &stuffRefs, FieldR1, bitstream.Dominant)
-		push(&stuffRegion, &stuffRefs, FieldR0, bitstream.Dominant)
-	default:
-		pushUint(&stuffRegion, &stuffRefs, FieldID, uint64(f.ID), 11)
-		push(&stuffRegion, &stuffRefs, FieldRTR, rtr)
-		push(&stuffRegion, &stuffRefs, FieldIDE, bitstream.Dominant)
-		push(&stuffRegion, &stuffRefs, FieldR0, bitstream.Dominant)
-	}
-	pushUint(&stuffRegion, &stuffRefs, FieldDLC, uint64(f.EffectiveDLC()), 4)
-	if !f.Remote {
-		for _, b := range f.Data {
-			pushUint(&stuffRegion, &stuffRefs, FieldData, uint64(b), 8)
-		}
-	}
-	crc := bitstream.ComputeCRC(stuffRegion)
-	pushUint(&stuffRegion, &stuffRefs, FieldCRC, uint64(crc), bitstream.CRCWidth)
+// body appends one CRC-covered bit (SOF..data).
+func (w *encWriter) body(field Field, idx int, l bitstream.Level) {
+	w.crc.Push(l)
+	w.stuffed(field, idx, l)
+}
 
-	push(&tail, &tailRefs, FieldCRCDelim, bitstream.Recessive)
-	push(&tail, &tailRefs, FieldACKSlot, bitstream.Recessive)
-	push(&tail, &tailRefs, FieldACKDelim, bitstream.Recessive)
-	for i := 0; i < eofBits; i++ {
-		push(&tail, &tailRefs, FieldEOF, bitstream.Recessive)
+// bodyUint appends the width low bits of v MSB-first as CRC-covered bits.
+func (w *encWriter) bodyUint(field Field, v uint64, width int) {
+	for i := width - 1; i >= 0; i-- {
+		w.body(field, width-1-i, bitstream.FromBit(uint8(v>>uint(i)&1)))
 	}
-	return stuffRegion, tail, stuffRefs, tailRefs
+}
+
+// tail appends one fixed-form bit (CRC delimiter onward): never stuffed,
+// never CRC-covered.
+func (w *encWriter) tail(field Field, idx int, l bitstream.Level) {
+	w.enc.Bits = append(w.enc.Bits, l)
+	w.enc.Refs = append(w.enc.Refs, Ref{Field: field, Index: int16(idx)})
 }
 
 // Encode produces the on-the-wire image of the frame with the given EOF
@@ -121,26 +111,71 @@ func Encode(f *Frame, eofBits int) (*Encoding, error) {
 	if eofBits < 1 {
 		return nil, fmt.Errorf("frame: EOF length %d must be positive", eofBits)
 	}
-	stuffRegion, tail, stuffRefs, tailRefs := unstuffed(f, eofBits)
+	dataBits := 0
+	if !f.Remote {
+		dataBits = 8 * len(f.Data)
+	}
+	// SOF + arbitration/control + data + CRC, worst-case stuffing (one
+	// insertion per four bits after the first five; len/4 over-covers
+	// it), then the fixed-form tail. Bits and Refs never regrow.
+	regionLen := 1 + 11 + 1 + 1 + 1 + 4 + dataBits + bitstream.CRCWidth
+	if f.EffectiveFormat() == Extended {
+		regionLen += 1 + 18 + 1 // SRR, extended ID, r1
+	}
+	full := regionLen + regionLen/4 + 3 + eofBits
 
 	enc := &Encoding{EOFBits: eofBits}
-	var st bitstream.Stuffer
-	for i, l := range stuffRegion {
-		enc.Bits = append(enc.Bits, l)
-		enc.Refs = append(enc.Refs, stuffRefs[i])
-		if sb, ok := st.Push(l); ok {
-			enc.Bits = append(enc.Bits, sb)
-			ref := stuffRefs[i]
-			ref.Stuff = true
-			enc.Refs = append(enc.Refs, ref)
-			enc.StuffCount++
+	enc.Bits = make(bitstream.Sequence, 0, full)
+	enc.Refs = make([]Ref, 0, full)
+	w := encWriter{enc: enc}
+
+	rtr := bitstream.Dominant
+	if f.Remote {
+		rtr = bitstream.Recessive
+	}
+	w.body(FieldSOF, 0, bitstream.Dominant)
+	switch f.EffectiveFormat() {
+	case Extended:
+		base := f.ID >> 18 & MaxStandardID
+		ext := f.ID & (1<<18 - 1)
+		w.bodyUint(FieldID, uint64(base), 11)
+		w.body(FieldSRR, 0, bitstream.Recessive)
+		w.body(FieldIDE, 0, bitstream.Recessive)
+		w.bodyUint(FieldExtID, uint64(ext), 18)
+		w.body(FieldRTR, 0, rtr)
+		w.body(FieldR1, 0, bitstream.Dominant)
+		w.body(FieldR0, 0, bitstream.Dominant)
+	default:
+		w.bodyUint(FieldID, uint64(f.ID), 11)
+		w.body(FieldRTR, 0, rtr)
+		w.body(FieldIDE, 0, bitstream.Dominant)
+		w.body(FieldR0, 0, bitstream.Dominant)
+	}
+	w.bodyUint(FieldDLC, uint64(f.EffectiveDLC()), 4)
+	if !f.Remote {
+		// Data-bit indices run across byte boundaries.
+		idx := 0
+		for _, b := range f.Data {
+			for i := 7; i >= 0; i-- {
+				w.body(FieldData, idx, bitstream.FromBit(b>>uint(i)&1))
+				idx++
+			}
 		}
 	}
-	enc.Bits = append(enc.Bits, tail...)
-	enc.Refs = append(enc.Refs, tailRefs...)
+	// The CRC field is stuffed but not CRC-covered.
+	enc.CRC = w.crc.Sum()
+	for i := bitstream.CRCWidth - 1; i >= 0; i-- {
+		w.stuffed(FieldCRC, bitstream.CRCWidth-1-i, bitstream.FromBit(uint8(enc.CRC>>uint(i)&1)))
+	}
 
-	crcStart := len(stuffRegion) - bitstream.CRCWidth
-	enc.CRC = uint16(stuffRegion[crcStart:].Uint())
+	// tail = CRC delimiter, ACK slot, ACK delimiter, EOF bits.
+	enc.AckIndex = len(enc.Bits) + 1
+	w.tail(FieldCRCDelim, 0, bitstream.Recessive)
+	w.tail(FieldACKSlot, 0, bitstream.Recessive)
+	w.tail(FieldACKDelim, 0, bitstream.Recessive)
+	for i := 0; i < eofBits; i++ {
+		w.tail(FieldEOF, i, bitstream.Recessive)
+	}
 	return enc, nil
 }
 

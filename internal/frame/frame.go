@@ -232,12 +232,15 @@ func (f Field) String() string {
 type Ref struct {
 	// Field is the frame field this bit belongs to.
 	Field Field
-	// Index is the zero-based position within the field (data bits count
-	// across the whole data field).
-	Index int
 	// Stuff marks an inserted stuff bit. Stuff bits carry the Field/Index
 	// of the preceding data bit.
 	Stuff bool
+	// Index is the zero-based position within the field (data bits count
+	// across the whole data field; the widest field, eight data bytes,
+	// tops out at index 63). An encoding carries one Ref per wire bit, so
+	// the compact layout — four bytes instead of a padded 24 — is what
+	// keeps per-frame encode allocations small.
+	Index int16
 }
 
 func (r Ref) String() string {

@@ -100,6 +100,12 @@ var ScopePaths = []string{
 	// and merges shard results byte-identically; stray wall-clock or RNG
 	// use there would silently break the single-node equivalence.
 	"repro/internal/fleet",
+	// The fast bit-slot engine must produce traces bit-identical to the
+	// reference loop (DESIGN.md §15); it is pinned explicitly even though
+	// the bus prefix covers it today, so the differential oracle's
+	// preconditions cannot silently fall out of scope if the bus entry is
+	// ever narrowed.
+	"repro/internal/bus/fastpath",
 	"repro/cmd",
 	"repro/majorcan",
 }
@@ -139,6 +145,24 @@ var HotPathRoots = []string{
 	"repro/internal/core.majorEpisode.Drive",
 	"repro/internal/core.majorEpisode.Latch",
 	"repro/internal/core.majorEpisode.Phase",
+	// The fast bit-slot engine: Advance is the per-slot entry the bus
+	// delegates to, and the node/bus seams below are what it calls per
+	// slot or per fast-forward window. They are roots of their own
+	// because the analyzer propagates reachability only within a package:
+	// without them the engine's side of the per-bit contract would go
+	// unchecked.
+	"repro/internal/bus/fastpath.Engine.Advance",
+	"repro/internal/bus.Network.CommitSlot",
+	"repro/internal/bus.Network.SkipSlots",
+	"repro/internal/node.Controller.Transmitting",
+	"repro/internal/node.Controller.StartingFrame",
+	"repro/internal/node.Controller.EOFRel",
+	"repro/internal/node.Controller.TxWindow",
+	"repro/internal/node.Controller.MirrorsPipeline",
+	"repro/internal/node.Controller.AdoptPipeline",
+	"repro/internal/node.Controller.LatchTxWindow",
+	"repro/internal/errmodel.Random.Sample",
+	"repro/internal/errmodel.GlobalRandom.SampleSlot",
 }
 
 // FuncQualifiedName renders a function as "pkgpath.Func" or

@@ -43,7 +43,7 @@ func (c *Controller) beginFrame(tx bool) {
 			// programming error.
 			panic(fmt.Sprintf("node %s: transmit with empty queue", c.name))
 		}
-		enc, err := frame.Encode(head, c.policy.EOFBits())
+		enc, err := c.cachedEncode(head, c.policy.EOFBits())
 		if err != nil {
 			// Frames are validated at Enqueue; this is a programming error.
 			panic(fmt.Sprintf("node %s: encode queued frame: %v", c.name, err))

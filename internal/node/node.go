@@ -120,6 +120,7 @@ type Controller struct {
 	transmitter bool
 	txEnc       *frame.Encoding
 	txPos       int
+	encCache    map[encKey]*frame.Encoding
 
 	// receive pipeline
 	destuff bitstream.Destuffer
@@ -180,6 +181,7 @@ func New(name string, policy EOFPolicy, opts Options) *Controller {
 		state:    stIdle,
 		mode:     ErrorActive,
 		errCount: make(map[ErrorKind]uint64),
+		encCache: make(map[encKey]*frame.Encoding),
 	}
 }
 
@@ -381,7 +383,7 @@ func (c *Controller) View() bus.ViewContext {
 			v.Field, v.Index, v.Transmitter = frame.FieldSOF, 0, true
 		} else if c.transmitter {
 			ref := c.txEnc.Refs[c.txPos]
-			v.Field, v.Index = ref.Field, ref.Index
+			v.Field, v.Index = ref.Field, int(ref.Index)
 		} else if !c.asm.Done() {
 			v.Field, v.Index = c.asm.Field(), c.asm.FieldIndex()
 		} else {

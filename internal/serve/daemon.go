@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 // DaemonMain is the body of the mcservd command: flag parsing, scheduler
@@ -43,6 +44,7 @@ func DaemonMain(args []string) int {
 		portFile     = fs.String("portfile", "", "write the bound listen address to this file once serving")
 		logFormat    = fs.String("log-format", "text", "log output format: text or json")
 		captureEv    = fs.Int("capture-events", 0, "per-job trace capture buffer in events (0 = default)")
+		engine       = fs.String("engine", string(sim.EngineFast), "bit-slot engine: fast or reference (identical traces)")
 		mutexProf    = fs.String("mutexprofile", "", "write a mutex-contention profile here on clean exit")
 		blockProf    = fs.String("blockprofile", "", "write a blocking-event profile here on clean exit")
 	)
@@ -55,6 +57,14 @@ func DaemonMain(args []string) int {
 		return 2
 	}
 	logger = logger.With("component", "mcservd")
+
+	// The engine is an execution knob like parallelism: it changes how
+	// fast jobs run, never their content-addressed results, so it is a
+	// daemon flag and stays out of the job specs.
+	if err := sim.SetDefaultEngine(sim.EngineChoice(*engine)); err != nil {
+		fmt.Fprintln(os.Stderr, "mcservd:", err)
+		return 2
+	}
 
 	// Contention profiling is opt-in and sampled at full rate; the
 	// profiles are written when the daemon exits cleanly, so a drain (not

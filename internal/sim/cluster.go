@@ -5,12 +5,58 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/bus"
+	"repro/internal/bus/fastpath"
 	"repro/internal/frame"
 	"repro/internal/node"
 	"repro/internal/obs"
 )
+
+// EngineChoice selects the bit-slot execution engine for a cluster: the
+// per-slot reference loop or the fast engine (internal/bus/fastpath),
+// which produces bit-identical traces. An engine choice is an execution
+// knob, never part of an experiment's identity: it must not appear in
+// sweep specs or content addresses, exactly like parallelism.
+type EngineChoice string
+
+const (
+	// EngineAuto defers to the process-wide default (fast, unless a CLI
+	// -engine=reference flag rerouted it via SetDefaultEngine).
+	EngineAuto EngineChoice = ""
+	// EngineFast installs the packed fast bit-slot engine.
+	EngineFast EngineChoice = "fast"
+	// EngineReference runs the reference per-slot Step loop.
+	EngineReference EngineChoice = "reference"
+)
+
+// referenceDefault flips the process-wide EngineAuto resolution from
+// fast to reference (the CLIs' escape hatch).
+var referenceDefault atomic.Bool
+
+// SetDefaultEngine sets how EngineAuto resolves process-wide. EngineAuto
+// restores the built-in default (fast). It rejects unknown names so CLI
+// flag values can be passed through directly.
+func SetDefaultEngine(c EngineChoice) error {
+	switch c {
+	case EngineAuto, EngineFast:
+		referenceDefault.Store(false)
+	case EngineReference:
+		referenceDefault.Store(true)
+	default:
+		return fmt.Errorf("sim: unknown engine %q (want %q or %q)", c, EngineFast, EngineReference)
+	}
+	return nil
+}
+
+// DefaultEngine returns the engine EngineAuto currently resolves to.
+func DefaultEngine() EngineChoice {
+	if referenceDefault.Load() {
+		return EngineReference
+	}
+	return EngineFast
+}
 
 // Delivery records one frame handed to a node's upper layer.
 type Delivery struct {
@@ -47,6 +93,9 @@ type ClusterOptions struct {
 	// controller and the bus emit obs events into it. A nil sink costs one
 	// nil check per potential event.
 	Events obs.Sink
+	// Engine selects the bit-slot execution engine (default EngineAuto:
+	// the process-wide default, normally the fast engine).
+	Engine EngineChoice
 }
 
 // Cluster is a set of CAN controllers on one simulated bus with recorded
@@ -120,6 +169,18 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 	}
 	if opts.Events != nil {
 		c.Net.SetEmitter(opts.Events)
+	}
+	engine := opts.Engine
+	if engine == EngineAuto {
+		engine = DefaultEngine()
+	}
+	switch engine {
+	case EngineFast:
+		fastpath.Install(c.Net)
+	case EngineReference:
+		// The network's built-in per-slot Step loop.
+	default:
+		return nil, fmt.Errorf("sim: unknown engine %q (want %q or %q)", engine, EngineFast, EngineReference)
 	}
 	return c, nil
 }

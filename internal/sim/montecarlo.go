@@ -70,6 +70,9 @@ type MCConfig struct {
 	// (counters from the event stream plus per-frame retransmission and
 	// settling-latency histograms). Parallel sweeps pass a fork per worker.
 	Metrics *obs.Metrics
+	// Engine selects the bit-slot execution engine (an execution knob,
+	// never part of a sweep spec; default EngineAuto).
+	Engine EngineChoice
 }
 
 // MCResult aggregates a Monte Carlo run.
@@ -144,18 +147,6 @@ func PayloadKey(f *frame.Frame) (abcheck.MsgKey, bool) {
 	}, true
 }
 
-// eofOnly gates a disturber on the end-of-frame region.
-type eofOnly struct {
-	inner bus.Disturber
-}
-
-func (e eofOnly) Disturb(slot uint64, station int, view bus.ViewContext) bool {
-	if view.EOFRel == 0 {
-		return false
-	}
-	return e.inner.Disturb(slot, station, view)
-}
-
 // MonteCarlo runs the experiment.
 func MonteCarlo(cfg MCConfig) (*MCResult, error) {
 	if cfg.Nodes < 3 {
@@ -184,6 +175,7 @@ func MonteCarlo(cfg MCConfig) (*MCResult, error) {
 		Nodes:            cfg.Nodes,
 		Policy:           cfg.Policy,
 		WarningSwitchOff: cfg.WarningSwitchOff,
+		Engine:           cfg.Engine,
 	}
 	if cfg.Events != nil || cfg.Metrics != nil {
 		ring = obs.NewRing(1 << 12)
@@ -230,13 +222,21 @@ func MonteCarlo(cfg MCConfig) (*MCResult, error) {
 		inner, flips = r, r.Flips
 	}
 	if cfg.EOFOnly {
-		cluster.Net.AddDisturber(eofOnly{inner})
+		cluster.Net.AddDisturber(errmodel.EOFOnly{Inner: inner})
 	} else {
 		cluster.Net.AddDisturber(inner)
 	}
 
 	res := &MCResult{Config: cfg}
 	tr := abcheck.Trace{Nodes: cfg.Nodes, Faulty: make(map[int]bool)}
+	// The trace grows to one broadcast per frame and (at most) one
+	// delivery per receiver per frame; reserving that up front keeps the
+	// append loops below from regrowing through the whole run.
+	tr.Broadcasts = make([]abcheck.Broadcast, 0, cfg.Frames)
+	tr.Deliveries = make([]abcheck.Delivery, 0, cfg.Frames*(cfg.Nodes-1))
+
+	// Per-frame scratch, reused across the trial loop.
+	before := make([]int, cfg.Nodes)
 
 	for i := 0; i < cfg.Frames; i++ {
 		if cfg.ResetCounters {
@@ -267,7 +267,6 @@ func MonteCarlo(cfg MCConfig) (*MCResult, error) {
 		res.FramesSent++
 
 		// Track deliveries of this frame by counting cluster deliveries.
-		before := make([]int, cfg.Nodes)
 		for n := 0; n < cfg.Nodes; n++ {
 			before[n] = len(cluster.Deliveries[n])
 		}

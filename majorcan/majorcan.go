@@ -146,6 +146,10 @@ type BusConfig struct {
 	// Metrics, if non-nil, accumulates protocol counters and histograms;
 	// it is labelled with the protocol name when the bus is built.
 	Metrics *Metrics
+	// Engine selects the bit-slot execution engine: "" or "fast" for the
+	// packed fast engine (the default; bit-identical traces), "reference"
+	// for the plain per-slot loop.
+	Engine string
 }
 
 // Bus is a simulated CAN bus with recorded deliveries.
@@ -162,6 +166,7 @@ func NewBus(cfg BusConfig) (*Bus, error) {
 		Nodes:            cfg.Nodes,
 		Policy:           cfg.Protocol.policy,
 		WarningSwitchOff: cfg.WarningSwitchOff,
+		Engine:           sim.EngineChoice(cfg.Engine),
 	}
 	busTelemetry(cfg, &opts)
 	cluster, err := sim.NewCluster(opts)
